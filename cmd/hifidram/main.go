@@ -1,0 +1,330 @@
+// Command hifidram drives the end-to-end reverse-engineering pipeline on
+// the synthetic chips:
+//
+//	hifidram generate -chip C4            summarize the ground-truth region
+//	hifidram gds -chip C4 -o c4.gds       export the region layout as GDSII
+//	hifidram roi -chip C4                 run the blind ROI identification (Fig. 6)
+//	hifidram extract -chip C4             run the full imaging + extraction pipeline
+//	hifidram extract -all                 run it on all six chips
+//	hifidram extract -chip C4 -gds out.gds   also export the extracted layout
+//	hifidram planar -chip C4 -o dir       write the reconstructed planar views as PGM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/gds"
+	"repro/internal/img"
+	"repro/internal/netex"
+	"repro/internal/sem"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "generate":
+		err = runGenerate(args)
+	case "gds":
+		err = runGDS(args)
+	case "roi":
+		err = runROI(args)
+	case "extract":
+		err = runExtract(args)
+	case "planar":
+		err = runPlanar(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hifidram:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: hifidram {generate|gds|roi|extract|planar} [flags]")
+}
+
+func chipFlag(fs *flag.FlagSet) *string {
+	return fs.String("chip", "C4", "chip ID (A4, B4, C4, A5, B5, C5)")
+}
+
+func lookup(id string) (*chips.Chip, error) {
+	c := chips.ByID(id)
+	if c == nil {
+		return nil, fmt.Errorf("unknown chip %q", id)
+	}
+	return c, nil
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	id := chipFlag(fs)
+	units := fs.Int("units", 2, "SA units per band")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := lookup(*id)
+	if err != nil {
+		return err
+	}
+	cfg := chipgen.DefaultConfig(c)
+	cfg.Units = *units
+	r, err := chipgen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("chip %s (%s, %s): %d shapes, %d transistors, %d bitlines at %d nm pitch\n",
+		c.ID, c.Gen, c.Topology, len(r.Cell.Shapes), r.Truth.TransistorCount,
+		r.Truth.Bitlines, r.Truth.PitchNM)
+	fmt.Printf("region: %d x %d nm, M2-routed bitlines: %v\n",
+		r.Truth.RegionBounds.W(), r.Truth.RegionBounds.H(), r.Truth.M2RoutedBitlines)
+	fmt.Println("SA1 blocks:")
+	for _, b := range r.Truth.BlocksSA1 {
+		fmt.Printf("  %-8s x = %6d .. %6d nm\n", b.Name, b.X0, b.X1)
+	}
+	return nil
+}
+
+func runGDS(args []string) error {
+	fs := flag.NewFlagSet("gds", flag.ExitOnError)
+	id := chipFlag(fs)
+	out := fs.String("o", "", "output file (default <chip>.gds)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := lookup(*id)
+	if err != nil {
+		return err
+	}
+	r, err := chipgen.Generate(chipgen.DefaultConfig(c))
+	if err != nil {
+		return err
+	}
+	s, err := gds.FromCell(r.Cell)
+	if err != nil {
+		return err
+	}
+	lib := gds.NewLibrary("HIFIDRAM_" + c.ID)
+	lib.Structs = []gds.Structure{s}
+	path := *out
+	if path == "" {
+		path = c.ID + ".gds"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := lib.Write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d boundaries on %d layers\n", path, len(s.Boundaries), 7)
+	return nil
+}
+
+func runROI(args []string) error {
+	fs := flag.NewFlagSet("roi", flag.ExitOnError)
+	id := chipFlag(fs)
+	voxel := fs.Int64("voxel", 8, "voxel size (nm)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := lookup(*id)
+	if err != nil {
+		return err
+	}
+	die, err := chipgen.GenerateDie(chipgen.DefaultConfig(c))
+	if err != nil {
+		return err
+	}
+	vol, err := chipgen.Voxelize(die.Cell, die.Cell.Bounds(), *voxel)
+	if err != nil {
+		return err
+	}
+	opts := sem.DefaultOptions()
+	opts.Detector = c.Detector
+	roi, zones, err := sem.FindROI(vol, opts, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("blind scan of %s die strip (%d probes wide):\n", c.ID, vol.NX)
+	for _, z := range zones {
+		fmt.Printf("  %-6s %6d .. %6d nm (width %d nm)\n",
+			z.Kind, int64(z.X0)**voxel, int64(z.X1)**voxel, int64(z.WidthVox())**voxel)
+	}
+	fmt.Printf("identified ROI (SA region): %d .. %d nm\n",
+		int64(roi.X0)**voxel, int64(roi.X1)**voxel)
+	fmt.Printf("ground truth SA region:     %d .. %d nm\n", die.SA[0], die.SA[1])
+	return nil
+}
+
+func runExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	id := chipFlag(fs)
+	all := fs.Bool("all", false, "run on all six chips")
+	voxel := fs.Int64("voxel", 4, "voxel size (nm)")
+	dwell := fs.Float64("dwell", 12, "SEM dwell time (us)")
+	gdsOut := fs.String("gds", "", "export the extracted (annotated) layout as GDSII to this file")
+	die := fs.Bool("die", false, "run the full die-level flow: blind ROI identification, then extract the ROI only")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var list []*chips.Chip
+	if *all {
+		list = chips.All()
+	} else {
+		c, err := lookup(*id)
+		if err != nil {
+			return err
+		}
+		list = []*chips.Chip{c}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "chip\ttopology found\tcorrect\tbitlines\ttransistors\tmean dim err\tslices\tsim cost")
+	for _, c := range list {
+		o := core.DefaultOptions()
+		o.VoxelNM = *voxel
+		o.SEM.DwellUS = *dwell
+		var res *core.Result
+		var err error
+		if *die {
+			var dres *core.DieResult
+			dres, err = core.RunOnDie(c, o)
+			if err == nil {
+				fmt.Fprintf(w, "(ROI found %v vs true %v, IoU %.2f)\n",
+					dres.ROI, dres.TrueROI, dres.ROIOverlap)
+				res = dres.Pipeline
+			}
+		} else {
+			res, err = core.Run(c, o)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.ID, err)
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%d/%d\t%d/%d\t%.1f%%\t%d\t%.1fh\n",
+			c.ID, res.Extraction.Topology, res.Score.TopologyCorrect,
+			res.Extraction.Bitlines, res.Truth.Bitlines,
+			len(res.Extraction.Transistors), res.Truth.TransistorCount,
+			100*res.Score.MeanRelErr, res.SliceCount, res.CostHours)
+		if !*all {
+			fmt.Fprintf(w, "(element order: %v)\n", res.Extraction.Blocks)
+		}
+		if *gdsOut != "" && !*all {
+			if err := exportExtracted(c, o, *gdsOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
+		}
+	}
+	return w.Flush()
+}
+
+// exportExtracted reruns the reconstruction to obtain the plan and writes
+// the annotated extracted layout as GDSII — the artifact the paper
+// releases.
+func exportExtracted(c *chips.Chip, o core.Options, path string) error {
+	region, err := chipgen.Generate(chipgen.DefaultConfig(c))
+	if err != nil {
+		return err
+	}
+	window := region.Cell.Bounds()
+	vol, err := chipgen.Voxelize(region.Cell, window, o.VoxelNM)
+	if err != nil {
+		return err
+	}
+	o.SEM.Detector = c.Detector
+	acq, err := sem.AcquireStack(vol, o.SEM)
+	if err != nil {
+		return err
+	}
+	plan, _, err := core.Reconstruct(acq, window, o)
+	if err != nil {
+		return err
+	}
+	res, err := netex.Extract(plan)
+	if err != nil {
+		return err
+	}
+	s, err := gds.FromCell(res.AnnotatedCell(plan, "extracted_"+c.ID))
+	if err != nil {
+		return err
+	}
+	lib := gds.NewLibrary("HIFIDRAM_EXTRACTED_" + c.ID)
+	lib.Structs = []gds.Structure{s}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return lib.Write(f)
+}
+
+// runPlanar reconstructs the volume and writes one PGM per fabrication
+// layer — the planar views of Fig. 7d.
+func runPlanar(args []string) error {
+	fs := flag.NewFlagSet("planar", flag.ExitOnError)
+	id := chipFlag(fs)
+	out := fs.String("o", ".", "output directory")
+	voxel := fs.Int64("voxel", 4, "voxel size (nm)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := lookup(*id)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	region, err := chipgen.Generate(chipgen.DefaultConfig(c))
+	if err != nil {
+		return err
+	}
+	window := region.Cell.Bounds()
+	vol, err := chipgen.Voxelize(region.Cell, window, *voxel)
+	if err != nil {
+		return err
+	}
+	o := core.DefaultOptions()
+	o.VoxelNM = *voxel
+	o.SEM.Detector = c.Detector
+	acq, err := sem.AcquireStack(vol, o.SEM)
+	if err != nil {
+		return err
+	}
+	views, err := core.PlanarViews(acq, o)
+	if err != nil {
+		return err
+	}
+	for layerName, view := range views {
+		path := filepath.Join(*out, fmt.Sprintf("%s_%s.pgm", c.ID, layerName))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		view.Normalize()
+		if err := img.WritePGM(f, view); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command sasim runs transient analog simulations of the two
+// reverse-engineered sense-amplifier topologies: the classic SA (Fig. 2b,
+// chips B4/C4/C5) and the offset-cancellation SA (Fig. 9a, chips
+// A4/A5/B5). It prints the activation event sequence (Figs. 2c and 9b),
+// waveform samples, and optionally an offset-tolerance sweep comparing
+// the two designs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+	"repro/internal/sa"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "classic", "sense amplifier topology: classic or ocsa")
+		mismatch = flag.Float64("mismatch", 0, "nSA threshold mismatch in mV (adversarial for a stored 1)")
+		cell     = flag.Int("cell", 1, "stored bit (0 or 1)")
+		sweep    = flag.Bool("sweep", false, "sweep the mismatch and compare both topologies")
+		samples  = flag.Int("samples", 12, "waveform samples to print")
+	)
+	flag.Parse()
+
+	if *sweep {
+		runSweep()
+		return
+	}
+
+	topo := chips.Classic
+	if *topology == "ocsa" {
+		topo = chips.OCSA
+	} else if *topology != "classic" {
+		fmt.Fprintln(os.Stderr, "sasim: unknown topology", *topology)
+		os.Exit(2)
+	}
+	p := circuit.DefaultParams()
+	p.DeltaVtN = *mismatch / 1000
+	p.CellValue = *cell != 0
+
+	res, err := sa.Simulate(topo, p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sasim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("topology=%v cell=%d mismatch=%.0fmV\n", topo, *cell, *mismatch)
+	fmt.Printf("signal=%.1fmV latched=%v correct=%v restored=%.3fV final BL/BLB=%.3f/%.3fV\n\n",
+		res.SignalMV, res.LatchedHigh, res.Correct, res.RestoredV, res.FinalBL, res.FinalBLB)
+
+	fmt.Println("activation events:")
+	for _, ev := range res.Events {
+		mark := "observed"
+		if !ev.Observed {
+			mark = "NOT OBSERVED"
+		}
+		fmt.Printf("  %-20s %5.1f - %5.1f ns  %s\n", ev.Name, ev.Start*1e9, ev.End*1e9, mark)
+	}
+
+	fmt.Println("\nwaveforms:")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	nodes := []string{circuit.NodeBL, circuit.NodeBLB, circuit.NodeCell}
+	if topo == chips.OCSA {
+		nodes = append(nodes, circuit.NodeSBL, circuit.NodeSBLB)
+	}
+	header := "t (ns)"
+	for _, n := range nodes {
+		header += "\t" + n + " (V)"
+	}
+	fmt.Fprintln(w, header)
+	stop := res.Events[len(res.Events)-1].End
+	for i := 0; i <= *samples; i++ {
+		t := stop * float64(i) / float64(*samples)
+		line := fmt.Sprintf("%.1f", t*1e9)
+		for _, n := range nodes {
+			line += fmt.Sprintf("\t%.3f", res.Traces[n].At(t))
+		}
+		fmt.Fprintln(w, line)
+	}
+	w.Flush()
+}
+
+func runSweep() {
+	p := circuit.DefaultParams()
+	deltas := []float64{0, 20, 40, 60, 80, 100, 120, 150, 200, 250}
+	pts, err := sa.MismatchSweep(p, deltas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sasim:", err)
+		os.Exit(1)
+	}
+	fmt.Println("offset tolerance sweep (stored 1, adversarial nSA mismatch):")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mismatch (mV)\tclassic\tOCSA")
+	okStr := map[bool]string{true: "correct", false: "FAILS"}
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%.0f\t%s\t%s\n", pt.DeltaVtMV, okStr[pt.Classic], okStr[pt.OCSA])
+	}
+	w.Flush()
+	tolC, err := sa.OffsetTolerance(chips.Classic, p, 0.3, 0.01)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sasim:", err)
+		os.Exit(1)
+	}
+	tolO, err := sa.OffsetTolerance(chips.OCSA, p, 0.3, 0.01)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sasim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nmax tolerated mismatch: classic %.0f mV, OCSA %.0f mV (signal is ~86 mV)\n",
+		1000*tolC, 1000*tolO)
+}

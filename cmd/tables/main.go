@@ -1,0 +1,101 @@
+// Command tables prints the reproduced tables and figures of the paper
+// from the measured-chip dataset: Table I (studied chips), Table II
+// (research-inaccuracy audit), Figs. 11/12/14, the Appendix-A bitline
+// analysis, the full dimension tables and the recommendations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "print Table I (studied chips)")
+		table2   = flag.Bool("table2", false, "print Table II (research audit)")
+		fig11    = flag.Bool("fig11", false, "print Fig. 11 (latch transistor sizes)")
+		fig12    = flag.Bool("fig12", false, "print Fig. 12 (model inaccuracies)")
+		fig14    = flag.Bool("fig14", false, "print Fig. 14 (per-vendor costs)")
+		appendix = flag.Bool("appendixA", false, "print the Appendix-A bitline-shrink analysis")
+		dims     = flag.Bool("dims", false, "print measured transistor dimensions")
+		recs     = flag.Bool("recommendations", false, "print recommendations R1-R4")
+		optimism = flag.Bool("optimism", false, "print the analog model-optimism comparison (simulates)")
+		relia    = flag.Bool("reliability", false, "print the retention-reliability sweep (simulates)")
+		timing   = flag.Bool("timing", false, "print per-chip activation timing and energy (simulates)")
+		csvOut   = flag.String("csv", "", "write a CSV instead: table2, fig12 or dims")
+		paper    = flag.String("paper", "", "print the full Appendix-B evaluation of one audited paper")
+		all      = flag.Bool("all", false, "print everything")
+	)
+	flag.Parse()
+
+	if *paper != "" {
+		exitOn(report.PaperDetail(os.Stdout, *paper))
+		return
+	}
+
+	switch *csvOut {
+	case "":
+	case "table2":
+		exitOn(report.TableIICSV(os.Stdout))
+		return
+	case "fig12":
+		exitOn(report.Fig12CSV(os.Stdout))
+		return
+	case "dims":
+		exitOn(report.DimsCSV(os.Stdout))
+		return
+	default:
+		fmt.Fprintln(os.Stderr, "tables: unknown -csv target", *csvOut)
+		os.Exit(2)
+	}
+
+	sections := []struct {
+		on    bool
+		title string
+		fn    func(io.Writer) error
+	}{
+		{*table1 || *all, "Table I — Studied chips", report.TableI},
+		{*table2 || *all, "Table II — Research inaccuracies, overhead error and portability cost", report.TableII},
+		{*fig11 || *all, "Fig. 11 — Measured pSA/nSA transistor sizes (CROW omitted: out of range)", report.Fig11},
+		{*fig12 || *all, "Fig. 12 — Model inaccuracies vs measured chips (¥: DDR5 portability)", report.Fig12},
+		{*fig14 || *all, "Fig. 14 — Per-chip portability cost and overhead error (<10x papers)", report.Fig14},
+		{*appendix || *all, "Appendix A — Effect of halving SA-region bitlines", report.AppendixA},
+		{*dims || *all, "Measured transistor dimensions (all 6 chips)", report.Dims},
+		{*recs || *all, "Recommendations", report.Recommendations},
+		{*optimism, "Analog model optimism (nSA latch delay, simulated)", report.Optimism},
+		{*relia, "Retention reliability: classic vs OCSA (simulated)", report.Reliability},
+		{*timing, "Activation timing and energy per chip (simulated)", report.Timing},
+	}
+	any := false
+	for _, s := range sections {
+		if !s.on {
+			continue
+		}
+		any = true
+		fmt.Printf("== %s ==\n", s.title)
+		if err := s.fn(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !any {
+		fmt.Println("== Headline results ==")
+		if err := report.Headline(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nUse -all or a specific flag (-table1, -table2, -fig11, -fig12, -fig14, -appendixA, -dims, -recommendations).")
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of "HiFi-DRAM: Enabling
+// High-fidelity DRAM Research by Uncovering Sense Amplifiers with IC
+// Imaging" (ISCA 2024).
+//
+// The physical substrate of the original work — six commodity DDR4/DDR5
+// chips and a Helios 5 UX FIB/SEM microscope — is replaced by synthetic
+// equivalents (a parametric DRAM die generator and a microscope
+// simulator), while the paper's actual pipeline and analyses are
+// implemented faithfully: total-variation denoising, mutual-information
+// slice alignment, planar reslicing, circuit extraction with the
+// multiplexer / common-gate / coupled transistor taxonomy, the
+// classic-vs-OCSA topology discovery, transistor measurement, GDSII
+// export, the CROW/REM model audit, the 13-paper overhead analysis, and
+// analog plus functional simulation of both sense-amplifier designs.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and bench_test.go for the
+// harness that regenerates every table and figure.
+package repro

@@ -1,0 +1,52 @@
+// Audit the public DRAM models and thirteen research proposals against
+// the measured chips, reproducing Section VI: the CROW/REM inaccuracy
+// statistics (Fig. 12), the overhead errors and porting costs of
+// Table II, the per-vendor breakdown of Fig. 14, the Appendix-A bitline
+// math, and the resulting recommendations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/chips"
+	"repro/internal/papers"
+	"repro/internal/report"
+)
+
+func main() {
+	fmt.Println("== Headline ==")
+	must(report.Headline(os.Stdout))
+
+	fmt.Println("\n== Fig. 12: public model inaccuracies ==")
+	must(report.Fig12(os.Stdout))
+
+	fmt.Println("\n== Table II: research audit ==")
+	must(report.TableII(os.Stdout))
+
+	fmt.Println("\n== Observations ==")
+	charm := papers.ByName("CHARM")
+	a5, c5 := chips.ByID("A5"), chips.ByID("C5")
+	va := charm.Overhead(a5)/charm.OriginalOverhead - 1
+	vc := charm.Overhead(c5)/charm.OriginalOverhead - 1
+	fmt.Printf("1. Overheads vary across vendors: CHARM moves %.2fx from vendor A to C on DDR5.\n", vc-va)
+	rb := papers.ByName("R.B. DEC.")
+	fmt.Printf("2. Porting to DDR5 is cheaper: R.B. DEC. costs %.2fx on A5 (vs its original estimate).\n",
+		rb.Overhead(a5)/rb.OriginalOverhead-1)
+
+	fmt.Println("\n== Appendix A: even shrinking bitlines cannot avoid the overhead ==")
+	b5 := analysis.NewBitlineShrink(chips.ByID("B5"))
+	fmt.Printf("halving B5's SA-region bitlines still extends the region by %.0f%%"+
+		" and costs %.0f%% chip area\n", 100*b5.RegionExtension(), 100*b5.ChipOverhead())
+
+	fmt.Println("\n== Recommendations ==")
+	must(report.Recommendations(os.Stdout))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: generate a ground-truth sense-amplifier region for one
+// studied chip, reverse engineer it from geometry alone, and print what
+// the extraction found — the smallest end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/measure"
+	"repro/internal/netex"
+)
+
+func main() {
+	// C4 is one of the classic-SA chips; swap for "B5" to see an OCSA.
+	chip := chips.ByID("C4")
+	region, err := chipgen.Generate(chipgen.DefaultConfig(chip))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s: %d layout shapes, %d transistors placed\n",
+		chip.ID, len(region.Cell.Shapes), region.Truth.TransistorCount)
+
+	// Reverse engineer the layout: the extractor never reads net labels,
+	// only geometry — the same evidence the FIB/SEM planar views carry.
+	result, err := netex.Extract(netex.FromCell(region.Cell))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nidentified topology: %v (truth: %v)\n", result.Topology, region.Truth.Topology)
+	fmt.Printf("bitlines: %d at %.0f nm pitch, %d common-gate groups\n",
+		result.Bitlines, result.PitchNM, result.CommonGateGroups)
+	fmt.Printf("element order along the bitlines: %v\n", result.Blocks)
+
+	fmt.Println("\nmeasured transistor dimensions (mean over instances):")
+	stats := measure.FromTransistors(result.Transistors)
+	for _, e := range chips.Elements() {
+		s, ok := stats[e]
+		if !ok {
+			continue
+		}
+		truth, _ := chip.Dim(e)
+		fmt.Printf("  %-14s W %5.0f nm (truth %4.0f)   L %4.0f nm (truth %3.0f)   n=%d\n",
+			e, s.W.Mean, truth.W, s.L.Mean, truth.L, s.W.N)
+	}
+
+	score := measure.CompareToTruth(result, region.Truth)
+	fmt.Printf("\nfidelity: %s\n", score.Summary())
+
+	// Electrical cross-check (Section V-A step vii): the identified
+	// precharge transistors must short the bitlines to a global Vpre
+	// net reaching the M2 rail.
+	nl, err := netex.BuildNetlist(netex.FromCell(region.Cell))
+	if err != nil {
+		log.Fatal(err)
+	}
+	global, err := netex.VerifyPrecharge(netex.FromCell(region.Cell), nl, result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("electrical check: %d nets extracted; precharge verified against %d Vpre rail net(s)\n",
+		nl.NetCount(), len(global))
+}

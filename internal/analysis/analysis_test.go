@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/models"
+)
+
+func findRow(t *testing.T, rows []Fig12Row, model string, m Metric, g chips.Generation) Fig12Row {
+	t.Helper()
+	for _, r := range rows {
+		if r.Model == model && r.Metric == m && r.Gen == g {
+			return r
+		}
+	}
+	t.Fatalf("missing row %s/%s/%s", model, m, g)
+	return Fig12Row{}
+}
+
+func TestFig12ShapeMatchesPaper(t *testing.T) {
+	rows := Fig12()
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (2 models x 3 metrics x 2 gens)", len(rows))
+	}
+	// Paper, Section VI-A: CROW width inaccuracy peaks at 938% on C4's
+	// precharge transistors ("up to 9x").
+	cw := findRow(t, rows, "CROW", MetricW, chips.DDR4)
+	if math.Abs(cw.Max-9.38) > 0.15 {
+		t.Errorf("CROW width max = %.2f, want ~9.38", cw.Max)
+	}
+	if cw.MaxChip != "C4" || cw.MaxElem != chips.Precharge {
+		t.Errorf("CROW width max at %s/%s, want C4/precharge", cw.MaxChip, cw.MaxElem)
+	}
+	// CROW W/L peaks at ~562% on C4's precharge.
+	cr := findRow(t, rows, "CROW", MetricWL, chips.DDR4)
+	if math.Abs(cr.Max-5.62) > 0.25 {
+		t.Errorf("CROW W/L max = %.2f, want ~5.62", cr.Max)
+	}
+	if cr.MaxChip != "C4" || cr.MaxElem != chips.Precharge {
+		t.Errorf("CROW W/L max at %s/%s, want C4/precharge", cr.MaxChip, cr.MaxElem)
+	}
+	// REM lengths are its worst metric, peaking at ~101% on C4's
+	// equalizer with average ~31%.
+	rl := findRow(t, rows, "REM", MetricL, chips.DDR4)
+	if math.Abs(rl.Max-1.01) > 0.1 {
+		t.Errorf("REM length max = %.2f, want ~1.01", rl.Max)
+	}
+	if rl.MaxChip != "C4" || rl.MaxElem != chips.Equalizer {
+		t.Errorf("REM length max at %s/%s, want C4/equalizer", rl.MaxChip, rl.MaxElem)
+	}
+	rw := findRow(t, rows, "REM", MetricW, chips.DDR4)
+	rwl := findRow(t, rows, "REM", MetricWL, chips.DDR4)
+	if rl.Avg <= rw.Avg*0.99 && rl.Avg <= rwl.Avg*0.99 {
+		t.Errorf("REM lengths (%.2f) should be its most inaccurate dimension (W %.2f, W/L %.2f)",
+			rl.Avg, rw.Avg, rwl.Avg)
+	}
+	// CROW is on average the less accurate model on W/L (paper: 236%).
+	crow := findRow(t, rows, "CROW", MetricWL, chips.DDR4)
+	rem := findRow(t, rows, "REM", MetricWL, chips.DDR4)
+	if crow.Avg <= rem.Avg {
+		t.Errorf("CROW W/L avg (%.2f) should exceed REM's (%.2f)", crow.Avg, rem.Avg)
+	}
+	if crow.Avg < 1.5 || crow.Avg > 3.0 {
+		t.Errorf("CROW W/L avg = %.2f, want ~2.36 (236%%)", crow.Avg)
+	}
+}
+
+func TestWorstModelInaccuracyHeadline(t *testing.T) {
+	w := WorstModelInaccuracy()
+	// The headline claim: public models are up to ~9x inaccurate.
+	if w.Error < 8.5 || w.Error > 10.5 {
+		t.Errorf("worst inaccuracy %.2f, want ~9.4x", w.Error)
+	}
+	if w.Model != "CROW" || w.Chip != "C4" || w.Element != chips.Precharge {
+		t.Errorf("worst inaccuracy at %s/%s/%s, want CROW/C4/precharge", w.Model, w.Chip, w.Element)
+	}
+}
+
+func TestCompareModelSkipsMissingElements(t *testing.T) {
+	crow := models.CROW()
+	// CROW has no column element; OCSA chips have no equalizer. No
+	// comparison point should exist for either.
+	for _, in := range CompareModel(crow, chips.All(), MetricW) {
+		if in.Element == chips.Column {
+			t.Errorf("CROW has no column model; got comparison on %s", in.Chip)
+		}
+		c := chips.ByID(in.Chip)
+		if in.Element == chips.Equalizer && c.Topology == chips.OCSA {
+			t.Errorf("OCSA chip %s has no equalizer; comparison invalid", in.Chip)
+		}
+	}
+}
+
+func TestCompareModelCounts(t *testing.T) {
+	// REM defines 5 elements. Classic chips share all 5; OCSA chips
+	// share 4 (no equalizer). DDR4: B4+C4 classic (5+5), A4 OCSA (4).
+	in := CompareModel(models.REM(), chips.ByGeneration(chips.DDR4), MetricWL)
+	if len(in) != 14 {
+		t.Errorf("comparison points = %d, want 14", len(in))
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Avg != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestFig11SeriesContents(t *testing.T) {
+	pts := Fig11()
+	// 6 chips x 2 elements + REM x 2 elements = 14 points.
+	if len(pts) != 14 {
+		t.Fatalf("points = %d, want 14", len(pts))
+	}
+	var remSeen int
+	for _, p := range pts {
+		if p.Element != chips.NSA && p.Element != chips.PSA {
+			t.Errorf("unexpected element %s", p.Element)
+		}
+		if p.Source == "CROW" {
+			t.Errorf("CROW must be omitted from Fig. 11")
+		}
+		if p.IsModel {
+			remSeen++
+			if p.Source != "REM" {
+				t.Errorf("unexpected model %s", p.Source)
+			}
+		}
+		if !p.Dims.Valid() {
+			t.Errorf("invalid dims for %s/%s", p.Source, p.Element)
+		}
+	}
+	if remSeen != 2 {
+		t.Errorf("REM points = %d, want 2", remSeen)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if MetricWL.String() != "W/L" || MetricW.String() != "width" || MetricL.String() != "length" {
+		t.Errorf("metric names wrong")
+	}
+	if Metric(9).String() == "" {
+		t.Errorf("unknown metric name empty")
+	}
+}
+
+func TestBitlineShrinkEquation(t *testing.T) {
+	// Appendix A, Eq. 1: with Bw = 2d the extension is 4/3 - 1 = 33%.
+	b5 := chips.ByID("B5")
+	bs := NewBitlineShrink(b5)
+	if ext := bs.RegionExtension(); math.Abs(ext-1.0/3) > 1e-9 {
+		t.Errorf("region extension = %.4f, want 0.3333", ext)
+	}
+	// Chip overhead on B5 is ~21% (paper: "21% chip area overhead").
+	if ov := bs.ChipOverhead(); math.Abs(ov-0.21) > 0.015 {
+		t.Errorf("B5 chip overhead = %.3f, want ~0.21", ov)
+	}
+}
+
+func TestBitlineShrinkAllChips(t *testing.T) {
+	for _, c := range chips.All() {
+		bs := NewBitlineShrink(c)
+		if ext := bs.RegionExtension(); ext <= 0.3 || ext >= 0.4 {
+			t.Errorf("%s: extension %.3f outside (0.3, 0.4)", c.ID, ext)
+		}
+		if ov := bs.ChipOverhead(); ov <= 0.15 || ov >= 0.25 {
+			t.Errorf("%s: overhead %.3f outside (0.15, 0.25)", c.ID, ov)
+		}
+		if bs.String() == "" {
+			t.Errorf("%s: empty description", c.ID)
+		}
+	}
+}
+
+func TestRecommendations(t *testing.T) {
+	rs := Recommendations()
+	if len(rs) != 4 {
+		t.Fatalf("recommendations = %d, want 4", len(rs))
+	}
+	for i, r := range rs {
+		wantID := string(rune('1' + i))
+		if r.ID != "R"+wantID {
+			t.Errorf("recommendation %d ID %s", i, r.ID)
+		}
+		if r.Title == "" || r.Basis == "" || r.Detail == "" {
+			t.Errorf("%s: incomplete", r.ID)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/chips"
+)
+
+// BitlineShrink models the Appendix-A analysis: even if SA-region
+// bitlines could be halved in width (keeping the safe distance d), adding
+// one new bitline per existing bitline extends the SA region by
+//
+//	Ext = 2*(d + Bw/2) / (d + Bw) - 1
+//
+// which with Bw ≈ 2d evaluates to 4/3 - 1 ≈ 33%. Because layout
+// requirements force the MAT to extend equally (or leave equivalent dead
+// space), the chip-level overhead is Ext scaled by the MAT+SA area
+// fraction.
+type BitlineShrink struct {
+	Chip *chips.Chip
+	// BwNM is the bitline width, dNM the safe distance.
+	BwNM, DNM float64
+}
+
+// NewBitlineShrink builds the analysis for a chip using its feature size:
+// bitlines are drawn at minimum width Bw = F with spacing d = F/2 · 2 =
+// F... The paper's model has Bw ≈ 2d; we take Bw = F and d = F/2.
+func NewBitlineShrink(c *chips.Chip) BitlineShrink {
+	return BitlineShrink{Chip: c, BwNM: c.FeatureNM, DNM: c.FeatureNM / 2}
+}
+
+// RegionExtension returns the fractional SA-region extension in the Y
+// direction after halving bitline widths and doubling their count
+// (Eq. 1 of the paper; ≈ 0.333 when Bw = 2d).
+func (b BitlineShrink) RegionExtension() float64 {
+	oldPitch := b.DNM + b.BwNM
+	newPitch := 2 * (b.DNM + b.BwNM/2)
+	return newPitch/oldPitch - 1
+}
+
+// ChipOverhead returns the chip-level area overhead: the region extension
+// applies to both the SA region and (via layout requirements) the MATs.
+// For B5 the paper reports 21%.
+func (b BitlineShrink) ChipOverhead() float64 {
+	frac := b.Chip.MATFraction() + b.Chip.SAFraction()
+	return b.RegionExtension() * frac
+}
+
+// String implements fmt.Stringer.
+func (b BitlineShrink) String() string {
+	return fmt.Sprintf("%s: halving bitlines extends region by %.1f%%, chip overhead %.1f%%",
+		b.Chip.ID, 100*b.RegionExtension(), 100*b.ChipOverhead())
+}
+
+// Recommendation is one of the paper's guidance items R1-R4.
+type Recommendation struct {
+	ID     string
+	Title  string
+	Basis  string // the inaccuracy class motivating it
+	Detail string
+}
+
+// Recommendations returns R1-R4 (Section VI-E).
+func Recommendations() []Recommendation {
+	return []Recommendation{
+		{
+			ID:    "R1",
+			Title: "Estimate overheads including all additions to MATs or SAs, such as wire connections",
+			Basis: "I1-I2",
+			Detail: "Simple changes can carry non-negligible overheads on commodity " +
+				"devices: there is no free space for extra bitlines in MATs or SA regions.",
+		},
+		{
+			ID:    "R2",
+			Title: "Consider the impact on all interconnected SAs",
+			Basis: "I3",
+			Detail: "Control lines such as PEQ/ISO/OC gates span the entire SA region " +
+				"and are shared across all SAs; a single SA cannot be modified in isolation.",
+		},
+		{
+			ID:    "R3",
+			Title: "Consider the physical layout and organization of SA blocks",
+			Basis: "I4",
+			Detail: "Column transistors are the first elements after the MAT and two " +
+				"stacked SAs sit between MATs; additions must respect this organization.",
+		},
+		{
+			ID:    "R4",
+			Title: "Consider OCSA in the evaluation",
+			Basis: "I5",
+			Detail: "Half of the studied chips deploy offset-cancellation SAs, changing " +
+				"events, timings, and the validity of out-of-spec experiments.",
+		},
+	}
+}

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/chips"
+	"repro/internal/measure"
+	"repro/internal/models"
+)
+
+// CompareModelToStats audits a public model against per-element
+// measurement statistics produced by the extraction pipeline, instead of
+// the curated dataset — the full-circle use of the reverse-engineered
+// data the paper envisions: future researchers validate their models
+// against measured, not assumed, dimensions.
+func CompareModelToStats(m *models.Model, chipID string, stats map[chips.Element]measure.ElementStats, metric Metric) []Inaccuracy {
+	var out []Inaccuracy
+	for _, e := range chips.Elements() {
+		md, ok := m.Dim(e)
+		if !ok {
+			continue
+		}
+		s, ok := stats[e]
+		if !ok || s.W.N == 0 {
+			continue
+		}
+		mv, cv := metric.value(md), metric.value(s.Dims())
+		if cv == 0 {
+			continue
+		}
+		out = append(out, Inaccuracy{
+			Model: m.Name, Chip: chipID, Element: e, Metric: metric,
+			Error: math.Abs(mv/cv - 1),
+		})
+	}
+	return out
+}
+
+// AuditExtraction runs every public model against extracted statistics on
+// all three metrics and returns the per-model summaries.
+func AuditExtraction(chipID string, stats map[chips.Element]measure.ElementStats) []Summary {
+	var out []Summary
+	for _, m := range models.Public() {
+		for _, metric := range []Metric{MetricWL, MetricW, MetricL} {
+			out = append(out, Summarize(CompareModelToStats(m, chipID, stats, metric)))
+		}
+	}
+	return out
+}

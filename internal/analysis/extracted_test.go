@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/measure"
+	"repro/internal/models"
+	"repro/internal/netex"
+)
+
+func extractedStats(t *testing.T, id string) map[chips.Element]measure.ElementStats {
+	t.Helper()
+	r, err := chipgen.Generate(chipgen.DefaultConfig(chips.ByID(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netex.Extract(netex.FromCell(r.Cell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return measure.FromTransistors(res.Transistors)
+}
+
+func TestCompareModelToExtractedStats(t *testing.T) {
+	// The full circle: auditing CROW against what the pipeline itself
+	// measured on C4 reproduces the dataset audit, because extraction
+	// recovers the dimensions exactly on the clean path.
+	stats := extractedStats(t, "C4")
+	fromStats := Summarize(CompareModelToStats(models.CROW(), "C4", stats, MetricW))
+	fromDataset := Summarize(CompareModel(models.CROW(), []*chips.Chip{chips.ByID("C4")}, MetricW))
+	if fromStats.N != fromDataset.N {
+		t.Fatalf("comparison counts differ: %d vs %d", fromStats.N, fromDataset.N)
+	}
+	if math.Abs(fromStats.Avg-fromDataset.Avg) > 0.02 {
+		t.Errorf("extracted-stats audit avg %.3f vs dataset %.3f", fromStats.Avg, fromDataset.Avg)
+	}
+	if fromStats.Max.Element != chips.Precharge {
+		t.Errorf("max inaccuracy at %s, want precharge", fromStats.Max.Element)
+	}
+	// The headline magnitude survives the pipeline.
+	if fromStats.Max.Error < 9 || fromStats.Max.Error > 10 {
+		t.Errorf("max inaccuracy %.2fx, want ~9.4x", fromStats.Max.Error)
+	}
+}
+
+func TestAuditExtraction(t *testing.T) {
+	stats := extractedStats(t, "C4")
+	sums := AuditExtraction("C4", stats)
+	if len(sums) != 6 { // 2 models x 3 metrics
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	var crowWL, remWL float64
+	for _, s := range sums {
+		if s.Metric == MetricWL {
+			switch s.Model {
+			case "CROW":
+				crowWL = s.Avg
+			case "REM":
+				remWL = s.Avg
+			}
+		}
+	}
+	if crowWL <= remWL {
+		t.Errorf("CROW should audit worse than REM on extracted data too: %.2f vs %.2f", crowWL, remWL)
+	}
+}
+
+func TestCompareModelToStatsSkipsMissing(t *testing.T) {
+	stats := extractedStats(t, "B5") // OCSA: no equalizer extracted
+	in := CompareModelToStats(models.CROW(), "B5", stats, MetricL)
+	for _, x := range in {
+		if x.Element == chips.Equalizer {
+			t.Errorf("equalizer should not be compared on an OCSA chip")
+		}
+	}
+}

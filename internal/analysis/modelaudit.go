@@ -1,0 +1,197 @@
+// Package analysis implements the evaluation machinery of Section VI:
+// the audit of public analog models against the measured chips (Figs. 11
+// and 12), the Appendix-A bitline-shrink arithmetic, and the
+// recommendations report.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/chips"
+	"repro/internal/models"
+)
+
+// Metric selects which transistor quantity an inaccuracy is computed on.
+type Metric int
+
+// Metrics of Fig. 12.
+const (
+	MetricWL Metric = iota // width-to-length ratio
+	MetricW                // width
+	MetricL                // length
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricWL:
+		return "W/L"
+	case MetricW:
+		return "width"
+	case MetricL:
+		return "length"
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+func (m Metric) value(d chips.Dims) float64 {
+	switch m {
+	case MetricWL:
+		return d.WL()
+	case MetricW:
+		return d.W
+	default:
+		return d.L
+	}
+}
+
+// Inaccuracy is one model-vs-chip comparison point.
+type Inaccuracy struct {
+	Model   string
+	Chip    string
+	Element chips.Element
+	Metric  Metric
+	// Error is the absolute relative inaccuracy |model/chip - 1|,
+	// e.g. 9.38 for the "938%" worst case.
+	Error float64
+}
+
+// CompareModel evaluates a model against a set of chips on one metric,
+// producing one Inaccuracy per (chip, element) pair where both define the
+// element. This mirrors Section VI-A: "we compared each model element to
+// each ratio obtained for that element in each chip".
+func CompareModel(m *models.Model, cs []*chips.Chip, metric Metric) []Inaccuracy {
+	var out []Inaccuracy
+	for _, c := range cs {
+		for _, e := range chips.Elements() {
+			md, ok := m.Dim(e)
+			if !ok {
+				continue
+			}
+			cd, ok := c.Dim(e)
+			if !ok {
+				continue
+			}
+			mv, cv := metric.value(md), metric.value(cd)
+			if cv == 0 {
+				continue
+			}
+			out = append(out, Inaccuracy{
+				Model: m.Name, Chip: c.ID, Element: e, Metric: metric,
+				Error: math.Abs(mv/cv - 1),
+			})
+		}
+	}
+	return out
+}
+
+// Summary aggregates a comparison set.
+type Summary struct {
+	Model  string
+	Metric Metric
+	Avg    float64
+	Max    Inaccuracy
+	N      int
+}
+
+// Summarize computes the average and maximum of a comparison set.
+func Summarize(in []Inaccuracy) Summary {
+	if len(in) == 0 {
+		return Summary{}
+	}
+	s := Summary{Model: in[0].Model, Metric: in[0].Metric, N: len(in)}
+	for _, x := range in {
+		s.Avg += x.Error
+		if x.Error > s.Max.Error {
+			s.Max = x
+		}
+	}
+	s.Avg /= float64(len(in))
+	return s
+}
+
+// Fig12Row is one bar group of Fig. 12: a model's average and maximum
+// inaccuracy on one metric, against one chip generation.
+type Fig12Row struct {
+	Model   string
+	Metric  Metric
+	Gen     chips.Generation
+	Avg     float64
+	Max     float64
+	MaxChip string
+	MaxElem chips.Element
+}
+
+// Fig12 computes the full model-inaccuracy figure: for each public model,
+// each metric, and each generation (DDR4 is the models' native target;
+// DDR5 probes portability, the "¥" bars).
+func Fig12() []Fig12Row {
+	var rows []Fig12Row
+	for _, m := range models.Public() {
+		for _, metric := range []Metric{MetricWL, MetricW, MetricL} {
+			for _, gen := range []chips.Generation{chips.DDR4, chips.DDR5} {
+				in := CompareModel(m, chips.ByGeneration(gen), metric)
+				s := Summarize(in)
+				rows = append(rows, Fig12Row{
+					Model: m.Name, Metric: metric, Gen: gen,
+					Avg: s.Avg, Max: s.Max.Error,
+					MaxChip: s.Max.Chip, MaxElem: s.Max.Element,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// Fig11Point is one marker of Fig. 11: measured latch transistor size for
+// one chip (or model).
+type Fig11Point struct {
+	Source  string // chip ID or model name
+	Element chips.Element
+	Dims    chips.Dims
+	IsModel bool
+}
+
+// Fig11 returns the latch-transistor (nSA, pSA) size series for all
+// chips plus the REM model; CROW is omitted as "severely out of range",
+// as in the paper.
+func Fig11() []Fig11Point {
+	var pts []Fig11Point
+	for _, c := range chips.All() {
+		for _, e := range []chips.Element{chips.NSA, chips.PSA} {
+			d, _ := c.Dim(e)
+			pts = append(pts, Fig11Point{Source: c.ID, Element: e, Dims: d})
+		}
+	}
+	rem := models.REM()
+	for _, e := range []chips.Element{chips.NSA, chips.PSA} {
+		d, _ := rem.Dim(e)
+		pts = append(pts, Fig11Point{Source: rem.Name, Element: e, Dims: d, IsModel: true})
+	}
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].Element != pts[j].Element {
+			return pts[i].Element < pts[j].Element
+		}
+		return pts[i].Source < pts[j].Source
+	})
+	return pts
+}
+
+// WorstModelInaccuracy returns the single largest inaccuracy across all
+// public models, metrics and DDR4 chips — the paper's headline "public
+// DRAM models are up to 9x inaccurate".
+func WorstModelInaccuracy() Inaccuracy {
+	var worst Inaccuracy
+	for _, m := range models.Public() {
+		for _, metric := range []Metric{MetricWL, MetricW, MetricL} {
+			for _, in := range CompareModel(m, chips.ByGeneration(chips.DDR4), metric) {
+				if in.Error > worst.Error {
+					worst = in
+				}
+			}
+		}
+	}
+	return worst
+}

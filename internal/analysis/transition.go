@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"repro/internal/chips"
+)
+
+// MATSplit quantifies the Section V-C finding on MAT-to-logic
+// transitions: research that inserts isolation transistors inside a MAT
+// to shorten bitlines (TL-DRAM style) must pay for the transistor AND two
+// MAT-to-planar-logic transitions, because the MAT is split in two. The
+// paper measures the transition at 318 nm (DDR4) / 275 nm (DDR5) per
+// edge.
+type MATSplit struct {
+	Chip *chips.Chip
+	// TransitionNM is the per-edge transition overhead.
+	TransitionNM float64
+	// IsoLNM is the effective isolation length assumed for the chip.
+	IsoLNM float64
+}
+
+// NewMATSplit builds the analysis for a chip.
+func NewMATSplit(c *chips.Chip) MATSplit {
+	return MATSplit{
+		Chip:         c,
+		TransitionNM: c.TransitionNM,
+		IsoLNM:       chips.ScaledIsolationEff(c).L,
+	}
+}
+
+// OverheadNM returns the bitline-direction cost of splitting the MAT
+// once: two transitions plus the isolation transistor itself.
+func (m MATSplit) OverheadNM() float64 {
+	return 2*m.TransitionNM + m.IsoLNM
+}
+
+// MATFraction returns the overhead as a fraction of the MAT height —
+// the quantity the paper reports as 1.6% (DDR4) and 1.1% (DDR5) on
+// average.
+func (m MATSplit) MATFraction() float64 {
+	return m.OverheadNM() / m.Chip.MATHeightNM()
+}
+
+// AverageMATSplitFraction returns the generation average of the MAT-split
+// overhead fraction.
+func AverageMATSplitFraction(g chips.Generation) float64 {
+	cs := chips.ByGeneration(g)
+	var sum float64
+	for _, c := range cs {
+		sum += NewMATSplit(c).MATFraction()
+	}
+	return sum / float64(len(cs))
+}

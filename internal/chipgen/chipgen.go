@@ -1,0 +1,127 @@
+// Package chipgen synthesizes ground-truth DRAM dies for the six studied
+// chips: the physical layout of the sense-amplifier region (Fig. 10) and
+// the surrounding MATs, plus their voxelization into material volumes the
+// SEM/FIB simulator images. Because the generator knows the truth, the
+// reverse-engineering pipeline can be scored against it.
+//
+// Geometry follows the paper's findings:
+//
+//   - open-bitline architecture, bitlines on M1 along X at 2F pitch;
+//   - two stacked SAs between MATs (SA1 and SA2 along X), each serving
+//     alternate bitline pairs;
+//   - column multiplexer transistors are the first elements after the
+//     MAT, staggered in four CSL groups;
+//   - precharge / isolation / offset-cancellation transistors have a
+//     common gate spanning the region along Y, so their width lies along
+//     Y and additions cost SA height by their length;
+//   - latch transistors are coupled pairs sharing one active region and
+//     a middle source contact (Fig. 7c), width along X;
+//   - classic chips (B4, C4, C5) have precharge + equalizer on one PEQ
+//     gate net; OCSA chips (A4, A5, B5) have ISO and OC strips, a
+//     stand-alone precharge and no equalizer;
+//   - on vendor A chips the bitlines destined for the second SA are
+//     routed over the first SA band on M2 (Appendix A) — at A4's pitch
+//     the precharge active widths do not otherwise fit between M1
+//     bitlines, so the M2 translation is a geometric necessity.
+package chipgen
+
+import (
+	"fmt"
+
+	"repro/internal/chips"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Config controls the size of the generated region.
+type Config struct {
+	// Chip selects the vendor/technology profile and topology.
+	Chip *chips.Chip
+	// Units is the number of SA units per SA band; the region carries
+	// 4*Units bitlines (each band serves alternate pairs).
+	Units int
+	// MATRows is the number of wordlines rendered in each flanking MAT
+	// strip (for ROI-finding experiments).
+	MATRows int
+	// JitterPct applies per-instance process variation to transistor
+	// dimensions: each placed gate/active deviates uniformly by up to
+	// this percentage from the nominal size, seeded by JitterSeed.
+	// Zero disables variation (exact nominal dimensions).
+	JitterPct  float64
+	JitterSeed int64
+}
+
+// DefaultConfig returns a small but complete region for the given chip:
+// two units per band (8 bitlines) and a few MAT rows.
+func DefaultConfig(c *chips.Chip) Config {
+	return Config{Chip: c, Units: 2, MATRows: 12}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Chip == nil {
+		return fmt.Errorf("chipgen: nil chip")
+	}
+	if err := c.Chip.Validate(); err != nil {
+		return err
+	}
+	if c.Units <= 0 {
+		return fmt.Errorf("chipgen: need at least one SA unit, got %d", c.Units)
+	}
+	if c.MATRows < 0 {
+		return fmt.Errorf("chipgen: negative MATRows")
+	}
+	if c.JitterPct < 0 || c.JitterPct > 20 {
+		return fmt.Errorf("chipgen: JitterPct %v outside [0, 20]", c.JitterPct)
+	}
+	return nil
+}
+
+// Block identifies one x-band of the SA region.
+type Block struct {
+	Name   string // "transition", "column", "iso", "oc", "psa", "nsa", "eq", "pre", "lsa"
+	X0, X1 int64  // extent along the bitline direction
+}
+
+// GroundTruth records what the generator placed, for scoring extraction.
+type GroundTruth struct {
+	Chip     *chips.Chip
+	Topology chips.Topology
+	// Bitlines is the total bitline count (4 * Units).
+	Bitlines int
+	// PitchNM is the bitline pitch.
+	PitchNM int64
+	// Blocks are the x-bands of one SA band, in order, for both bands.
+	BlocksSA1, BlocksSA2 []Block
+	// Dims are the drawn per-element dimensions placed (nm), matching
+	// the chip dataset.
+	Dims map[chips.Element]chips.Dims
+	// TransistorCount is the number of gate/active crossings placed.
+	TransistorCount int
+	// CommonGateNets are the distinct gate nets whose gates span the
+	// region along Y (1 for classic: PEQ; 3 for OCSA: ISO, OC, PRE).
+	CommonGateNets []string
+	// M2RoutedBitlines reports whether second-band bitlines travel on
+	// M2 across the first band (vendor A).
+	M2RoutedBitlines bool
+	// RegionBounds is the SA region extent (both bands, without MATs).
+	RegionBounds geom.Rect
+}
+
+// Region is a generated SA region with its ground truth.
+type Region struct {
+	Cell  *layout.Cell
+	Truth GroundTruth
+}
+
+// f returns the chip feature size as int64 nanometers.
+func f(c *chips.Chip) int64 { return int64(c.FeatureNM + 0.5) }
+
+// dim fetches a drawn element dimension as integer nanometers.
+func dim(c *chips.Chip, e chips.Element) (w, l int64) {
+	d, ok := c.Dim(e)
+	if !ok {
+		return 0, 0
+	}
+	return int64(d.W + 0.5), int64(d.L + 0.5)
+}

@@ -1,0 +1,70 @@
+package chipgen
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// TestNoElectricalShorts verifies the generator's electrical cleanliness:
+// no two shapes with different (known) net labels overlap on any metal
+// layer. Overlaps between shapes of the same structure (empty or equal
+// nets) are intentional; a different-net overlap would be a genuine
+// short, which the extraction netlist would mis-merge.
+func TestNoElectricalShorts(t *testing.T) {
+	for _, c := range chips.All() {
+		r, err := Generate(DefaultConfig(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range []layout.Layer{layout.LayerM1, layout.LayerM2, layout.LayerGate} {
+			shapes := r.Cell.OnLayer(l)
+			for i := 0; i < len(shapes); i++ {
+				for j := i + 1; j < len(shapes); j++ {
+					a, b := shapes[i], shapes[j]
+					if a.Net == "" || b.Net == "" || a.Net == b.Net {
+						continue
+					}
+					if a.Rect.Overlaps(b.Rect) {
+						t.Errorf("%s: %s short between %s(%v) and %s(%v)",
+							c.ID, l, a.Net, a.Rect, b.Net, b.Rect)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBitlinePitchIsMinimum verifies the I1/I2 premise on the generated
+// MATs: bitlines sit at exactly minimum pitch (width F, spacing F), so no
+// additional bitline can be legally inserted.
+func TestBitlinePitchIsMinimum(t *testing.T) {
+	c := chips.ByID("C4")
+	cfg := DefaultConfig(c)
+	cell := &layout.Cell{Name: "mat"}
+	if _, err := GenerateMAT(cfg, cell, 0); err != nil {
+		t.Fatal(err)
+	}
+	ff := f(c)
+	rules := layout.DefaultRules(ff)
+	bitlines := cell.WithRole("bitline")
+	if len(bitlines) == 0 {
+		t.Fatal("no bitlines")
+	}
+	// Rotate axes: CanInsertWire scans along X, bitlines run along X.
+	var rot []layout.Shape
+	for _, s := range bitlines {
+		rot = append(rot, layout.Shape{Layer: s.Layer, Net: s.Net,
+			Rect: rotate90(s.Rect)})
+	}
+	window := rotate90(cell.Bounds())
+	if layout.CanInsertWire(rot, layout.LayerM1, window, rules) {
+		t.Errorf("a minimum-pitch MAT must have no room for an extra bitline (I1)")
+	}
+}
+
+func rotate90(r geom.Rect) geom.Rect {
+	return geom.R(r.Min.Y, r.Min.X, r.Max.Y, r.Max.X)
+}

@@ -1,0 +1,129 @@
+package chipgen
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// GenerateMAT builds a MAT strip covering x in [x0, x0+rows*3F) and the
+// full region width: bitlines on M1, buried-channel wordlines on the gate
+// layer (BCAT, Section V-C), and the honeycomb capacitor array above
+// (Fig. 7a). The capacitor texture is what visually distinguishes MATs
+// from analog logic during ROI identification (Section IV-A).
+func GenerateMAT(cfg Config, cell *layout.Cell, x0 int64) (int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	c := cfg.Chip
+	ff := f(c)
+	pitch := 2 * ff
+	nb := 4 * cfg.Units
+	rw := int64(nb) * pitch
+	wlPitch := 3 * ff
+	x1 := x0 + int64(cfg.MATRows)*wlPitch
+
+	// Bitlines run through the MAT.
+	for k := 0; k < nb; k++ {
+		y := int64(k)*pitch + pitch/2
+		cell.AddRect(layout.LayerM1, geom.R(x0, y-ff/2, x1, y+ff/2), blNet(k), "bitline")
+	}
+	// Wordlines: gate-layer lines along Y at 3F pitch (one per row).
+	for r := 0; r < cfg.MATRows; r++ {
+		x := x0 + int64(r)*wlPitch + ff
+		cell.AddRect(layout.LayerGate, geom.R(x, 0, x+ff, rw), fmt.Sprintf("WL%d", r), "wordline")
+	}
+	// Honeycomb capacitors: hexagonally packed dots above the bitlines,
+	// alternate rows offset by half a pitch.
+	capSize := ff
+	row := 0
+	for x := x0 + ff; x+capSize <= x1; x += wlPitch / 2 {
+		off := int64(0)
+		if row%2 == 1 {
+			off = pitch / 2
+		}
+		for y := off + ff/2; y+capSize <= rw; y += pitch {
+			cell.AddRect(layout.LayerCapacitor, geom.R(x, y, x+capSize, y+capSize), "", "capacitor")
+		}
+		row++
+	}
+	return x1, nil
+}
+
+// Die is a generated die strip: row drivers | MAT | SA region | MAT, the
+// structure the blind ROI-identification procedure of Fig. 6 scans. The
+// row-driver logic band is narrower than the SA region (W1 < W2), which
+// is how the procedure tells the two logic zones apart.
+type Die struct {
+	Cell  *layout.Cell
+	Truth GroundTruth
+	// Zone x-extents in nanometers.
+	RowDrivers, MATLeft, SA, MATRight [2]int64
+}
+
+// GenerateDie builds the full strip for a chip: a row-driver band, a MAT
+// on each side of the SA region, sharing bitlines.
+func GenerateDie(cfg Config) (*Die, error) {
+	region, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	saLen := region.Truth.RegionBounds.Max.X
+	matLen := int64(cfg.MATRows) * 3 * f(cfg.Chip)
+	rdLen := generateRowDriverLen(cfg, saLen)
+
+	die := &Die{Cell: &layout.Cell{Name: "die_" + cfg.Chip.ID}, Truth: region.Truth}
+	generateRowDrivers(cfg, die.Cell, 0, rdLen)
+	if _, err := GenerateMAT(cfg, die.Cell, rdLen); err != nil {
+		return nil, err
+	}
+	saStart := rdLen + matLen
+	// SA region shapes shifted after the left MAT.
+	for _, s := range region.Cell.Shapes {
+		s.Rect = s.Rect.Translate(geom.Pt(saStart, 0))
+		die.Cell.Add(s)
+	}
+	if _, err := GenerateMAT(cfg, die.Cell, saStart+saLen); err != nil {
+		return nil, err
+	}
+	die.RowDrivers = [2]int64{0, rdLen}
+	die.MATLeft = [2]int64{rdLen, saStart}
+	die.SA = [2]int64{saStart, saStart + saLen}
+	die.MATRight = [2]int64{saStart + saLen, saStart + saLen + matLen}
+	die.Truth.RegionBounds = region.Truth.RegionBounds.Translate(geom.Pt(saStart, 0))
+	for i := range die.Truth.BlocksSA1 {
+		die.Truth.BlocksSA1[i].X0 += saStart
+		die.Truth.BlocksSA1[i].X1 += saStart
+	}
+	for i := range die.Truth.BlocksSA2 {
+		die.Truth.BlocksSA2[i].X0 += saStart
+		die.Truth.BlocksSA2[i].X1 += saStart
+	}
+	return die, nil
+}
+
+// generateRowDriverLen sizes the row-driver band: generally smaller than
+// the SA region (Section IV-A cites this to identify the ROI).
+func generateRowDriverLen(cfg Config, saLen int64) int64 {
+	l := saLen * 2 / 5
+	min := 8 * f(cfg.Chip)
+	if l < min {
+		l = min
+	}
+	return l
+}
+
+// generateRowDrivers fills [x0, x0+length) with generic driver logic:
+// gate fingers over active rows, no capacitors.
+func generateRowDrivers(cfg Config, cell *layout.Cell, x0, length int64) {
+	ff := f(cfg.Chip)
+	pitch := 2 * ff
+	rw := int64(4*cfg.Units) * pitch
+	for y := int64(0); y+3*ff <= rw; y += 6 * ff {
+		cell.AddRect(layout.LayerActive, geom.R(x0+ff, y, x0+length-ff, y+3*ff), "", "active:rowdrv")
+	}
+	for x := x0 + 2*ff; x+ff <= x0+length-2*ff; x += 4 * ff {
+		cell.AddRect(layout.LayerGate, geom.R(x, 0, x+ff, rw), "", "gate:rowdrv")
+	}
+}

@@ -1,0 +1,286 @@
+// Package chips holds the HiFi-DRAM study dataset: the six commodity
+// DDR4/DDR5 chips of Table I together with the quantities the paper
+// extracts from FIB/SEM imaging — sense-amplifier topology, per-element
+// transistor dimensions, effective sizes, and region geometry.
+//
+// Numbers published in the paper (Table I metadata, topology assignment,
+// MAT-to-SA transition overheads, area relationships) are encoded
+// directly. Quantities the paper only publishes in aggregate (per-element
+// nanometer dimensions, region fractions) are synthesized to be jointly
+// consistent with every published statistic: Fig. 11 ranges, the Fig. 12
+// inaccuracy averages/maxima, Table II overhead errors, and the
+// Appendix-A arithmetic. See DESIGN.md §5.
+package chips
+
+import "fmt"
+
+// Vendor anonymizes the three major DRAM manufacturers as in the paper.
+type Vendor string
+
+// The three vendors of the study.
+const (
+	VendorA Vendor = "A"
+	VendorB Vendor = "B"
+	VendorC Vendor = "C"
+)
+
+// Generation is the DDR generation of a chip.
+type Generation int
+
+// Generations studied.
+const (
+	DDR4 Generation = 4
+	DDR5 Generation = 5
+)
+
+// String implements fmt.Stringer.
+func (g Generation) String() string { return fmt.Sprintf("DDR%d", int(g)) }
+
+// Topology is the sense-amplifier circuit family deployed on a chip.
+type Topology int
+
+// The two topologies found in the study.
+const (
+	// Classic is the textbook sense amplifier (Fig. 2b): cross-coupled
+	// latch, two precharge transistors and one equalizer sharing the
+	// PEQ gate, plus the column multiplexer.
+	Classic Topology = iota
+	// OCSA is the offset-cancellation sense amplifier (Fig. 9a):
+	// stand-alone precharge, two isolation and two offset-cancellation
+	// transistors, no dedicated equalizer.
+	OCSA
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	if t == OCSA {
+		return "OCSA"
+	}
+	return "classic"
+}
+
+// Element identifies a sense-amplifier circuit element class whose
+// transistors the study measures.
+type Element int
+
+// Element classes. Not every chip has every element: Equalizer exists
+// only on classic chips, Isolation and OffsetCancel only on OCSA chips.
+const (
+	NSA          Element = iota // NMOS latch transistor
+	PSA                         // PMOS latch transistor
+	Precharge                   // bitline precharge to Vpre
+	Equalizer                   // BL-BLB equalizer (classic only)
+	Column                      // column-select multiplexer
+	Isolation                   // ISO transistor (OCSA only)
+	OffsetCancel                // OC transistor (OCSA only)
+	LSA                         // local/LIO sense amp (datapath, in SA region)
+	numElements
+)
+
+var elementNames = [...]string{
+	"nSA", "pSA", "precharge", "equalizer", "column", "isolation", "offset-cancel", "LSA",
+}
+
+// String implements fmt.Stringer.
+func (e Element) String() string {
+	if e < 0 || int(e) >= len(elementNames) {
+		return fmt.Sprintf("element(%d)", int(e))
+	}
+	return elementNames[e]
+}
+
+// Elements returns all element classes in declaration order.
+func Elements() []Element {
+	out := make([]Element, numElements)
+	for i := range out {
+		out[i] = Element(i)
+	}
+	return out
+}
+
+// Dims is a transistor geometry: drawn width and length in nanometers.
+// Width is measured as the gate/active overlap extent and length as the
+// gate pitch between source and drain (Section V-B).
+type Dims struct {
+	W, L float64
+}
+
+// WL returns the width-to-length ratio, the figure of merit the paper
+// compares across models (higher ratios are more optimistic).
+func (d Dims) WL() float64 {
+	if d.L == 0 {
+		return 0
+	}
+	return d.W / d.L
+}
+
+// Valid reports whether both dimensions are positive.
+func (d Dims) Valid() bool { return d.W > 0 && d.L > 0 }
+
+// CommonGate reports whether the element class is laid out as a gate
+// strip spanning the entire SA region along Y (Section V-C): for these
+// elements the SA-height overhead of an addition is governed by L, not W.
+func (e Element) CommonGate() bool {
+	switch e {
+	case Precharge, Equalizer, Isolation, OffsetCancel:
+		return true
+	}
+	return false
+}
+
+// Chip describes one studied device.
+type Chip struct {
+	ID          string
+	Vendor      Vendor
+	Gen         Generation
+	Year        int     // production year (Table I)
+	DensityGb   int     // storage density in Gbit (Table I)
+	DieAreaMM2  float64 // die size (Table I)
+	Detector    string  // "SE" or "BSE" (Table I)
+	MATsVisible bool    // whether die extraction exposed MAT layers (Table I)
+	PixelResNM  float64 // SEM pixel resolution (Table I)
+	SliceNM     int     // FIB slice thickness used for this sample
+
+	Topology Topology
+
+	// FeatureNM is the effective feature size F of the 6F^2 cell:
+	// bitline half-pitch in the MAT.
+	FeatureNM float64
+	// Transistor dimensions per element, drawn sizes.
+	Dims map[Element]Dims
+	// Eff holds effective spacing dimensions per element: the drawn
+	// size plus the safety margins an insertion must budget
+	// (Section V-B "Effective sizes").
+	Eff map[Element]Dims
+
+	// MAT organization.
+	MATs       int // number of MATs in the chip
+	RowsPerMAT int
+	ColsPerMAT int
+
+	// SAHeightNM is the extent of one SA region along the bitline
+	// direction (X in Fig. 10), containing the two stacked SAs.
+	SAHeightNM float64
+	// TransitionNM is the bitline-direction overhead of one MAT-to-
+	// planar-logic transition (Section V-C reports 318 nm DDR4 /
+	// 275 nm DDR5 averages).
+	TransitionNM float64
+}
+
+// BitlinePitchNM returns the bitline pitch in the MAT (2F for 6F² cells).
+func (c *Chip) BitlinePitchNM() float64 { return 2 * c.FeatureNM }
+
+// WordlinePitchNM returns the wordline pitch in the MAT (3F for 6F²).
+func (c *Chip) WordlinePitchNM() float64 { return 3 * c.FeatureNM }
+
+// MATWidthNM returns the MAT extent along the wordline direction
+// (perpendicular to bitlines): one bitline pitch per column.
+func (c *Chip) MATWidthNM() float64 {
+	return float64(c.ColsPerMAT) * c.BitlinePitchNM()
+}
+
+// MATHeightNM returns the MAT extent along the bitline direction: one
+// wordline pitch per row.
+func (c *Chip) MATHeightNM() float64 {
+	return float64(c.RowsPerMAT) * c.WordlinePitchNM()
+}
+
+// MATAreaMM2 returns the total MAT area of the chip in mm².
+func (c *Chip) MATAreaMM2() float64 {
+	return float64(c.MATs) * c.MATWidthNM() * c.MATHeightNM() * 1e-12
+}
+
+// SAWidthNM returns the SA region extent along Y, which spans the MAT
+// width (the SA strip serves every bitline of the MAT).
+func (c *Chip) SAWidthNM() float64 { return c.MATWidthNM() }
+
+// SAAreaMM2 returns the total sense-amplifier region area of the chip in
+// mm²: one SA strip per MAT (each strip between two MATs is shared, and
+// each MAT is flanked by two strips, so the per-MAT accounting is one
+// full strip).
+func (c *Chip) SAAreaMM2() float64 {
+	return float64(c.MATs) * c.SAWidthNM() * c.SAHeightNM * 1e-12
+}
+
+// MATFraction returns MAT area over die area.
+func (c *Chip) MATFraction() float64 { return c.MATAreaMM2() / c.DieAreaMM2 }
+
+// SAFraction returns SA-region area over die area.
+func (c *Chip) SAFraction() float64 { return c.SAAreaMM2() / c.DieAreaMM2 }
+
+// CapacityBits returns the storage capacity implied by the MAT geometry.
+func (c *Chip) CapacityBits() int64 {
+	return int64(c.MATs) * int64(c.RowsPerMAT) * int64(c.ColsPerMAT)
+}
+
+// HasElement reports whether the chip's topology includes the element.
+func (c *Chip) HasElement(e Element) bool {
+	_, ok := c.Dims[e]
+	return ok
+}
+
+// Dim returns the drawn dimensions for an element, with ok=false when the
+// topology lacks it.
+func (c *Chip) Dim(e Element) (Dims, bool) {
+	d, ok := c.Dims[e]
+	return d, ok
+}
+
+// EffDim returns the effective (spacing-inclusive) dimensions.
+func (c *Chip) EffDim(e Element) (Dims, bool) {
+	d, ok := c.Eff[e]
+	return d, ok
+}
+
+// Validate checks internal consistency of a chip record.
+func (c *Chip) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("chips: empty ID")
+	}
+	if c.FeatureNM <= 0 || c.DieAreaMM2 <= 0 || c.SAHeightNM <= 0 {
+		return fmt.Errorf("chips: %s: non-positive geometry", c.ID)
+	}
+	if c.MATs <= 0 || c.RowsPerMAT <= 0 || c.ColsPerMAT <= 0 {
+		return fmt.Errorf("chips: %s: non-positive MAT organization", c.ID)
+	}
+	required := []Element{NSA, PSA, Precharge, Column, LSA}
+	switch c.Topology {
+	case Classic:
+		required = append(required, Equalizer)
+		for _, e := range []Element{Isolation, OffsetCancel} {
+			if c.HasElement(e) {
+				return fmt.Errorf("chips: %s: classic chip has %s", c.ID, e)
+			}
+		}
+	case OCSA:
+		required = append(required, Isolation, OffsetCancel)
+		if c.HasElement(Equalizer) {
+			return fmt.Errorf("chips: %s: OCSA chip has equalizer", c.ID)
+		}
+	default:
+		return fmt.Errorf("chips: %s: unknown topology %d", c.ID, c.Topology)
+	}
+	for _, e := range required {
+		d, ok := c.Dims[e]
+		if !ok || !d.Valid() {
+			return fmt.Errorf("chips: %s: missing or invalid dims for %s", c.ID, e)
+		}
+		eff, ok := c.Eff[e]
+		if !ok || !eff.Valid() {
+			return fmt.Errorf("chips: %s: missing effective dims for %s", c.ID, e)
+		}
+		if eff.W < d.W || eff.L < d.L {
+			return fmt.Errorf("chips: %s: effective size of %s smaller than drawn", c.ID, e)
+		}
+	}
+	// PMOS latch transistors are narrower than NMOS (Section V-A step
+	// viii uses this to identify them).
+	if c.Dims[PSA].W >= c.Dims[NSA].W {
+		return fmt.Errorf("chips: %s: pSA width must be below nSA width", c.ID)
+	}
+	if c.CapacityBits() < int64(c.DensityGb)*(1<<30)/2 {
+		return fmt.Errorf("chips: %s: MAT organization holds %d bits, below density %dGb",
+			c.ID, c.CapacityBits(), c.DensityGb)
+	}
+	return nil
+}

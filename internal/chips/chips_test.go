@@ -1,0 +1,307 @@
+package chips
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllChipsValidate(t *testing.T) {
+	cs := All()
+	if len(cs) != 6 {
+		t.Fatalf("expected 6 chips, got %d", len(cs))
+	}
+	for _, c := range cs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.ID, err)
+		}
+	}
+}
+
+func TestTableIMetadata(t *testing.T) {
+	// Table I rows from the paper.
+	want := []struct {
+		id       string
+		vendor   Vendor
+		gen      Generation
+		density  int
+		die      float64
+		detector string
+		visible  bool
+		pixres   float64
+		year     int
+	}{
+		{"A4", VendorA, DDR4, 8, 34, "SE", true, 10.4, 2017},
+		{"B4", VendorB, DDR4, 4, 48, "BSE", false, 3.4, 2022},
+		{"C4", VendorC, DDR4, 8, 42, "BSE", true, 5, 2018},
+		{"A5", VendorA, DDR5, 16, 75, "SE", false, 5.2, 2021},
+		{"B5", VendorB, DDR5, 16, 68, "BSE", false, 4.2, 2022},
+		{"C5", VendorC, DDR5, 16, 66, "BSE", true, 5, 2022},
+	}
+	cs := All()
+	for i, w := range want {
+		c := cs[i]
+		if c.ID != w.id || c.Vendor != w.vendor || c.Gen != w.gen ||
+			c.DensityGb != w.density || c.DieAreaMM2 != w.die ||
+			c.Detector != w.detector || c.MATsVisible != w.visible ||
+			c.PixelResNM != w.pixres || c.Year != w.year {
+			t.Errorf("chip %d: got %+v, want %+v", i, c, w)
+		}
+	}
+}
+
+func TestTopologyAssignment(t *testing.T) {
+	// Paper finding: OCSA on A4, A5, B5; classic on B4, C4, C5.
+	want := map[string]Topology{
+		"A4": OCSA, "A5": OCSA, "B5": OCSA,
+		"B4": Classic, "C4": Classic, "C5": Classic,
+	}
+	for id, topo := range want {
+		c := ByID(id)
+		if c == nil {
+			t.Fatalf("missing chip %s", id)
+		}
+		if c.Topology != topo {
+			t.Errorf("%s: topology %v, want %v", id, c.Topology, topo)
+		}
+	}
+}
+
+func TestTopologyElementSets(t *testing.T) {
+	for _, c := range All() {
+		switch c.Topology {
+		case Classic:
+			if !c.HasElement(Equalizer) {
+				t.Errorf("%s: classic chip must have equalizer", c.ID)
+			}
+			if c.HasElement(Isolation) || c.HasElement(OffsetCancel) {
+				t.Errorf("%s: classic chip must not have ISO/OC", c.ID)
+			}
+		case OCSA:
+			if c.HasElement(Equalizer) {
+				t.Errorf("%s: OCSA chip must not have equalizer", c.ID)
+			}
+			if !c.HasElement(Isolation) || !c.HasElement(OffsetCancel) {
+				t.Errorf("%s: OCSA chip must have ISO and OC", c.ID)
+			}
+		}
+	}
+}
+
+func TestPSASmallerThanNSA(t *testing.T) {
+	for _, c := range All() {
+		if c.Dims[PSA].W >= c.Dims[NSA].W {
+			t.Errorf("%s: pSA width %v >= nSA width %v", c.ID, c.Dims[PSA].W, c.Dims[NSA].W)
+		}
+	}
+}
+
+func TestCapacityMatchesDensity(t *testing.T) {
+	for _, c := range All() {
+		want := int64(c.DensityGb) * (1 << 30)
+		if got := c.CapacityBits(); got != want {
+			t.Errorf("%s: capacity %d bits, want %d", c.ID, got, want)
+		}
+	}
+}
+
+func TestMATFractionNearMajority(t *testing.T) {
+	// MATs dominate the die (Section VI-B: ~57% average chip overhead
+	// for papers that double the MAT area).
+	var sum float64
+	for _, c := range All() {
+		f := c.MATFraction()
+		if f < 0.50 || f > 0.60 {
+			t.Errorf("%s: MAT fraction %.3f outside [0.50, 0.60]", c.ID, f)
+		}
+		sum += f
+	}
+	avg := sum / 6
+	if math.Abs(avg-0.55) > 0.02 {
+		t.Errorf("average MAT fraction %.3f, want ~0.55", avg)
+	}
+}
+
+func TestSAFractionPlausible(t *testing.T) {
+	for _, c := range All() {
+		f := c.SAFraction()
+		if f < 0.03 || f > 0.10 {
+			t.Errorf("%s: SA fraction %.3f outside [0.03, 0.10]", c.ID, f)
+		}
+	}
+	// Vendor C spends the most on SA regions (drives Observation 1).
+	for _, g := range []Generation{DDR4, DDR5} {
+		var cFrac, aFrac float64
+		for _, c := range ByGeneration(g) {
+			switch c.Vendor {
+			case VendorC:
+				cFrac = c.SAFraction()
+			case VendorA:
+				aFrac = c.SAFraction()
+			}
+		}
+		if cFrac <= aFrac {
+			t.Errorf("%v: vendor C SA fraction %.3f should exceed vendor A %.3f", g, cFrac, aFrac)
+		}
+	}
+}
+
+func TestTransitionAverages(t *testing.T) {
+	// Paper: 318 nm (DDR4) and 275 nm (DDR5) average transition.
+	if got := AverageTransitionNM(DDR4); math.Abs(got-318) > 3 {
+		t.Errorf("DDR4 transition average %.1f, want ~318", got)
+	}
+	if got := AverageTransitionNM(DDR5); math.Abs(got-275) > 3 {
+		t.Errorf("DDR5 transition average %.1f, want ~275", got)
+	}
+}
+
+func TestDDR5ElementsSmaller(t *testing.T) {
+	// Observation 2 requires DDR5 effective sizes below DDR4's for the
+	// same vendor (isolation shrinks the most).
+	pairs := [][2]string{{"A4", "A5"}, {"B4", "B5"}, {"C4", "C5"}}
+	for _, p := range pairs {
+		c4, c5 := ByID(p[0]), ByID(p[1])
+		for _, e := range []Element{NSA, PSA, Column} {
+			e4, _ := c4.EffDim(e)
+			e5, _ := c5.EffDim(e)
+			if e5.W >= e4.W {
+				t.Errorf("%s->%s: %s effective width did not shrink (%v -> %v)",
+					p[0], p[1], e, e4.W, e5.W)
+			}
+		}
+	}
+	a4, _ := ByID("A4").EffDim(Isolation)
+	a5, _ := ByID("A5").EffDim(Isolation)
+	if ratio := a5.L / a4.L; ratio > 0.6 {
+		t.Errorf("A5 isolation effective length ratio %.2f, want large shrink (<0.6)", ratio)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	if ByID("Z9") != nil {
+		t.Errorf("unknown chip should return nil")
+	}
+	if got := len(ByGeneration(DDR4)); got != 3 {
+		t.Errorf("DDR4 chips = %d", got)
+	}
+	if got := len(ByGeneration(DDR5)); got != 3 {
+		t.Errorf("DDR5 chips = %d", got)
+	}
+}
+
+func TestAllReturnsFreshCopies(t *testing.T) {
+	a := ByID("A4")
+	a.Dims[NSA] = Dims{W: 1, L: 1}
+	b := ByID("A4")
+	if b.Dims[NSA].W == 1 {
+		t.Errorf("dataset chips must be fresh copies")
+	}
+}
+
+func TestScaledIsolation(t *testing.T) {
+	// OCSA chip returns its own dims.
+	b5 := ByID("B5")
+	own, _ := b5.EffDim(Isolation)
+	if got := ScaledIsolationEff(b5); got != own {
+		t.Errorf("OCSA chip should use own ISO dims: %v vs %v", got, own)
+	}
+	// Classic chip gets the feature-scaled average.
+	b4 := ByID("B4")
+	got := ScaledIsolationEff(b4)
+	avg, avgF := AverageIsolationEff()
+	wantL := avg.L * b4.FeatureNM / avgF
+	if math.Abs(got.L-wantL) > 1e-9 {
+		t.Errorf("scaled ISO length %v, want %v", got.L, wantL)
+	}
+	if got.L <= avg.L {
+		t.Errorf("B4 (coarser node) scaled ISO should exceed average")
+	}
+}
+
+func TestDimsHelpers(t *testing.T) {
+	d := Dims{W: 100, L: 50}
+	if d.WL() != 2 {
+		t.Errorf("WL = %v", d.WL())
+	}
+	if (Dims{W: 1}).WL() != 0 {
+		t.Errorf("zero length WL should be 0")
+	}
+	if !d.Valid() || (Dims{}).Valid() {
+		t.Errorf("Valid wrong")
+	}
+}
+
+func TestCommonGateClassification(t *testing.T) {
+	common := []Element{Precharge, Equalizer, Isolation, OffsetCancel}
+	for _, e := range common {
+		if !e.CommonGate() {
+			t.Errorf("%s should be common-gate", e)
+		}
+	}
+	for _, e := range []Element{NSA, PSA, Column, LSA} {
+		if e.CommonGate() {
+			t.Errorf("%s should not be common-gate", e)
+		}
+	}
+}
+
+func TestElementAndTopologyStrings(t *testing.T) {
+	if NSA.String() != "nSA" || OffsetCancel.String() != "offset-cancel" {
+		t.Errorf("element names wrong")
+	}
+	if Element(99).String() == "" {
+		t.Errorf("out-of-range element name empty")
+	}
+	if Classic.String() != "classic" || OCSA.String() != "OCSA" {
+		t.Errorf("topology names wrong")
+	}
+	if DDR4.String() != "DDR4" {
+		t.Errorf("generation name wrong")
+	}
+	if len(Elements()) != int(numElements) {
+		t.Errorf("Elements() length wrong")
+	}
+}
+
+func TestValidateCatchesBadRecords(t *testing.T) {
+	c := chipA4()
+	c.ID = ""
+	if err := c.Validate(); err == nil {
+		t.Errorf("empty ID should fail")
+	}
+	c = chipA4()
+	c.Dims[Equalizer] = Dims{W: 10, L: 10}
+	if err := c.Validate(); err == nil {
+		t.Errorf("OCSA chip with equalizer should fail")
+	}
+	c = chipB4()
+	delete(c.Dims, Equalizer)
+	if err := c.Validate(); err == nil {
+		t.Errorf("classic chip without equalizer should fail")
+	}
+	c = chipA4()
+	c.Eff[NSA] = Dims{W: 1, L: 1}
+	if err := c.Validate(); err == nil {
+		t.Errorf("effective below drawn should fail")
+	}
+	c = chipA4()
+	c.Dims[PSA] = Dims{W: 999, L: 35}
+	if err := c.Validate(); err == nil {
+		t.Errorf("pSA wider than nSA should fail")
+	}
+	c = chipA4()
+	c.MATs = 0
+	if err := c.Validate(); err == nil {
+		t.Errorf("zero MATs should fail")
+	}
+	c = chipA4()
+	c.FeatureNM = 0
+	if err := c.Validate(); err == nil {
+		t.Errorf("zero feature size should fail")
+	}
+	c = chipA4()
+	c.MATs = 16
+	if err := c.Validate(); err == nil {
+		t.Errorf("capacity below density should fail")
+	}
+}

@@ -1,0 +1,355 @@
+// Package circuit builds simulatable netlists of the two sense-amplifier
+// topologies the study found deployed: the classic SA of Fig. 2b
+// (B4, C4, C5) and the offset-cancellation SA (OCSA) of Fig. 9a
+// (A4, A5, B5), together with the control-signal schedules that drive
+// their activation events.
+//
+// The OCSA follows the reverse-engineered design: the latch gates remain
+// on the bitlines while isolation (ISO) transistors decouple the latch
+// drains, and offset-cancellation (OC) transistors diode-connect each
+// latch device during the offset-cancellation phase. There is no
+// dedicated equalizer — equalization is achieved by activating ISO and
+// OC simultaneously (Section V-A).
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/spice"
+)
+
+// Params are the electrical parameters of a sense-amplifier simulation.
+type Params struct {
+	VDD  float64 // supply (V)
+	Vpre float64 // bitline precharge reference, usually VDD/2
+	// Vt is the nominal threshold voltage; DeltaVtN is the nSA
+	// threshold mismatch, oriented adversarially for a stored 1:
+	// positive DeltaVtN weakens the transistor that must pull BLB low
+	// (VtMN1 = Vt - DeltaVtN/2, VtMN2 = Vt + DeltaVtN/2), so the
+	// classic SA mislatches once DeltaVtN exceeds the sensing signal.
+	Vt, DeltaVtN float64
+	K            float64 // process transconductance µCox (A/V²)
+	WSA, LSA     float64 // latch transistor W/L (arbitrary consistent units)
+	CCell        float64 // cell capacitance (F)
+	CBitline     float64 // bitline capacitance (F)
+	CSense       float64 // sense-node capacitance, OCSA only (F)
+	// CellValue is the stored bit: true stores VDD, false stores 0.
+	CellValue bool
+}
+
+// DefaultParams returns parameters representative of a modern DRAM
+// process: 1.2 V array voltage, half-VDD precharge, ~10 fF cell against
+// ~60 fF bitline (an ~86 mV sensing signal).
+func DefaultParams() Params {
+	return Params{
+		VDD: 1.2, Vpre: 0.6,
+		Vt: 0.4, K: 5e-4,
+		WSA: 2, LSA: 1,
+		CCell: 10e-15, CBitline: 60e-15, CSense: 2e-15,
+		CellValue: true,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.VDD <= 0 || p.Vpre <= 0 || p.Vpre >= p.VDD {
+		return fmt.Errorf("circuit: need 0 < Vpre < VDD, got %v/%v", p.Vpre, p.VDD)
+	}
+	if p.Vt <= 0 || p.K <= 0 || p.WSA <= 0 || p.LSA <= 0 {
+		return fmt.Errorf("circuit: non-positive transistor parameters")
+	}
+	if p.CCell <= 0 || p.CBitline <= 0 {
+		return fmt.Errorf("circuit: non-positive capacitances")
+	}
+	return nil
+}
+
+// Phase names one interval of the activation sequence.
+type Phase struct {
+	Name       string
+	Start, End float64 // seconds
+}
+
+// Schedule is the control timing of one activation, with the phases in
+// order and the signal waveforms that realize them.
+type Schedule struct {
+	Phases []Phase
+	Stop   float64
+	// Control waveforms by signal name (WL, PEQ, ISO, OC, PRE, LA,
+	// LAB); topology determines which exist.
+	Signals map[string]spice.Waveform
+}
+
+// PhaseByName returns the named phase.
+func (s Schedule) PhaseByName(name string) (Phase, bool) {
+	for _, ph := range s.Phases {
+		if ph.Name == name {
+			return ph, true
+		}
+	}
+	return Phase{}, false
+}
+
+// Node names shared by both topologies.
+const (
+	NodeBL   = "bl"
+	NodeBLB  = "blb"
+	NodeCell = "cell"
+	NodeLA   = "la"
+	NodeLAB  = "lab"
+	NodeSBL  = "sbl"  // OCSA latch drain, BL side
+	NodeSBLB = "sblb" // OCSA latch drain, BLB side
+)
+
+const rise = 0.5e-9 // control edge rise time
+
+// gate returns a control waveform asserted during [t0, t1].
+func gate(t0, t1 float64) spice.PWL {
+	return spice.PWL{{0, 0}, {t0, 0}, {t0 + rise, 1}, {t1, 1}, {t1 + rise, 0}}
+}
+
+// Classic builds the classic sense amplifier (Fig. 2b) with its
+// activation schedule (Fig. 2c): charge sharing, latching & restore,
+// then precharge & equalize. The returned circuit is ready for a
+// transient run from the precharged initial condition InitialVoltages
+// provides.
+func Classic(p Params) (*spice.Circuit, Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Schedule{}, err
+	}
+	const (
+		tPEQOff = 1e-9
+		tWLOn   = 2e-9
+		tLatch  = 8e-9
+		tWLOff  = 26e-9
+		tPre    = 29e-9
+		tStop   = 40e-9
+	)
+	sched := Schedule{
+		Phases: []Phase{
+			{Name: "charge-share", Start: tWLOn, End: tLatch},
+			{Name: "latch-restore", Start: tLatch, End: tWLOff},
+			{Name: "precharge-equalize", Start: tPre, End: tStop},
+		},
+		Stop: tStop,
+		Signals: map[string]spice.Waveform{
+			"WL":  gate(tWLOn, tWLOff),
+			"PEQ": peqWave(tPEQOff, tPre),
+		},
+	}
+
+	c := spice.NewCircuit()
+	if err := buildCommonArray(c, p, sched.Signals["WL"]); err != nil {
+		return nil, Schedule{}, err
+	}
+	// Latch rails: idle at Vpre (latch off), then LA to VDD and LAB to
+	// ground during latching, back to Vpre for precharge.
+	la := spice.PWL{{0, p.Vpre}, {tLatch, p.Vpre}, {tLatch + 2e-9, p.VDD}, {tPre, p.VDD}, {tPre + 2e-9, p.Vpre}}
+	lab := spice.PWL{{0, p.Vpre}, {tLatch, p.Vpre}, {tLatch + 2e-9, 0}, {tPre, 0}, {tPre + 2e-9, p.Vpre}}
+	sched.Signals["LA"] = la
+	sched.Signals["LAB"] = lab
+	c.AddV("VLA", NodeLA, spice.Ground, la)
+	c.AddV("VLAB", NodeLAB, spice.Ground, lab)
+	// Cross-coupled latch directly on the bitlines.
+	if err := addLatch(c, p, NodeBL, NodeBLB); err != nil {
+		return nil, Schedule{}, err
+	}
+	// Precharge (two transistors) and equalizer (one), all PEQ-gated:
+	// the common-gate strip of the layout.
+	peq := sched.Signals["PEQ"]
+	c.AddV("VPRE", "vpre", spice.Ground, spice.DC(p.Vpre))
+	c.AddSwitch("MPRE1", NodeBL, "vpre", peq, 0.5)
+	c.AddSwitch("MPRE2", NodeBLB, "vpre", peq, 0.5)
+	c.AddSwitch("MEQ", NodeBL, NodeBLB, peq, 0.5)
+	return c, sched, nil
+}
+
+// peqWave is high initially (precharged idle), drops for the activation,
+// and reasserts at precharge.
+func peqWave(tOff, tOn float64) spice.PWL {
+	return spice.PWL{{0, 1}, {tOff, 1}, {tOff + rise, 0}, {tOn, 0}, {tOn + rise, 1}}
+}
+
+// OCSA builds the offset-cancellation sense amplifier (Fig. 9a) with its
+// extended activation schedule (Fig. 9b): offset cancellation precedes
+// charge sharing, and a pre-sensing event precedes the restore.
+func OCSA(p Params) (*spice.Circuit, Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return nil, Schedule{}, err
+	}
+	if p.CSense <= 0 {
+		return nil, Schedule{}, fmt.Errorf("circuit: OCSA needs positive sense-node capacitance")
+	}
+	const (
+		tPREOff = 1e-9
+		tOCOn   = 2e-9
+		tOCOff  = 8e-9
+		tWLOn   = 9e-9
+		tSense  = 14e-9
+		tISOOn  = 20e-9
+		tWLOff  = 32e-9
+		tPre    = 35e-9
+		tStop   = 46e-9
+	)
+	sched := Schedule{
+		Phases: []Phase{
+			{Name: "offset-cancel", Start: tOCOn, End: tOCOff},
+			{Name: "charge-share", Start: tWLOn, End: tSense},
+			{Name: "pre-sense", Start: tSense, End: tISOOn},
+			{Name: "restore", Start: tISOOn, End: tWLOff},
+			{Name: "precharge-equalize", Start: tPre, End: tStop},
+		},
+		Stop: tStop,
+		Signals: map[string]spice.Waveform{
+			"WL": gate(tWLOn, tWLOff),
+			// PRE is stand-alone: off during activation, on again at
+			// the end.
+			"PRE": peqWave(tPREOff, tPre),
+			// ISO: on in idle (bitlines follow sense nodes), off from
+			// the start of offset cancellation until the restore, then
+			// on again — and on during final equalization.
+			"ISO": isoWave(tOCOn, tISOOn),
+			// OC: asserted during offset cancellation, and again
+			// together with ISO at precharge to equalize (no
+			// dedicated equalizer exists).
+			"OC": ocWave(tOCOn, tOCOff, tPre),
+		},
+	}
+
+	c := spice.NewCircuit()
+	if err := buildCommonArray(c, p, sched.Signals["WL"]); err != nil {
+		return nil, Schedule{}, err
+	}
+	// Latch rails: held at Vpre when idle. During offset cancellation
+	// LAB dips part-way so the diode-connected nSA transistors conduct;
+	// at pre-sense the rails open fully; at precharge they return.
+	laW := spice.PWL{
+		{0, p.Vpre}, {tSense, p.Vpre}, {tSense + 1e-9, p.VDD},
+		{tPre, p.VDD}, {tPre + 2e-9, p.Vpre},
+	}
+	labW := spice.PWL{
+		{0, p.Vpre}, {tOCOn, p.Vpre}, {tOCOn + 1e-9, 0.1},
+		{tOCOff, 0.1}, {tSense, 0.1}, {tSense + 1e-9, 0},
+		{tPre, 0}, {tPre + 2e-9, p.Vpre},
+	}
+	sched.Signals["LA"] = laW
+	sched.Signals["LAB"] = labW
+	c.AddV("VLA", NodeLA, spice.Ground, laW)
+	c.AddV("VLAB", NodeLAB, spice.Ground, labW)
+
+	// Latch with drains on the sense nodes, gates on the bitlines:
+	// MN1: d=sbl  g=blb, MN2: d=sblb g=bl (and the PMOS mirror).
+	vt1 := p.Vt - p.DeltaVtN/2
+	vt2 := p.Vt + p.DeltaVtN/2
+	if vt1 <= 0 || vt2 <= 0 {
+		return nil, Schedule{}, fmt.Errorf("circuit: mismatch %v drives a threshold non-positive", p.DeltaVtN)
+	}
+	if err := c.AddMOS("MN1", spice.NMOS, NodeSBL, NodeBLB, NodeLAB, p.WSA, p.LSA, p.K, vt1); err != nil {
+		return nil, Schedule{}, err
+	}
+	if err := c.AddMOS("MN2", spice.NMOS, NodeSBLB, NodeBL, NodeLAB, p.WSA, p.LSA, p.K, vt2); err != nil {
+		return nil, Schedule{}, err
+	}
+	if err := c.AddMOS("MP1", spice.PMOS, NodeSBL, NodeBLB, NodeLA, p.WSA/2, p.LSA, p.K, p.Vt); err != nil {
+		return nil, Schedule{}, err
+	}
+	if err := c.AddMOS("MP2", spice.PMOS, NodeSBLB, NodeBL, NodeLA, p.WSA/2, p.LSA, p.K, p.Vt); err != nil {
+		return nil, Schedule{}, err
+	}
+	if err := c.AddC("CSBL", NodeSBL, spice.Ground, p.CSense); err != nil {
+		return nil, Schedule{}, err
+	}
+	if err := c.AddC("CSBLB", NodeSBLB, spice.Ground, p.CSense); err != nil {
+		return nil, Schedule{}, err
+	}
+
+	// Isolation between bitlines and sense nodes.
+	iso := sched.Signals["ISO"]
+	c.AddSwitch("MISO1", NodeBL, NodeSBL, iso, 0.5)
+	c.AddSwitch("MISO2", NodeBLB, NodeSBLB, iso, 0.5)
+	// Offset cancellation: diode-connect each nSA device
+	// (drain-to-gate): sbl-blb and sblb-bl.
+	oc := sched.Signals["OC"]
+	c.AddSwitch("MOC1", NodeSBL, NodeBLB, oc, 0.5)
+	c.AddSwitch("MOC2", NodeSBLB, NodeBL, oc, 0.5)
+	// Stand-alone precharge, no equalizer.
+	pre := sched.Signals["PRE"]
+	c.AddV("VPRE", "vpre", spice.Ground, spice.DC(p.Vpre))
+	c.AddSwitch("MPRE1", NodeBL, "vpre", pre, 0.5)
+	c.AddSwitch("MPRE2", NodeBLB, "vpre", pre, 0.5)
+	return c, sched, nil
+}
+
+func isoWave(tOff, tOn float64) spice.PWL {
+	return spice.PWL{{0, 1}, {tOff, 1}, {tOff + rise, 0}, {tOn, 0}, {tOn + rise, 1}}
+}
+
+func ocWave(tOn, tOff, tPre float64) spice.PWL {
+	return spice.PWL{
+		{0, 0}, {tOn, 0}, {tOn + rise, 1}, {tOff, 1}, {tOff + rise, 0},
+		{tPre, 0}, {tPre + rise, 1},
+	}
+}
+
+// buildCommonArray adds the cell, access device and bitline loads shared
+// by both topologies. The cell hangs off BL; BLB is the open-bitline
+// reference from the opposite MAT.
+func buildCommonArray(c *spice.Circuit, p Params, wl spice.Waveform) error {
+	if err := c.AddC("CCELL", NodeCell, spice.Ground, p.CCell); err != nil {
+		return err
+	}
+	c.AddSwitch("MACC", NodeCell, NodeBL, wl, 0.5)
+	if err := c.AddC("CBL", NodeBL, spice.Ground, p.CBitline); err != nil {
+		return err
+	}
+	return c.AddC("CBLB", NodeBLB, spice.Ground, p.CBitline)
+}
+
+// addLatch wires the classic cross-coupled latch with drains and gates
+// both on the bitlines, applying the nSA threshold mismatch.
+func addLatch(c *spice.Circuit, p Params, bl, blb string) error {
+	vt1 := p.Vt - p.DeltaVtN/2
+	vt2 := p.Vt + p.DeltaVtN/2
+	if vt1 <= 0 || vt2 <= 0 {
+		return fmt.Errorf("circuit: mismatch %v drives a threshold non-positive", p.DeltaVtN)
+	}
+	if err := c.AddMOS("MN1", spice.NMOS, bl, blb, NodeLAB, p.WSA, p.LSA, p.K, vt1); err != nil {
+		return err
+	}
+	if err := c.AddMOS("MN2", spice.NMOS, blb, bl, NodeLAB, p.WSA, p.LSA, p.K, vt2); err != nil {
+		return err
+	}
+	// pSA devices are narrower than nSA (Section V-A viii).
+	if err := c.AddMOS("MP1", spice.PMOS, bl, blb, NodeLA, p.WSA/2, p.LSA, p.K, p.Vt); err != nil {
+		return err
+	}
+	return c.AddMOS("MP2", spice.PMOS, blb, bl, NodeLA, p.WSA/2, p.LSA, p.K, p.Vt)
+}
+
+// InitialVoltages returns the precharged initial condition for a
+// topology's transient run, restricted to the nodes that exist in the
+// built circuit (the classic SA has no sense nodes).
+func InitialVoltages(c *spice.Circuit, p Params) map[string]float64 {
+	cell := 0.0
+	if p.CellValue {
+		cell = p.VDD
+	}
+	want := map[string]float64{
+		NodeBL: p.Vpre, NodeBLB: p.Vpre,
+		NodeSBL: p.Vpre, NodeSBLB: p.Vpre,
+		NodeLA: p.Vpre, NodeLAB: p.Vpre,
+		NodeCell: cell,
+		"vpre":   p.Vpre,
+	}
+	exists := make(map[string]bool)
+	for _, n := range c.NodeNames() {
+		exists[n] = true
+	}
+	out := make(map[string]float64)
+	for n, v := range want {
+		if exists[n] {
+			out[n] = v
+		}
+	}
+	return out
+}

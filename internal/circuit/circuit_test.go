@@ -1,0 +1,222 @@
+package circuit
+
+import (
+	"testing"
+
+	"repro/internal/spice"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	cases := map[string]func(*Params){
+		"zero VDD":      func(p *Params) { p.VDD = 0 },
+		"Vpre over VDD": func(p *Params) { p.Vpre = 2 },
+		"zero Vt":       func(p *Params) { p.Vt = 0 },
+		"zero K":        func(p *Params) { p.K = 0 },
+		"zero WSA":      func(p *Params) { p.WSA = 0 },
+		"zero cell cap": func(p *Params) { p.CCell = 0 },
+		"zero BL cap":   func(p *Params) { p.CBitline = 0 },
+	}
+	for name, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestClassicNetlistStructure(t *testing.T) {
+	c, sched, err := Classic(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The classic SA has exactly 3 phases and the PEQ signal gating
+	// precharge and equalizer together (one common gate).
+	if len(sched.Phases) != 3 {
+		t.Errorf("phases = %d", len(sched.Phases))
+	}
+	if _, ok := sched.Signals["PEQ"]; !ok {
+		t.Errorf("classic schedule must expose PEQ")
+	}
+	for _, sig := range []string{"ISO", "OC", "PRE"} {
+		if _, ok := sched.Signals[sig]; ok {
+			t.Errorf("classic schedule must not have %s", sig)
+		}
+	}
+	// Count devices by kind.
+	var nMOS, nSwitch, nCap int
+	for _, d := range c.Devices() {
+		switch d.(type) {
+		case *spice.MOSFET:
+			nMOS++
+		case *spice.Switch:
+			nSwitch++
+		case *spice.Capacitor:
+			nCap++
+		}
+	}
+	if nMOS != 4 {
+		t.Errorf("classic latch MOSFETs = %d, want 4", nMOS)
+	}
+	// Access + 2 precharge + 1 equalizer switches.
+	if nSwitch != 4 {
+		t.Errorf("classic switches = %d, want 4", nSwitch)
+	}
+	if nCap != 3 { // cell + 2 bitlines
+		t.Errorf("caps = %d, want 3", nCap)
+	}
+	// No sense nodes in the classic design.
+	for _, n := range c.NodeNames() {
+		if n == NodeSBL || n == NodeSBLB {
+			t.Errorf("classic circuit must not have sense node %s", n)
+		}
+	}
+}
+
+func TestOCSANetlistStructure(t *testing.T) {
+	c, sched, err := OCSA(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Phases) != 5 {
+		t.Errorf("phases = %d, want 5", len(sched.Phases))
+	}
+	for _, sig := range []string{"ISO", "OC", "PRE", "WL", "LA", "LAB"} {
+		if _, ok := sched.Signals[sig]; !ok {
+			t.Errorf("OCSA schedule missing %s", sig)
+		}
+	}
+	if _, ok := sched.Signals["PEQ"]; ok {
+		t.Errorf("OCSA has no PEQ (no equalizer exists)")
+	}
+	var nSwitch int
+	names := map[string]bool{}
+	for _, d := range c.Devices() {
+		names[d.Label()] = true
+		if _, ok := d.(*spice.Switch); ok {
+			nSwitch++
+		}
+	}
+	// Access + 2 ISO + 2 OC + 2 PRE = 7 switches; crucially NO MEQ.
+	if nSwitch != 7 {
+		t.Errorf("OCSA switches = %d, want 7", nSwitch)
+	}
+	if names["MEQ"] {
+		t.Errorf("OCSA must not contain a dedicated equalizer")
+	}
+	for _, want := range []string{"MISO1", "MISO2", "MOC1", "MOC2", "MPRE1", "MPRE2"} {
+		if !names[want] {
+			t.Errorf("OCSA missing device %s", want)
+		}
+	}
+	// OCSA adds four transistors and two control signals versus the
+	// classic circuit (Section V-A): here the four extra devices are
+	// the ISO/OC pairs, controlled by ISO and OC.
+}
+
+func TestOCSAPhaseOrderFig9b(t *testing.T) {
+	_, sched, err := OCSA(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"offset-cancel", "charge-share", "pre-sense", "restore", "precharge-equalize"}
+	for i, ph := range sched.Phases {
+		if ph.Name != want[i] {
+			t.Errorf("phase %d = %s, want %s", i, ph.Name, want[i])
+		}
+		if ph.End <= ph.Start {
+			t.Errorf("phase %s has non-positive duration", ph.Name)
+		}
+		if i > 0 && ph.Start < sched.Phases[i-1].Start {
+			t.Errorf("phase %s out of order", ph.Name)
+		}
+	}
+	if _, ok := sched.PhaseByName("nope"); ok {
+		t.Errorf("unknown phase lookup should fail")
+	}
+}
+
+func TestOCSASenseCapRequired(t *testing.T) {
+	p := DefaultParams()
+	p.CSense = 0
+	if _, _, err := OCSA(p); err == nil {
+		t.Errorf("expected sense-cap error")
+	}
+}
+
+func TestExcessiveMismatchRejected(t *testing.T) {
+	p := DefaultParams()
+	p.DeltaVtN = 2 * p.Vt
+	if _, _, err := Classic(p); err == nil {
+		t.Errorf("classic: expected mismatch error")
+	}
+	if _, _, err := OCSA(p); err == nil {
+		t.Errorf("OCSA: expected mismatch error")
+	}
+}
+
+func TestInitialVoltagesFiltered(t *testing.T) {
+	p := DefaultParams()
+	cc, _, err := Classic(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := InitialVoltages(cc, p)
+	if _, ok := iv[NodeSBL]; ok {
+		t.Errorf("classic initial condition must not mention sense nodes")
+	}
+	if iv[NodeBL] != p.Vpre || iv[NodeCell] != p.VDD {
+		t.Errorf("initial voltages wrong: %v", iv)
+	}
+	p.CellValue = false
+	co, _, err := OCSA(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv = InitialVoltages(co, p)
+	if iv[NodeCell] != 0 {
+		t.Errorf("stored 0 should initialize cell at 0")
+	}
+	if _, ok := iv[NodeSBL]; !ok {
+		t.Errorf("OCSA initial condition must cover sense nodes")
+	}
+}
+
+func TestControlWaveformLevels(t *testing.T) {
+	_, sched, err := OCSA(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PRE starts asserted (idle precharged) and is deasserted during
+	// the activation window.
+	pre := sched.Signals["PRE"]
+	if pre.At(0) < 0.5 {
+		t.Errorf("PRE should start high")
+	}
+	cs, _ := sched.PhaseByName("charge-share")
+	if pre.At(cs.Start) > 0.5 {
+		t.Errorf("PRE should be low during activation")
+	}
+	// OC asserted during offset cancellation, and again at the final
+	// equalization together with ISO.
+	oc := sched.Signals["OC"]
+	iso := sched.Signals["ISO"]
+	ocPh, _ := sched.PhaseByName("offset-cancel")
+	mid := (ocPh.Start + ocPh.End) / 2
+	if oc.At(mid) < 0.5 {
+		t.Errorf("OC should be asserted during offset cancellation")
+	}
+	if iso.At(mid) > 0.5 {
+		t.Errorf("ISO should be off during offset cancellation")
+	}
+	end := sched.Stop - 1e-9
+	if oc.At(end) < 0.5 || iso.At(end) < 0.5 {
+		t.Errorf("ISO and OC together must equalize at precharge (no equalizer exists)")
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/measure"
+	"repro/internal/netex"
+	"repro/internal/sem"
+)
+
+// DieResult is the outcome of the complete die-level flow: blind ROI
+// identification (Fig. 6) followed by acquisition, reconstruction and
+// extraction of the identified region only — the full workflow of Fig. 5.
+type DieResult struct {
+	// ROI is the identified region in nanometers along the bitline
+	// direction; TrueROI the generator's SA region.
+	ROI, TrueROI [2]int64
+	// ROIOverlap is |ROI ∩ TrueROI| / |ROI ∪ TrueROI|.
+	ROIOverlap float64
+	// Pipeline is the extraction result on the cropped region.
+	Pipeline *Result
+}
+
+// RunOnDie executes the complete flow on a full die strip: row drivers
+// and MATs are present, the SA region's location is unknown to the
+// pipeline, and only the blindly identified ROI is imaged at full cost.
+func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
+	if chip == nil {
+		return nil, fmt.Errorf("core: nil chip")
+	}
+	cfg := chipgen.DefaultConfig(chip)
+	cfg.Units = o.Units
+	cfg.JitterPct = o.JitterPct
+	cfg.JitterSeed = o.JitterSeed
+	die, err := chipgen.GenerateDie(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: die: %w", err)
+	}
+	bounds := die.Cell.Bounds()
+	vol, err := chipgen.Voxelize(die.Cell, bounds, o.VoxelNM)
+	if err != nil {
+		return nil, fmt.Errorf("core: voxelize: %w", err)
+	}
+	o.SEM.Detector = chip.Detector
+
+	// Blind ROI identification on the cheap scan.
+	roi, _, err := sem.FindROI(vol, o.SEM, 8)
+	if err != nil {
+		return nil, fmt.Errorf("core: roi: %w", err)
+	}
+	out := &DieResult{
+		ROI: [2]int64{
+			bounds.Min.X + int64(roi.X0)*o.VoxelNM,
+			bounds.Min.X + int64(roi.X1)*o.VoxelNM,
+		},
+		TrueROI: die.SA,
+	}
+	out.ROIOverlap = intervalIoU(out.ROI, out.TrueROI)
+
+	// Full-cost acquisition of the ROI only.
+	cropped, err := vol.CropX(roi.X0, roi.X1)
+	if err != nil {
+		return nil, fmt.Errorf("core: crop: %w", err)
+	}
+	acq, err := sem.AcquireStack(cropped, o.SEM)
+	if err != nil {
+		return nil, fmt.Errorf("core: acquire: %w", err)
+	}
+	plan, residual, err := Reconstruct(acq, cropped.BoundsNM, o)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := netex.Extract(plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: extract: %w", err)
+	}
+	out.Pipeline = &Result{
+		Chip: chip, Truth: die.Truth,
+		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
+		ResidualDriftPx: residual,
+		Extraction:      ext,
+		Stats:           measure.FromTransistors(ext.Transistors),
+	}
+	out.Pipeline.Score = measure.CompareToTruth(ext, die.Truth)
+	return out, nil
+}
+
+func intervalIoU(a, b [2]int64) float64 {
+	lo := a[0]
+	if b[0] > lo {
+		lo = b[0]
+	}
+	hi := a[1]
+	if b[1] < hi {
+		hi = b[1]
+	}
+	inter := hi - lo
+	if inter < 0 {
+		inter = 0
+	}
+	union := (a[1] - a[0]) + (b[1] - b[0]) - inter
+	if union <= 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

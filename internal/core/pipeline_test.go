@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+)
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, DefaultOptions()); err == nil {
+		t.Errorf("nil chip should error")
+	}
+	o := DefaultOptions()
+	o.Units = 0
+	if _, err := Run(chips.ByID("B4"), o); err == nil {
+		t.Errorf("zero units should error")
+	}
+	o = DefaultOptions()
+	o.Denoiser = "bogus"
+	if _, err := Run(chips.ByID("B4"), o); err == nil {
+		t.Errorf("unknown denoiser should error")
+	}
+}
+
+// fastOptions lowers the acquisition cost for unit tests: coarser voxels,
+// thicker slices, gentler artifacts.
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.VoxelNM = 8
+	o.SEM.DriftSigmaPx = 0.4
+	o.SEM.DwellUS = 12 // clean acquisition
+	o.Denoise.Iterations = 25
+	return o
+}
+
+func TestPipelineEndToEndClassic(t *testing.T) {
+	chip := chips.ByID("B4") // coarsest features: most robust under noise
+	res, err := Run(chip, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Score.TopologyCorrect {
+		t.Errorf("topology not recovered: got %v", res.Extraction.Topology)
+	}
+	if !res.Score.BitlinesCorrect {
+		t.Errorf("bitlines: got %d, want %d", res.Extraction.Bitlines, res.Truth.Bitlines)
+	}
+	if res.Score.MeanRelErr > 0.25 {
+		t.Errorf("mean dimension error %.1f%% too high: %s",
+			100*res.Score.MeanRelErr, res.Score.Summary())
+	}
+	if res.SliceCount == 0 || res.CostHours <= 0 {
+		t.Errorf("acquisition metadata missing")
+	}
+	if res.ResidualDriftPx > 1.0 {
+		t.Errorf("alignment residual %.2f px too high", res.ResidualDriftPx)
+	}
+}
+
+func TestPipelineEndToEndOCSA(t *testing.T) {
+	chip := chips.ByID("B5")
+	// B5's isolation gates are 16 nm long; they need the fine voxel
+	// grid to survive segmentation.
+	o := fastOptions()
+	o.VoxelNM = 4
+	res, err := Run(chip, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extraction.Topology != chips.OCSA {
+		t.Errorf("OCSA not recovered on B5: %s", res.Score.Summary())
+	}
+	by := res.Extraction.ByElement()
+	for _, e := range []chips.Element{chips.Isolation, chips.OffsetCancel, chips.Precharge} {
+		if len(by[e]) == 0 {
+			t.Errorf("element %s not recovered", e)
+		}
+	}
+}
+
+func TestPipelineNoNoiseIsNearPerfect(t *testing.T) {
+	o := fastOptions()
+	o.VoxelNM = 4
+	o.SEM.DwellUS = 1000
+	o.SEM.DriftSigmaPx = 0
+	o.SEM.ChargeSigma = 0
+	o.SEM.BlurSigmaPx = 0
+	o.Denoiser = "none"
+	o.Register.MaxShift = 0
+	res, err := Run(chips.ByID("C4"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Score.TopologyCorrect || !res.Score.BitlinesCorrect {
+		t.Errorf("clean pipeline failed: %s", res.Score.Summary())
+	}
+	if res.Score.MeanRelErr > 0.12 {
+		t.Errorf("clean-path dimension error %.1f%% exceeds quantization budget",
+			100*res.Score.MeanRelErr)
+	}
+	if len(res.Score.MissingElements) > 0 {
+		t.Errorf("missing elements: %v", res.Score.MissingElements)
+	}
+}
+
+func TestPipelineSplitBregmanPath(t *testing.T) {
+	o := fastOptions()
+	o.Denoiser = "split-bregman"
+	res, err := Run(chips.ByID("B4"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Score.TopologyCorrect {
+		t.Errorf("split-bregman path failed: %s", res.Score.Summary())
+	}
+}
+
+func TestMeasurementCountScales(t *testing.T) {
+	res, err := Run(chips.ByID("B4"), fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, s := range res.Stats {
+		n += s.W.N + s.L.N
+	}
+	if n < 2*res.Truth.TransistorCount*8/10 {
+		t.Errorf("measurements = %d, want close to %d", n, 2*res.Truth.TransistorCount)
+	}
+}
+
+func TestPipelineWithProcessVariation(t *testing.T) {
+	// The full noisy pipeline tolerates per-instance dimension jitter:
+	// topology still recovered, measured means near nominal.
+	o := fastOptions()
+	o.JitterPct = 4
+	o.JitterSeed = 5
+	res, err := Run(chips.ByID("B4"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Score.TopologyCorrect {
+		t.Errorf("variation broke topology recovery: %s", res.Score.Summary())
+	}
+	if res.Score.MeanRelErr > 0.3 {
+		t.Errorf("variation run error %.1f%%", 100*res.Score.MeanRelErr)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/sem"
+)
+
+func TestPlanarViews(t *testing.T) {
+	chip := chips.ByID("B4")
+	o := fastOptions()
+	region, err := chipgen.Generate(chipgen.DefaultConfig(chip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := region.Cell.Bounds()
+	vol, err := chipgen.Voxelize(region.Cell, window, o.VoxelNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.SEM.Detector = chip.Detector
+	acq, err := sem.AcquireStack(vol, o.SEM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views, err := PlanarViews(acq, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every layer with a depth band yields one view.
+	for _, name := range []string{"M1", "M2", "gate", "active", "contact", "via1", "capacitor"} {
+		v, ok := views[name]
+		if !ok {
+			t.Errorf("missing planar view for %s", name)
+			continue
+		}
+		if v.W != acq.Slices[0].W || v.H != len(acq.Slices) {
+			t.Errorf("%s: view dims %dx%d, want %dx%d", name, v.W, v.H,
+				acq.Slices[0].W, len(acq.Slices))
+		}
+	}
+	// The M1 view shows structure (bitlines); the capacitor band in an
+	// SA-only region is near flat.
+	m1 := views["M1"].Statistics()
+	cap := views["capacitor"].Statistics()
+	if m1.Std <= 2*cap.Std {
+		t.Errorf("M1 view should carry far more structure than the empty capacitor band: %.3f vs %.3f",
+			m1.Std, cap.Std)
+	}
+}

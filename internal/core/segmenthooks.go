@@ -1,0 +1,51 @@
+package core
+
+import (
+	"repro/internal/img"
+	"repro/internal/segment"
+)
+
+// Thin wrappers around package segment keeping the pipeline body
+// readable.
+
+func segmentOtsu(g *img.Gray) float64 { return segment.Otsu(g) }
+
+// classMeans returns the mean intensity of the pixels above and below the
+// threshold; ok is false when either class is (nearly) empty.
+func classMeans(g *img.Gray, thr float64) (fg, bg float64, ok bool) {
+	var sumF, sumB float64
+	var nF, nB int
+	for _, v := range g.Pix {
+		if v > thr {
+			sumF += v
+			nF++
+		} else {
+			sumB += v
+			nB++
+		}
+	}
+	if nF < len(g.Pix)/1000 || nB < len(g.Pix)/1000 {
+		return 0, 0, false
+	}
+	return sumF / float64(nF), sumB / float64(nB), true
+}
+
+// segmentMask thresholds the (already median-filtered) planar view. No
+// morphological opening: it would erase the 2-pixel contacts and vias,
+// and the median filter has already removed impulse noise.
+func segmentMask(g *img.Gray, thr float64) []bool {
+	return segment.Threshold(g, thr)
+}
+
+// segmentDecompose splits the mask into rectangles (tolerating the
+// 2-pixel corner rounding that opening and blur introduce) and prunes
+// those smaller than minPx pixels.
+func segmentDecompose(mask []bool, w, minPx int) [][4]int {
+	var out [][4]int
+	for _, r := range segment.DecomposeTol(mask, w, 2) {
+		if (r[2]-r[0])*(r[3]-r[1]) >= minPx {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package denoise implements the edge-preserving total-variation (TV)
+// denoising algorithms the HiFi-DRAM post-processing step relies on:
+// Chambolle's dual projection algorithm (Chambolle 2004) and the
+// split-Bregman method for the L1-regularized ROF model (Goldstein &
+// Osher 2009). Both minimize
+//
+//	min_u  TV(u) + lambda/2 * ||u - f||^2
+//
+// where f is the noisy SEM slice, preserving material edges while
+// removing shot noise so that subsequent mutual-information alignment is
+// stable.
+package denoise
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/img"
+)
+
+// Options configures a TV denoising run.
+type Options struct {
+	// Lambda is the fidelity weight: larger values keep the result
+	// closer to the input (less smoothing).
+	Lambda float64
+	// Iterations bounds the outer iteration count.
+	Iterations int
+	// Tol stops iterating early when the mean absolute update falls
+	// below this threshold. Zero disables early stopping.
+	Tol float64
+}
+
+// DefaultOptions returns parameters that work well for SEM slices
+// normalized to [0,1] with moderate shot noise.
+func DefaultOptions() Options {
+	return Options{Lambda: 8.0, Iterations: 60, Tol: 1e-5}
+}
+
+func (o Options) validate() error {
+	if o.Lambda <= 0 {
+		return fmt.Errorf("denoise: Lambda must be positive, got %v", o.Lambda)
+	}
+	if o.Iterations <= 0 {
+		return fmt.Errorf("denoise: Iterations must be positive, got %d", o.Iterations)
+	}
+	return nil
+}
+
+// Chambolle denoises f with Chambolle's dual projection algorithm and
+// returns a new image. The dual step size is fixed at 1/8, the proven
+// convergence bound for the 4-neighbor discrete gradient.
+func Chambolle(f *img.Gray, o Options) (*img.Gray, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	w, h := f.W, f.H
+	// Dual variables p = (px, py).
+	px := make([]float64, w*h)
+	py := make([]float64, w*h)
+	div := make([]float64, w*h)
+	u := make([]float64, w*h)
+	const tau = 0.125
+	invLambda := 1.0 / o.Lambda
+
+	for it := 0; it < o.Iterations; it++ {
+		// u = f - div(p)/lambda
+		divergence(px, py, w, h, div)
+		var change float64
+		for i := range u {
+			nu := f.Pix[i] + div[i]*invLambda
+			change += abs(nu - u[i])
+			u[i] = nu
+		}
+		// Gradient ascent on the dual with reprojection onto |p|<=1.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				gx, gy := 0.0, 0.0
+				if x < w-1 {
+					gx = u[i+1] - u[i]
+				}
+				if y < h-1 {
+					gy = u[i+w] - u[i]
+				}
+				npx := px[i] + tau*o.Lambda*gx
+				npy := py[i] + tau*o.Lambda*gy
+				norm := max1(hyp(npx, npy))
+				px[i] = npx / norm
+				py[i] = npy / norm
+			}
+		}
+		if o.Tol > 0 && it > 0 && change/float64(len(u)) < o.Tol {
+			break
+		}
+	}
+	divergence(px, py, w, h, div)
+	out := img.New(w, h)
+	for i := range u {
+		out.Pix[i] = f.Pix[i] + div[i]*invLambda
+	}
+	return out, nil
+}
+
+// divergence computes the discrete divergence of the dual field (adjoint
+// of the forward-difference gradient) into dst.
+func divergence(px, py []float64, w, h int, dst []float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			var d float64
+			if x == 0 {
+				d += px[i]
+			} else if x == w-1 {
+				d -= px[i-1]
+			} else {
+				d += px[i] - px[i-1]
+			}
+			if y == 0 {
+				d += py[i]
+			} else if y == h-1 {
+				d -= py[i-w]
+			} else {
+				d += py[i] - py[i-w]
+			}
+			dst[i] = d
+		}
+	}
+}
+
+// SplitBregman denoises f with the split-Bregman iteration for
+// anisotropic TV. Each outer iteration alternates a Gauss-Seidel solve of
+// the quadratic subproblem, soft-thresholding of the auxiliary gradient
+// variables (shrinkage), and a Bregman update.
+func SplitBregman(f *img.Gray, o Options) (*img.Gray, error) {
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	w, h := f.W, f.H
+	n := w * h
+	u := make([]float64, n)
+	copy(u, f.Pix)
+	dx := make([]float64, n)
+	dy := make([]float64, n)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	// mu is the fidelity weight, gamma the splitting weight. gamma is
+	// tied to mu per the usual heuristic gamma = 2*mu.
+	mu := o.Lambda
+	gamma := 2 * o.Lambda
+
+	at := func(arr []float64, x, y int) float64 {
+		if x < 0 {
+			x = 0
+		} else if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		} else if y >= h {
+			y = h - 1
+		}
+		return arr[y*w+x]
+	}
+
+	for it := 0; it < o.Iterations; it++ {
+		// Gauss-Seidel sweep for u.
+		var change float64
+		denom := mu + 4*gamma
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				sumN := at(u, x-1, y) + at(u, x+1, y) + at(u, x, y-1) + at(u, x, y+1)
+				dTerm := at(dx, x-1, y) - dx[i] + at(dy, x, y-1) - dy[i]
+				bTerm := bx[i] - at(bx, x-1, y) + by[i] - at(by, x, y-1)
+				nu := (mu*f.Pix[i] + gamma*(sumN+dTerm+bTerm)) / denom
+				change += abs(nu - u[i])
+				u[i] = nu
+			}
+		}
+		// Shrinkage of d and Bregman update of b.
+		thr := 1.0 / gamma
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				gx, gy := 0.0, 0.0
+				if x < w-1 {
+					gx = u[y*w+x+1] - u[i]
+				}
+				if y < h-1 {
+					gy = u[(y+1)*w+x] - u[i]
+				}
+				dx[i] = shrink(gx+bx[i], thr)
+				dy[i] = shrink(gy+by[i], thr)
+				bx[i] += gx - dx[i]
+				by[i] += gy - dy[i]
+			}
+		}
+		if o.Tol > 0 && it > 0 && change/float64(n) < o.Tol {
+			break
+		}
+	}
+	out := img.New(w, h)
+	copy(out.Pix, u)
+	return out, nil
+}
+
+// shrink is the scalar soft-thresholding operator.
+func shrink(v, t float64) float64 {
+	switch {
+	case v > t:
+		return v - t
+	case v < -t:
+		return v + t
+	default:
+		return 0
+	}
+}
+
+// TotalVariation returns the anisotropic total variation of an image:
+// the sum of absolute forward differences.
+func TotalVariation(g *img.Gray) float64 {
+	var tv float64
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.At(x, y)
+			if x < g.W-1 {
+				tv += abs(g.At(x+1, y) - v)
+			}
+			if y < g.H-1 {
+				tv += abs(g.At(x, y+1) - v)
+			}
+		}
+	}
+	return tv
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func hyp(a, b float64) float64 {
+	return math.Sqrt(a*a + b*b)
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

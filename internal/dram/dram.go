@@ -1,0 +1,308 @@
+// Package dram is a functional, charge-level DRAM bank simulator with
+// behavioural sense-amplifier models for both discovered topologies. It
+// exists to study Section VI-D: DRAM operated outside the DDR
+// specification (interrupted precharge, multi-row activation, skipped
+// precharge) behaves differently on chips with offset-cancellation SAs
+// than the classic-SA assumption predicts.
+//
+// Charge is tracked in millivolts per cell. An activation runs the
+// topology's event sequence at command granularity:
+//
+//	classic: charge share -> latch & restore -> (precharge & equalize)
+//	OCSA:    offset cancel -> charge share -> pre-sense -> restore
+//
+// with the key behavioural differences: the OCSA cancels per-column
+// sense offsets, begins charge sharing only after the offset-cancellation
+// phase, and resets the bitlines through its diode-connected transistors,
+// which defeats skipped-precharge tricks.
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chips"
+)
+
+// Config sizes a bank.
+type Config struct {
+	Rows, Cols int
+	Topology   chips.Topology
+	// VddMV is the array voltage; cells store 0 or VddMV.
+	VddMV int
+	// ShareDivisor is (Ccell+Cbl)/Ccell: the charge-sharing signal is
+	// (Vcell - Vpre) / ShareDivisor.
+	ShareDivisor int
+	// Timing in nanoseconds per phase.
+	TShareNS, TLatchNS, TOCNS, TPreSenseNS, TPrechargeNS int
+}
+
+// DefaultConfig returns a small bank with realistic relative timings.
+func DefaultConfig(topology chips.Topology) Config {
+	return Config{
+		Rows: 64, Cols: 64, Topology: topology,
+		VddMV: 1200, ShareDivisor: 7,
+		TShareNS: 6, TLatchNS: 18, TOCNS: 6, TPreSenseNS: 6, TPrechargeNS: 8,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rows <= 0 || c.Cols <= 0 {
+		return fmt.Errorf("dram: non-positive geometry %dx%d", c.Rows, c.Cols)
+	}
+	if c.VddMV <= 0 || c.ShareDivisor <= 1 {
+		return fmt.Errorf("dram: invalid electrical config")
+	}
+	if c.TShareNS <= 0 || c.TLatchNS <= 0 || c.TPrechargeNS <= 0 {
+		return fmt.Errorf("dram: non-positive timings")
+	}
+	if c.Topology == chips.OCSA && (c.TOCNS <= 0 || c.TPreSenseNS <= 0) {
+		return fmt.Errorf("dram: OCSA requires OC and pre-sense timings")
+	}
+	return nil
+}
+
+// state is the bank's row-buffer state machine.
+type state int
+
+const (
+	statePrecharged state = iota
+	stateActive
+	// stateLatchedNoPre: a row was closed without precharge, leaving
+	// the bitlines latched (out of spec).
+	stateLatchedNoPre
+)
+
+// Bank is one DRAM bank.
+type Bank struct {
+	cfg   Config
+	cells [][]int // charge in mV
+	// offsets is the per-column SA threshold mismatch in millivolts
+	// (positive biases the column toward latching 1).
+	offsets []int
+	st      state
+	openRow int
+	latch   []bool
+	// latchValid reports whether the latch content is meaningful.
+	latchValid bool
+	// Stats.
+	Activates, Reads, Writes, Precharges int
+	// ElapsedNS accumulates command time.
+	ElapsedNS int64
+}
+
+// NewBank allocates a precharged bank with all cells storing zero.
+func NewBank(cfg Config) (*Bank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Bank{cfg: cfg, openRow: -1}
+	b.cells = make([][]int, cfg.Rows)
+	for r := range b.cells {
+		b.cells[r] = make([]int, cfg.Cols)
+	}
+	b.offsets = make([]int, cfg.Cols)
+	b.latch = make([]bool, cfg.Cols)
+	return b, nil
+}
+
+// Config returns the bank configuration.
+func (b *Bank) Config() Config { return b.cfg }
+
+// InjectOffsets assigns random per-column sense offsets (Gaussian,
+// sigma in mV) modeling transistor mismatch. The classic SA suffers
+// them; the OCSA cancels them.
+func (b *Bank) InjectOffsets(seed int64, sigmaMV float64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range b.offsets {
+		b.offsets[i] = int(rng.NormFloat64() * sigmaMV)
+	}
+}
+
+// SetRow stores bits directly into a row's cells (full charge), a test
+// fixture that bypasses the command interface.
+func (b *Bank) SetRow(row int, bits []bool) error {
+	if err := b.checkRow(row); err != nil {
+		return err
+	}
+	if len(bits) != b.cfg.Cols {
+		return fmt.Errorf("dram: row data length %d, want %d", len(bits), b.cfg.Cols)
+	}
+	for c, v := range bits {
+		b.cells[row][c] = 0
+		if v {
+			b.cells[row][c] = b.cfg.VddMV
+		}
+	}
+	return nil
+}
+
+// Decay reduces every charged cell by delta mV (retention loss) and
+// raises every empty cell by delta toward Vpre, shrinking the sensing
+// signal from both sides.
+func (b *Bank) Decay(deltaMV int) {
+	vpre := b.cfg.VddMV / 2
+	for r := range b.cells {
+		for c := range b.cells[r] {
+			v := b.cells[r][c]
+			switch {
+			case v > vpre:
+				v -= deltaMV
+				if v < vpre {
+					v = vpre
+				}
+			case v < vpre:
+				v += deltaMV
+				if v > vpre {
+					v = vpre
+				}
+			}
+			b.cells[r][c] = v
+		}
+	}
+}
+
+func (b *Bank) checkRow(row int) error {
+	if row < 0 || row >= b.cfg.Rows {
+		return fmt.Errorf("dram: row %d out of [0,%d)", row, b.cfg.Rows)
+	}
+	return nil
+}
+
+// Activate opens a row per the DDR specification: the bank must be
+// precharged.
+func (b *Bank) Activate(row int) error {
+	if err := b.checkRow(row); err != nil {
+		return err
+	}
+	if b.st != statePrecharged {
+		return fmt.Errorf("dram: ACT while not precharged (state %d); use ActivateNoPrecharge for out-of-spec experiments", b.st)
+	}
+	b.activate(row, true)
+	return nil
+}
+
+// activate senses row; precharged reports whether the bitlines start at
+// the reference level.
+func (b *Bank) activate(row int, precharged bool) {
+	vpre := b.cfg.VddMV / 2
+	for c := 0; c < b.cfg.Cols; c++ {
+		switch {
+		case !precharged && b.cfg.Topology == chips.Classic:
+			// Classic SA with latched bitlines: the latch overpowers
+			// the cell and copies the old row-buffer value into it
+			// (the in-DRAM row-copy primitive).
+			// Latch keeps its value; cell is overwritten below.
+		case !precharged && b.cfg.Topology == chips.OCSA:
+			// The OCSA's offset-cancellation phase reconnects the
+			// bitlines to the diode-connected transistors before
+			// charge sharing, discarding the stale latched level: the
+			// activation proceeds as a normal sense of the new row.
+			b.senseColumn(row, c, vpre)
+		default:
+			b.senseColumn(row, c, vpre)
+		}
+		if !precharged && b.cfg.Topology == chips.Classic {
+			// keep latch; fallthrough to restore below
+			_ = c
+		}
+		// Restore drives the cell to the latched rail.
+		b.cells[row][c] = railMV(b.latch[c], b.cfg.VddMV)
+	}
+	b.latchValid = true
+	b.st = stateActive
+	b.openRow = row
+	b.Activates++
+	b.ElapsedNS += int64(b.ActivateLatencyNS())
+}
+
+// senseColumn latches column c from row's cell charge.
+func (b *Bank) senseColumn(row, c, vpre int) {
+	signal := (b.cells[row][c] - vpre) / b.cfg.ShareDivisor
+	if b.cfg.Topology == chips.Classic {
+		// The per-column offset shifts the decision threshold.
+		signal += b.offsets[c]
+	}
+	// The OCSA cancels the offset entirely (level-1 analysis in
+	// internal/sa shows exact cancellation; silicon achieves most of
+	// it). Ties resolve toward zero.
+	b.latch[c] = signal > 0
+}
+
+func railMV(v bool, vdd int) int {
+	if v {
+		return vdd
+	}
+	return 0
+}
+
+// ActivateLatencyNS returns the activation-to-ready latency of the
+// topology: OCSA activations carry the extra offset-cancellation and
+// pre-sensing phases (Fig. 9b).
+func (b *Bank) ActivateLatencyNS() int {
+	if b.cfg.Topology == chips.OCSA {
+		return b.cfg.TOCNS + b.cfg.TShareNS + b.cfg.TPreSenseNS + b.cfg.TLatchNS
+	}
+	return b.cfg.TShareNS + b.cfg.TLatchNS
+}
+
+// Read returns the latched bit of a column of the open row.
+func (b *Bank) Read(col int) (bool, error) {
+	if b.st != stateActive || !b.latchValid {
+		return false, fmt.Errorf("dram: RD with no open row")
+	}
+	if col < 0 || col >= b.cfg.Cols {
+		return false, fmt.Errorf("dram: column %d out of [0,%d)", col, b.cfg.Cols)
+	}
+	b.Reads++
+	return b.latch[col], nil
+}
+
+// Write sets a column of the open row through the latch.
+func (b *Bank) Write(col int, v bool) error {
+	if b.st != stateActive {
+		return fmt.Errorf("dram: WR with no open row")
+	}
+	if col < 0 || col >= b.cfg.Cols {
+		return fmt.Errorf("dram: column %d out of [0,%d)", col, b.cfg.Cols)
+	}
+	b.latch[col] = v
+	b.cells[b.openRow][col] = railMV(v, b.cfg.VddMV)
+	b.Writes++
+	return nil
+}
+
+// Precharge closes the open row and equalizes the bitlines (classic:
+// PEQ; OCSA: simultaneous ISO+OC activation — no dedicated equalizer
+// exists).
+func (b *Bank) Precharge() error {
+	if b.st == statePrecharged {
+		return nil // NOP per spec
+	}
+	b.st = statePrecharged
+	b.openRow = -1
+	b.latchValid = false
+	b.Precharges++
+	b.ElapsedNS += int64(b.cfg.TPrechargeNS)
+	return nil
+}
+
+// ReadRow performs a full in-spec ACT / RD* / PRE sequence.
+func (b *Bank) ReadRow(row int) ([]bool, error) {
+	if err := b.Activate(row); err != nil {
+		return nil, err
+	}
+	out := make([]bool, b.cfg.Cols)
+	for c := range out {
+		v, err := b.Read(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = v
+	}
+	if err := b.Precharge(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,420 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chips"
+)
+
+func pattern(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+func mustBank(t testing.TB, topo chips.Topology) *Bank {
+	t.Helper()
+	b, err := NewBank(DefaultConfig(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := map[string]func(*Config){
+		"zero rows":     func(c *Config) { c.Rows = 0 },
+		"zero cols":     func(c *Config) { c.Cols = 0 },
+		"zero vdd":      func(c *Config) { c.VddMV = 0 },
+		"share divisor": func(c *Config) { c.ShareDivisor = 1 },
+		"zero share t":  func(c *Config) { c.TShareNS = 0 },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultConfig(chips.Classic)
+		mutate(&cfg)
+		if _, err := NewBank(cfg); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	cfg := DefaultConfig(chips.OCSA)
+	cfg.TOCNS = 0
+	if _, err := NewBank(cfg); err == nil {
+		t.Errorf("OCSA without OC timing should fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	for _, topo := range []chips.Topology{chips.Classic, chips.OCSA} {
+		b := mustBank(t, topo)
+		want := pattern(b.Config().Cols, 42)
+		if err := b.SetRow(5, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadRow(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: bit %d = %v, want %v", topo, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCommandProtocol(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	if _, err := b.Read(0); err == nil {
+		t.Errorf("RD without ACT should fail")
+	}
+	if err := b.Write(0, true); err == nil {
+		t.Errorf("WR without ACT should fail")
+	}
+	if err := b.Activate(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate(1); err == nil {
+		t.Errorf("ACT on open bank should fail in spec")
+	}
+	if err := b.Write(3, true); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Read(3)
+	if err != nil || !v {
+		t.Errorf("read-after-write = %v, %v", v, err)
+	}
+	if _, err := b.Read(999); err == nil {
+		t.Errorf("out-of-range column should fail")
+	}
+	if err := b.Precharge(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Precharge(); err != nil {
+		t.Errorf("PRE on precharged bank is a NOP: %v", err)
+	}
+	if err := b.Activate(-1); err == nil {
+		t.Errorf("negative row should fail")
+	}
+}
+
+func TestWritePersistsAcrossPrecharge(t *testing.T) {
+	b := mustBank(t, chips.OCSA)
+	if err := b.Activate(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(11, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Precharge(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadRow(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[11] {
+		t.Errorf("written bit lost after precharge")
+	}
+}
+
+func TestActivationRestoresCharge(t *testing.T) {
+	// After decay, an in-spec activation restores full charge.
+	b := mustBank(t, chips.Classic)
+	want := pattern(b.Config().Cols, 9)
+	if err := b.SetRow(0, want); err != nil {
+		t.Fatal(err)
+	}
+	b.Decay(100)
+	if _, err := b.ReadRow(0); err != nil {
+		t.Fatal(err)
+	}
+	for c, v := range want {
+		if b.cells[0][c] != railMV(v, b.cfg.VddMV) {
+			t.Fatalf("cell %d not restored: %d", c, b.cells[0][c])
+		}
+	}
+}
+
+func TestOffsetsCauseClassicReadErrors(t *testing.T) {
+	// With decayed cells and large sense offsets, the classic SA
+	// mis-reads some columns while the OCSA still reads correctly —
+	// why vendors deploy offset cancellation on small nodes.
+	want := pattern(64, 3)
+	errsFor := func(topo chips.Topology) int {
+		b := mustBank(t, topo)
+		if err := b.SetRow(0, want); err != nil {
+			t.Fatal(err)
+		}
+		b.InjectOffsets(5, 40)
+		b.Decay(400) // signal shrinks to ~(600-400)/7 = 28 mV
+		got, err := b.ReadRow(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for i := range want {
+			if got[i] != want[i] {
+				n++
+			}
+		}
+		return n
+	}
+	classicErrs := errsFor(chips.Classic)
+	ocsaErrs := errsFor(chips.OCSA)
+	if classicErrs == 0 {
+		t.Errorf("classic SA should mis-read under 40 mV offsets with 28 mV signal")
+	}
+	if ocsaErrs != 0 {
+		t.Errorf("OCSA should cancel the offsets, got %d errors", ocsaErrs)
+	}
+}
+
+func TestOCSAActivationSlower(t *testing.T) {
+	bc := mustBank(t, chips.Classic)
+	bo := mustBank(t, chips.OCSA)
+	if bo.ActivateLatencyNS() <= bc.ActivateLatencyNS() {
+		t.Errorf("OCSA activation (%d ns) must exceed classic (%d ns): extra OC and pre-sense events",
+			bo.ActivateLatencyNS(), bc.ActivateLatencyNS())
+	}
+}
+
+func TestSkippedPrechargeRowCopyClassic(t *testing.T) {
+	// Section VI-D: on a classic chip, activating row B without
+	// precharging row A copies A's latched content into B.
+	b := mustBank(t, chips.Classic)
+	src := pattern(b.Config().Cols, 21)
+	if err := b.SetRow(1, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(2, pattern(b.Config().Cols, 22)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ActivateNoPrecharge(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Precharge(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadRow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != src[i] {
+			t.Fatalf("classic row copy failed at bit %d", i)
+		}
+	}
+}
+
+func TestSkippedPrechargeNoCopyOCSA(t *testing.T) {
+	// On an OCSA chip the diode-connected transistors reset the
+	// bitlines before charge sharing: row 2 keeps its own data.
+	b := mustBank(t, chips.OCSA)
+	own := pattern(b.Config().Cols, 33)
+	if err := b.SetRow(1, pattern(b.Config().Cols, 21)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(2, own); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ActivateNoPrecharge(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Precharge(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadRow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range own {
+		if got[i] != own[i] {
+			t.Fatalf("OCSA must not row-copy: bit %d changed", i)
+		}
+	}
+}
+
+func TestActivateNoPrechargeOnPrechargedBank(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	if err := b.ActivateNoPrecharge(0); err != nil {
+		t.Errorf("on a precharged bank this is a normal activation: %v", err)
+	}
+	b2 := mustBank(t, chips.Classic)
+	b2.st = stateLatchedNoPre // no latched data
+	b2.latchValid = false
+	if err := b2.ActivateNoPrecharge(1); err == nil {
+		t.Errorf("no latched data should fail")
+	}
+}
+
+func TestMultiActivateMajorityClassic(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	cols := b.Config().Cols
+	r1 := pattern(cols, 1)
+	r2 := pattern(cols, 2)
+	r3 := pattern(cols, 3)
+	for i, p := range [][]bool{r1, r2, r3} {
+		if err := b.SetRow(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := b.MultiActivate([]int{0, 1, 2}, b.MinMajorityWindowNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reliable {
+		t.Fatalf("classic majority within its window must be reliable")
+	}
+	for c := 0; c < cols; c++ {
+		n := 0
+		for _, p := range [][]bool{r1, r2, r3} {
+			if p[c] {
+				n++
+			}
+		}
+		want := n >= 2
+		if res.Majority[c] != want {
+			t.Fatalf("majority wrong at column %d", c)
+		}
+		// All three rows now hold the majority value.
+		if b.cells[0][c] != b.cells[1][c] || b.cells[1][c] != b.cells[2][c] {
+			t.Fatalf("rows diverge after majority restore")
+		}
+	}
+}
+
+func TestMultiActivateWindowTooShortForOCSA(t *testing.T) {
+	// The window that suffices on a classic chip is too short on an
+	// OCSA chip: charge sharing is delayed behind offset cancellation
+	// (Section VI-D).
+	bc := mustBank(t, chips.Classic)
+	bo := mustBank(t, chips.OCSA)
+	window := bc.MinMajorityWindowNS()
+	for i := 0; i < 3; i++ {
+		p := pattern(bc.Config().Cols, int64(i))
+		if err := bc.SetRow(i, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := bo.SetRow(i, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rc, err := bc.MultiActivate([]int{0, 1, 2}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := bo.MultiActivate([]int{0, 1, 2}, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Reliable {
+		t.Errorf("classic chip should succeed within its window")
+	}
+	if ro.Reliable {
+		t.Errorf("OCSA chip must need a longer window (%d < %d ns)",
+			window, bo.MinMajorityWindowNS())
+	}
+	// With the extended window the OCSA succeeds too.
+	bo2 := mustBank(t, chips.OCSA)
+	for i := 0; i < 3; i++ {
+		if err := bo2.SetRow(i, pattern(bo2.Config().Cols, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ro2, err := bo2.MultiActivate([]int{0, 1, 2}, bo2.MinMajorityWindowNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro2.Reliable {
+		t.Errorf("OCSA majority with extended window should succeed")
+	}
+}
+
+func TestMultiActivateValidation(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	if _, err := b.MultiActivate(nil, 10); err == nil {
+		t.Errorf("empty rows should fail")
+	}
+	if _, err := b.MultiActivate([]int{0, 0}, 10); err == nil {
+		t.Errorf("duplicate rows should fail")
+	}
+	if _, err := b.MultiActivate([]int{0, 999}, 10); err == nil {
+		t.Errorf("out-of-range row should fail")
+	}
+	if err := b.Activate(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MultiActivate([]int{1, 2}, 10); err == nil {
+		t.Errorf("multi-activate on open bank should fail")
+	}
+}
+
+func TestStatsAndElapsed(t *testing.T) {
+	b := mustBank(t, chips.OCSA)
+	if _, err := b.ReadRow(0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Activates != 1 || b.Reads != b.Config().Cols || b.Precharges != 1 {
+		t.Errorf("stats = %d/%d/%d", b.Activates, b.Reads, b.Precharges)
+	}
+	if b.ElapsedNS <= 0 {
+		t.Errorf("elapsed time not accumulated")
+	}
+}
+
+// Property: in-spec read always returns what was stored, for both
+// topologies, regardless of injected offsets up to half the signal.
+func TestReadFidelityProperty(t *testing.T) {
+	f := func(seed int64, topoBit bool) bool {
+		topo := chips.Classic
+		if topoBit {
+			topo = chips.OCSA
+		}
+		b, err := NewBank(DefaultConfig(topo))
+		if err != nil {
+			return false
+		}
+		b.InjectOffsets(seed, 20) // below the 85 mV full signal
+		want := pattern(b.Config().Cols, seed)
+		if err := b.SetRow(3, want); err != nil {
+			return false
+		}
+		got, err := b.ReadRow(3)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkActivateReadPrecharge(b *testing.B) {
+	bank, err := NewBank(DefaultConfig(chips.Classic))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bank.ReadRow(i % bank.Config().Rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/chips"
+)
+
+// This file implements the out-of-spec command sequences of Section VI-D:
+// experiments that work as published on classic-SA chips but change
+// behaviour on OCSA chips.
+
+// ActivateNoPrecharge opens a row without a preceding precharge (out of
+// spec). On classic-SA chips the still-latched bitlines overpower the new
+// row's cells and copy the previous row-buffer content into them; on OCSA
+// chips the offset-cancellation phase resets the bitlines first, so the
+// new row is sensed normally and no copy occurs.
+func (b *Bank) ActivateNoPrecharge(row int) error {
+	if err := b.checkRow(row); err != nil {
+		return err
+	}
+	if b.st == statePrecharged {
+		// Nothing out-of-spec about it then.
+		b.activate(row, true)
+		return nil
+	}
+	if !b.latchValid {
+		return fmt.Errorf("dram: no latched data to carry over")
+	}
+	b.activate(row, false)
+	return nil
+}
+
+// MultiActivateResult reports the outcome of a multi-row activation.
+type MultiActivateResult struct {
+	// Majority is the per-column majority value latched (and written
+	// back to every participating row) when the operation succeeded.
+	Majority []bool
+	// Reliable is false when the interruption window was too short for
+	// the topology's event sequence, leaving the result offset-driven
+	// garbage rather than the charge-sharing majority.
+	Reliable bool
+}
+
+// MultiActivate models the interrupted-precharge trick (ComputeDRAM
+// style): several wordlines are raised so their cells charge-share on the
+// bitlines, and the sense amplifiers then latch the per-column majority,
+// restoring it into every participating row.
+//
+// windowNS is the attacker-controlled interval between the first wordline
+// rising and the latch firing. On classic chips charge sharing starts
+// immediately, so the window must only cover the sharing time. On OCSA
+// chips charge sharing is delayed behind the offset-cancellation phase
+// (Section VI-D), so the same window that works on a classic chip is too
+// short and the operation becomes unreliable.
+func (b *Bank) MultiActivate(rows []int, windowNS int) (*MultiActivateResult, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dram: no rows")
+	}
+	seen := map[int]bool{}
+	for _, r := range rows {
+		if err := b.checkRow(r); err != nil {
+			return nil, err
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("dram: duplicate row %d", r)
+		}
+		seen[r] = true
+	}
+	if b.st != statePrecharged {
+		return nil, fmt.Errorf("dram: multi-activate requires a precharged bank")
+	}
+	need := b.cfg.TShareNS
+	if b.cfg.Topology == chips.OCSA {
+		need += b.cfg.TOCNS
+	}
+	res := &MultiActivateResult{
+		Majority: make([]bool, b.cfg.Cols),
+		Reliable: windowNS >= need,
+	}
+	vpre := b.cfg.VddMV / 2
+	for c := 0; c < b.cfg.Cols; c++ {
+		if !res.Reliable {
+			// The latch fires before the cells have shared: the
+			// decision is carried by the per-column offset alone.
+			b.latch[c] = b.offsets[c] > 0
+		} else {
+			// All cells share onto the bitline: the mean charge
+			// decides.
+			sum := 0
+			for _, r := range rows {
+				sum += b.cells[r][c]
+			}
+			signal := (sum/len(rows) - vpre) / b.cfg.ShareDivisor
+			if b.cfg.Topology == chips.Classic {
+				signal += b.offsets[c]
+			}
+			b.latch[c] = signal > 0
+		}
+		res.Majority[c] = b.latch[c]
+		// Restore writes the latched value into every open row.
+		for _, r := range rows {
+			b.cells[r][c] = railMV(b.latch[c], b.cfg.VddMV)
+		}
+	}
+	b.latchValid = true
+	b.st = stateActive
+	b.openRow = rows[0]
+	b.Activates++
+	b.ElapsedNS += int64(b.ActivateLatencyNS())
+	return res, nil
+}
+
+// MinMajorityWindowNS returns the shortest interruption window that
+// yields a reliable multi-row activation on this topology.
+func (b *Bank) MinMajorityWindowNS() int {
+	if b.cfg.Topology == chips.OCSA {
+		return b.cfg.TOCNS + b.cfg.TShareNS
+	}
+	return b.cfg.TShareNS
+}

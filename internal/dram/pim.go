@@ -1,0 +1,62 @@
+package dram
+
+import "fmt"
+
+// This file implements the in-DRAM bulk-bitwise primitive that several of
+// the audited papers build on (AMBIT and its successors): triple-row
+// activation computes the per-column majority MAJ(A, B, C), which
+// degenerates to AND(A, B) when C holds all zeros and OR(A, B) when C
+// holds all ones. The audited papers assume the classic SA (inaccuracy
+// I5); on an OCSA chip the same command window fails.
+
+// TRA performs a triple-row activation over rows a, b, c with the given
+// interruption window and leaves MAJ(a,b,c) in all three rows and the
+// row buffer. The bank must be precharged.
+func (b *Bank) TRA(a, rb, rc int, windowNS int) (*MultiActivateResult, error) {
+	return b.MultiActivate([]int{a, rb, rc}, windowNS)
+}
+
+// And computes dst = rowA AND rowB using a control row preloaded with
+// zeros, destroying all three operand rows' previous content (as the real
+// primitive does — callers copy operands into scratch rows first).
+// The result is also written into dst via the row buffer.
+func (b *Bank) And(rowA, rowB, ctlRow, dst int, windowNS int) error {
+	return b.bitwise(rowA, rowB, ctlRow, dst, windowNS, false)
+}
+
+// Or computes dst = rowA OR rowB using a control row preloaded with ones.
+func (b *Bank) Or(rowA, rowB, ctlRow, dst int, windowNS int) error {
+	return b.bitwise(rowA, rowB, ctlRow, dst, windowNS, true)
+}
+
+func (b *Bank) bitwise(rowA, rowB, ctlRow, dst int, windowNS int, ctl bool) error {
+	if err := b.checkRow(dst); err != nil {
+		return err
+	}
+	fill := make([]bool, b.cfg.Cols)
+	for i := range fill {
+		fill[i] = ctl
+	}
+	if err := b.SetRow(ctlRow, fill); err != nil {
+		return err
+	}
+	res, err := b.TRA(rowA, rowB, ctlRow, windowNS)
+	if err != nil {
+		return err
+	}
+	if !res.Reliable {
+		// Leave the (garbage) majority in place — that is what the
+		// silicon would do — but tell the caller.
+		if err := b.Precharge(); err != nil {
+			return err
+		}
+		return fmt.Errorf("dram: bitwise op unreliable: window %d ns below the topology's %d ns",
+			windowNS, b.MinMajorityWindowNS())
+	}
+	// Copy the row buffer into dst: write through the open row, then
+	// restore into dst cells.
+	for c := 0; c < b.cfg.Cols; c++ {
+		b.cells[dst][c] = railMV(res.Majority[c], b.cfg.VddMV)
+	}
+	return b.Precharge()
+}

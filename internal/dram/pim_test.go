@@ -1,0 +1,121 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+)
+
+func TestAndOrClassic(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	cols := b.Config().Cols
+	a := pattern(cols, 101)
+	bb := pattern(cols, 202)
+	if err := b.SetRow(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(1, bb); err != nil {
+		t.Fatal(err)
+	}
+	w := b.MinMajorityWindowNS()
+	if err := b.And(0, 1, 2, 10, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.ReadRow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != (a[i] && bb[i]) {
+			t.Fatalf("AND wrong at bit %d", i)
+		}
+	}
+	// OR with fresh operands (TRA destroyed the originals).
+	if err := b.SetRow(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(1, bb); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Or(0, 1, 2, 11, w); err != nil {
+		t.Fatal(err)
+	}
+	got, err = b.ReadRow(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != (a[i] || bb[i]) {
+			t.Fatalf("OR wrong at bit %d", i)
+		}
+	}
+}
+
+func TestTRADestroysOperands(t *testing.T) {
+	// The primitive writes the majority back into every operand row.
+	b := mustBank(t, chips.Classic)
+	cols := b.Config().Cols
+	a := pattern(cols, 7)
+	if err := b.SetRow(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(1, pattern(cols, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(2, pattern(cols, 9)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.TRA(0, 1, 2, b.MinMajorityWindowNS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Precharge(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range []int{0, 1, 2} {
+		got, err := b.ReadRow(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != res.Majority[i] {
+				t.Fatalf("row %d bit %d not overwritten by majority", row, i)
+			}
+		}
+	}
+}
+
+func TestBitwiseFailsOnOCSAWithClassicWindow(t *testing.T) {
+	// Inaccuracy I5 in action: the published AMBIT-style window works on
+	// classic chips but is too short for the OCSA's delayed charge
+	// sharing.
+	classicWindow := mustBank(t, chips.Classic).MinMajorityWindowNS()
+	b := mustBank(t, chips.OCSA)
+	cols := b.Config().Cols
+	if err := b.SetRow(0, pattern(cols, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(1, pattern(cols, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.And(0, 1, 2, 10, classicWindow); err == nil {
+		t.Errorf("AND with the classic window must fail on an OCSA chip")
+	}
+	// With the OCSA's own window it works.
+	if err := b.SetRow(0, pattern(cols, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetRow(1, pattern(cols, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.And(0, 1, 2, 10, b.MinMajorityWindowNS()); err != nil {
+		t.Errorf("AND with the OCSA window should succeed: %v", err)
+	}
+}
+
+func TestBitwiseValidation(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	if err := b.And(0, 1, 2, 999, 10); err == nil {
+		t.Errorf("out-of-range dst should fail")
+	}
+}

@@ -1,0 +1,73 @@
+package dram
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/chips"
+)
+
+// ReliabilityPoint is one point of a retention-reliability sweep.
+type ReliabilityPoint struct {
+	DecayMV int
+	// ErrorRate is the fraction of mis-read bits.
+	ErrorRate float64
+}
+
+// RetentionSweep measures the read-error rate of a topology as cell
+// charge decays, under Monte-Carlo per-column sense offsets. This is the
+// reliability pressure the paper cites as the reason vendors moved to
+// offset-cancellation designs: with smaller technology nodes the signal
+// shrinks while mismatch grows, and the classic SA starts mislatching
+// long before the OCSA does.
+func RetentionSweep(topology chips.Topology, offsetSigmaMV float64, decaysMV []int, trials int, seed int64) ([]ReliabilityPoint, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("dram: non-positive trial count %d", trials)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []ReliabilityPoint
+	for _, decay := range decaysMV {
+		if decay < 0 {
+			return nil, fmt.Errorf("dram: negative decay %d", decay)
+		}
+		errors, bits := 0, 0
+		for tr := 0; tr < trials; tr++ {
+			b, err := NewBank(DefaultConfig(topology))
+			if err != nil {
+				return nil, err
+			}
+			b.InjectOffsets(rng.Int63(), offsetSigmaMV)
+			want := make([]bool, b.cfg.Cols)
+			for i := range want {
+				want[i] = rng.Intn(2) == 1
+			}
+			if err := b.SetRow(0, want); err != nil {
+				return nil, err
+			}
+			b.Decay(decay)
+			got, err := b.ReadRow(0)
+			if err != nil {
+				return nil, err
+			}
+			for i := range want {
+				bits++
+				if got[i] != want[i] {
+					errors++
+				}
+			}
+		}
+		out = append(out, ReliabilityPoint{DecayMV: decay, ErrorRate: float64(errors) / float64(bits)})
+	}
+	return out, nil
+}
+
+// CriticalDecayMV returns the smallest decay in the sweep at which the
+// error rate exceeds the threshold, or -1 if it never does.
+func CriticalDecayMV(points []ReliabilityPoint, threshold float64) int {
+	for _, p := range points {
+		if p.ErrorRate > threshold {
+			return p.DecayMV
+		}
+	}
+	return -1
+}

@@ -1,0 +1,77 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+)
+
+func TestRetentionSweepShape(t *testing.T) {
+	decays := []int{0, 200, 350, 450, 550}
+	classic, err := RetentionSweep(chips.Classic, 30, decays, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocsa, err := RetentionSweep(chips.OCSA, 30, decays, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classic) != len(decays) || len(ocsa) != len(decays) {
+		t.Fatalf("sweep lengths wrong")
+	}
+	// No decay: both topologies read perfectly (30 mV sigma offsets
+	// against an 85 mV signal).
+	if classic[0].ErrorRate != 0 || ocsa[0].ErrorRate != 0 {
+		t.Errorf("fresh cells must read clean: %v / %v", classic[0].ErrorRate, ocsa[0].ErrorRate)
+	}
+	// Error rates are non-decreasing with decay for the classic SA and
+	// it fails strictly earlier than the OCSA.
+	for i := 1; i < len(classic); i++ {
+		if classic[i].ErrorRate < classic[i-1].ErrorRate-1e-9 {
+			t.Errorf("classic error rate not monotone at %d mV", classic[i].DecayMV)
+		}
+	}
+	cc := CriticalDecayMV(classic, 0.001)
+	co := CriticalDecayMV(ocsa, 0.001)
+	if cc == -1 {
+		t.Fatalf("classic SA should start failing within the sweep")
+	}
+	if co != -1 && co <= cc {
+		t.Errorf("OCSA critical decay (%d) must exceed classic's (%d)", co, cc)
+	}
+	// The OCSA only fails once the signal itself vanishes (ties at the
+	// full-decay point resolve toward zero); at 450 mV decay it still
+	// reads clean while the classic SA is already erring.
+	if ocsa[3].ErrorRate > 0 {
+		t.Errorf("OCSA at 450 mV decay should still read clean, got %v", ocsa[3].ErrorRate)
+	}
+	if classic[3].ErrorRate == 0 {
+		t.Errorf("classic at 450 mV decay with 30 mV offsets should err")
+	}
+}
+
+func TestRetentionSweepValidation(t *testing.T) {
+	if _, err := RetentionSweep(chips.Classic, 30, []int{0}, 0, 1); err == nil {
+		t.Errorf("zero trials should fail")
+	}
+	if _, err := RetentionSweep(chips.Classic, 30, []int{-5}, 1, 1); err == nil {
+		t.Errorf("negative decay should fail")
+	}
+}
+
+func TestCriticalDecayNotReached(t *testing.T) {
+	pts := []ReliabilityPoint{{0, 0}, {100, 0}}
+	if got := CriticalDecayMV(pts, 0.001); got != -1 {
+		t.Errorf("critical decay = %d, want -1", got)
+	}
+}
+
+func BenchmarkRetentionSweep(b *testing.B) {
+	decays := []int{0, 300, 500}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RetentionSweep(chips.Classic, 30, decays, 4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package dram
+
+import "fmt"
+
+// Command timing enforcement. The bank tracks a nanosecond clock; reads
+// and writes issued before the activation's sensing completes violate the
+// topology's effective tRCD. A memory controller configured with
+// classic-SA timings silently violates tRCD on an OCSA chip — the
+// operational consequence of inaccuracy I5.
+
+// ErrTiming reports a DDR timing violation.
+type ErrTiming struct {
+	Command string
+	// NowNS and ReadyNS are the issue time and the earliest legal time.
+	NowNS, ReadyNS int64
+}
+
+// Error implements error.
+func (e *ErrTiming) Error() string {
+	return fmt.Sprintf("dram: %s at t=%dns violates tRCD (row ready at %dns)",
+		e.Command, e.NowNS, e.ReadyNS)
+}
+
+// TimedBank wraps a Bank with a clock and DDR-style timing checks.
+type TimedBank struct {
+	*Bank
+	// NowNS is the current time; advanced by Wait and by commands.
+	NowNS int64
+	// readyNS is when the open row's data becomes accessible (tRCD).
+	readyNS int64
+	// TRCDNS is the activation-to-read delay the CONTROLLER assumes.
+	// The bank's actual readiness follows its topology; a controller
+	// assumption below the real latency causes timing errors.
+	TRCDNS int
+}
+
+// NewTimedBank wraps a bank with the controller's assumed tRCD.
+func NewTimedBank(b *Bank, assumedTRCDNS int) (*TimedBank, error) {
+	if assumedTRCDNS <= 0 {
+		return nil, fmt.Errorf("dram: non-positive tRCD %d", assumedTRCDNS)
+	}
+	return &TimedBank{Bank: b, TRCDNS: assumedTRCDNS}, nil
+}
+
+// Wait advances the clock.
+func (t *TimedBank) Wait(ns int) {
+	if ns > 0 {
+		t.NowNS += int64(ns)
+	}
+}
+
+// ActivateAt issues ACT and schedules readiness per the bank's REAL
+// topology latency; the controller will typically Wait(TRCDNS) before
+// reading.
+func (t *TimedBank) ActivateAt(row int) error {
+	if err := t.Bank.Activate(row); err != nil {
+		return err
+	}
+	t.readyNS = t.NowNS + int64(t.Bank.ActivateLatencyNS())
+	return nil
+}
+
+// ReadAt reads a column, failing with ErrTiming if the row's sensing has
+// not completed yet (the data would be garbage on silicon).
+func (t *TimedBank) ReadAt(col int) (bool, error) {
+	if t.NowNS < t.readyNS {
+		return false, &ErrTiming{Command: "RD", NowNS: t.NowNS, ReadyNS: t.readyNS}
+	}
+	return t.Bank.Read(col)
+}
+
+// WriteAt writes a column under the same constraint.
+func (t *TimedBank) WriteAt(col int, v bool) error {
+	if t.NowNS < t.readyNS {
+		return &ErrTiming{Command: "WR", NowNS: t.NowNS, ReadyNS: t.readyNS}
+	}
+	return t.Bank.Write(col, v)
+}
+
+// PrechargeAt closes the row and advances the clock by the precharge
+// time.
+func (t *TimedBank) PrechargeAt() error {
+	if err := t.Bank.Precharge(); err != nil {
+		return err
+	}
+	t.NowNS += int64(t.Bank.cfg.TPrechargeNS)
+	return nil
+}
+
+// ControllerReadRow performs the controller's standard sequence:
+// ACT, wait the ASSUMED tRCD, read every column, precharge. On a chip
+// whose real activation latency exceeds the assumption, the first read
+// fails with ErrTiming.
+func (t *TimedBank) ControllerReadRow(row int) ([]bool, error) {
+	if err := t.ActivateAt(row); err != nil {
+		return nil, err
+	}
+	t.Wait(t.TRCDNS)
+	out := make([]bool, t.Bank.cfg.Cols)
+	for c := range out {
+		v, err := t.ReadAt(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = v
+	}
+	return out, t.PrechargeAt()
+}

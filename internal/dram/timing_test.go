@@ -1,0 +1,95 @@
+package dram
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chips"
+)
+
+func TestControllerTimingsOnCorrectTopology(t *testing.T) {
+	for _, topo := range []chips.Topology{chips.Classic, chips.OCSA} {
+		b := mustBank(t, topo)
+		want := pattern(b.Config().Cols, 5)
+		if err := b.SetRow(3, want); err != nil {
+			t.Fatal(err)
+		}
+		// Controller configured with the chip's REAL latency: fine.
+		tb, err := NewTimedBank(b, b.ActivateLatencyNS())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tb.ControllerReadRow(3)
+		if err != nil {
+			t.Fatalf("%v: %v", topo, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: bit %d wrong", topo, i)
+			}
+		}
+	}
+}
+
+func TestClassicTimingsViolateOnOCSA(t *testing.T) {
+	// Inaccuracy I5, operationally: a controller tuned for the classic
+	// chip's tRCD reads too early on an OCSA chip.
+	classic := mustBank(t, chips.Classic)
+	classicTRCD := classic.ActivateLatencyNS()
+
+	ocsa := mustBank(t, chips.OCSA)
+	if err := ocsa.SetRow(0, pattern(ocsa.Config().Cols, 1)); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTimedBank(ocsa, classicTRCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tb.ControllerReadRow(0)
+	var te *ErrTiming
+	if !errors.As(err, &te) {
+		t.Fatalf("expected a tRCD violation, got %v", err)
+	}
+	if te.Command != "RD" || te.ReadyNS <= te.NowNS {
+		t.Errorf("violation details wrong: %+v", te)
+	}
+	if te.Error() == "" {
+		t.Errorf("empty error string")
+	}
+}
+
+func TestTimedBankWriteGating(t *testing.T) {
+	b := mustBank(t, chips.OCSA)
+	tb, err := NewTimedBank(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.ActivateAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteAt(0, true); err == nil {
+		t.Errorf("write before sensing completes must fail")
+	}
+	tb.Wait(b.ActivateLatencyNS())
+	if err := tb.WriteAt(0, true); err != nil {
+		t.Errorf("write after readiness should succeed: %v", err)
+	}
+	if err := tb.PrechargeAt(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NowNS <= int64(b.ActivateLatencyNS()) {
+		t.Errorf("clock should advance through precharge")
+	}
+}
+
+func TestTimedBankValidation(t *testing.T) {
+	b := mustBank(t, chips.Classic)
+	if _, err := NewTimedBank(b, 0); err == nil {
+		t.Errorf("zero tRCD should fail")
+	}
+	tb, _ := NewTimedBank(b, 10)
+	tb.Wait(-5)
+	if tb.NowNS != 0 {
+		t.Errorf("negative wait must not rewind the clock")
+	}
+}

@@ -1,0 +1,320 @@
+// Package gds implements a reader and writer for the GDSII stream format,
+// the industry-standard layout interchange format in which HiFi-DRAM
+// publishes its reverse-engineered sense-amplifier layouts.
+//
+// The subset implemented covers everything a flat rectilinear layout
+// export needs: HEADER/BGNLIB/LIBNAME/UNITS, structures (BGNSTR, STRNAME,
+// ENDSTR), BOUNDARY elements with LAYER/DATATYPE/XY, and ENDLIB. Records
+// are big-endian; coordinates are 4-byte signed integers in database
+// units (we use 1 dbu = 1 nm).
+package gds
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Record types used by this implementation.
+const (
+	recHEADER   = 0x0002
+	recBGNLIB   = 0x0102
+	recLIBNAME  = 0x0206
+	recUNITS    = 0x0305
+	recENDLIB   = 0x0400
+	recBGNSTR   = 0x0502
+	recSTRNAME  = 0x0606
+	recENDSTR   = 0x0700
+	recBOUNDARY = 0x0800
+	recLAYER    = 0x0D02
+	recDATATYPE = 0x0E02
+	recXY       = 0x1003
+	recENDEL    = 0x1100
+)
+
+// Boundary is a closed polygon on a layer. Points are in database units
+// and must not repeat the first point; the writer closes the ring.
+type Boundary struct {
+	Layer    int
+	Datatype int
+	XY       [][2]int32
+}
+
+// Structure is a named cell containing boundary elements.
+type Structure struct {
+	Name       string
+	Boundaries []Boundary
+}
+
+// Library is a GDSII library: a name, its unit scale and its structures.
+type Library struct {
+	Name string
+	// UserUnit is the size of a database unit in user units (GDSII
+	// UNITS first value); MeterUnit is the size of a database unit in
+	// meters. Our exports use 1 dbu = 1 nm: UserUnit 1e-3 (um per dbu
+	// would be 1e-3), MeterUnit 1e-9.
+	UserUnit  float64
+	MeterUnit float64
+	Structs   []Structure
+}
+
+// NewLibrary returns a library configured for 1 nm database units.
+func NewLibrary(name string) *Library {
+	return &Library{Name: name, UserUnit: 1e-3, MeterUnit: 1e-9}
+}
+
+// Write encodes the library as a GDSII stream.
+func (lib *Library) Write(w io.Writer) error {
+	e := &encoder{w: w}
+	e.record(recHEADER, u16(600))
+	e.record(recBGNLIB, timestampPayload())
+	e.record(recLIBNAME, asciiPayload(lib.Name))
+	e.record(recUNITS, append(real8(lib.UserUnit), real8(lib.MeterUnit)...))
+	for _, s := range lib.Structs {
+		e.record(recBGNSTR, timestampPayload())
+		e.record(recSTRNAME, asciiPayload(s.Name))
+		for _, b := range s.Boundaries {
+			e.record(recBOUNDARY, nil)
+			e.record(recLAYER, u16(uint16(b.Layer)))
+			e.record(recDATATYPE, u16(uint16(b.Datatype)))
+			e.record(recXY, xyPayload(b.XY))
+			e.record(recENDEL, nil)
+		}
+		e.record(recENDSTR, nil)
+	}
+	e.record(recENDLIB, nil)
+	return e.err
+}
+
+type encoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *encoder) record(rectype uint16, payload []byte) {
+	if e.err != nil {
+		return
+	}
+	length := 4 + len(payload)
+	if length > math.MaxUint16 {
+		e.err = fmt.Errorf("gds: record 0x%04x payload too large (%d bytes)", rectype, len(payload))
+		return
+	}
+	hdr := []byte{byte(length >> 8), byte(length), byte(rectype >> 8), byte(rectype)}
+	if _, err := e.w.Write(hdr); err != nil {
+		e.err = err
+		return
+	}
+	if len(payload) > 0 {
+		if _, err := e.w.Write(payload); err != nil {
+			e.err = err
+		}
+	}
+}
+
+func u16(v uint16) []byte { return []byte{byte(v >> 8), byte(v)} }
+
+// timestampPayload encodes the 12 int16 modification/access timestamps.
+// A fixed epoch keeps outputs byte-for-byte reproducible.
+func timestampPayload() []byte {
+	out := make([]byte, 24)
+	// year=2024, month=1, day=1, rest zero, duplicated.
+	binary.BigEndian.PutUint16(out[0:], 2024)
+	binary.BigEndian.PutUint16(out[2:], 1)
+	binary.BigEndian.PutUint16(out[4:], 1)
+	binary.BigEndian.PutUint16(out[12:], 2024)
+	binary.BigEndian.PutUint16(out[14:], 1)
+	binary.BigEndian.PutUint16(out[16:], 1)
+	return out
+}
+
+// asciiPayload encodes a string, padding with NUL to even length.
+func asciiPayload(s string) []byte {
+	b := []byte(s)
+	if len(b)%2 == 1 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func xyPayload(xy [][2]int32) []byte {
+	// Closed ring: repeat the first point.
+	pts := make([][2]int32, len(xy), len(xy)+1)
+	copy(pts, xy)
+	if len(xy) > 0 {
+		pts = append(pts, xy[0])
+	}
+	out := make([]byte, 8*len(pts))
+	for i, p := range pts {
+		binary.BigEndian.PutUint32(out[8*i:], uint32(p[0]))
+		binary.BigEndian.PutUint32(out[8*i+4:], uint32(p[1]))
+	}
+	return out
+}
+
+// real8 encodes a float64 as GDSII 8-byte excess-64 base-16 real.
+func real8(v float64) []byte {
+	out := make([]byte, 8)
+	if v == 0 {
+		return out
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	// Normalize mantissa into [1/16, 1) with exponent base 16.
+	exp := 0
+	for v >= 1 {
+		v /= 16
+		exp++
+	}
+	for v < 1.0/16 {
+		v *= 16
+		exp--
+	}
+	mant := uint64(v * math.Pow(2, 56)) // 7 bytes of mantissa
+	b0 := byte(exp + 64)
+	if neg {
+		b0 |= 0x80
+	}
+	out[0] = b0
+	for i := 6; i >= 0; i-- {
+		out[1+6-i] = byte(mant >> (8 * uint(i)))
+	}
+	return out
+}
+
+// parseReal8 decodes a GDSII excess-64 real.
+func parseReal8(b []byte) float64 {
+	if len(b) != 8 {
+		return 0
+	}
+	neg := b[0]&0x80 != 0
+	exp := int(b[0]&0x7F) - 64
+	var mant uint64
+	for _, x := range b[1:] {
+		mant = mant<<8 | uint64(x)
+	}
+	v := float64(mant) / math.Pow(2, 56) * math.Pow(16, float64(exp))
+	if neg {
+		v = -v
+	}
+	return v
+}
+
+// Read decodes a GDSII stream produced by Write (or any flat library
+// using the supported record subset). Unknown records inside structures
+// and elements are skipped.
+func Read(r io.Reader) (*Library, error) {
+	lib := &Library{}
+	var cur *Structure
+	var curBoundary *Boundary
+	sawHeader := false
+	for {
+		rectype, payload, err := readRecord(r)
+		if err == io.EOF {
+			return nil, fmt.Errorf("gds: missing ENDLIB")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rectype {
+		case recHEADER:
+			sawHeader = true
+		case recLIBNAME:
+			lib.Name = trimNul(payload)
+		case recUNITS:
+			if len(payload) != 16 {
+				return nil, fmt.Errorf("gds: UNITS payload %d bytes, want 16", len(payload))
+			}
+			lib.UserUnit = parseReal8(payload[:8])
+			lib.MeterUnit = parseReal8(payload[8:])
+		case recBGNSTR:
+			if cur != nil {
+				return nil, fmt.Errorf("gds: nested BGNSTR")
+			}
+			cur = &Structure{}
+		case recSTRNAME:
+			if cur == nil {
+				return nil, fmt.Errorf("gds: STRNAME outside structure")
+			}
+			cur.Name = trimNul(payload)
+		case recENDSTR:
+			if cur == nil {
+				return nil, fmt.Errorf("gds: ENDSTR outside structure")
+			}
+			lib.Structs = append(lib.Structs, *cur)
+			cur = nil
+		case recBOUNDARY:
+			if cur == nil {
+				return nil, fmt.Errorf("gds: BOUNDARY outside structure")
+			}
+			curBoundary = &Boundary{}
+		case recLAYER:
+			if curBoundary != nil && len(payload) >= 2 {
+				curBoundary.Layer = int(binary.BigEndian.Uint16(payload))
+			}
+		case recDATATYPE:
+			if curBoundary != nil && len(payload) >= 2 {
+				curBoundary.Datatype = int(binary.BigEndian.Uint16(payload))
+			}
+		case recXY:
+			if curBoundary != nil {
+				n := len(payload) / 8
+				for i := 0; i < n; i++ {
+					x := int32(binary.BigEndian.Uint32(payload[8*i:]))
+					y := int32(binary.BigEndian.Uint32(payload[8*i+4:]))
+					curBoundary.XY = append(curBoundary.XY, [2]int32{x, y})
+				}
+				// Drop the closing point the writer added.
+				if len(curBoundary.XY) > 1 &&
+					curBoundary.XY[0] == curBoundary.XY[len(curBoundary.XY)-1] {
+					curBoundary.XY = curBoundary.XY[:len(curBoundary.XY)-1]
+				}
+			}
+		case recENDEL:
+			if curBoundary != nil && cur != nil {
+				cur.Boundaries = append(cur.Boundaries, *curBoundary)
+			}
+			curBoundary = nil
+		case recENDLIB:
+			if !sawHeader {
+				return nil, fmt.Errorf("gds: stream has no HEADER")
+			}
+			if cur != nil {
+				return nil, fmt.Errorf("gds: ENDLIB inside structure %q", cur.Name)
+			}
+			return lib, nil
+		default:
+			// Skip unhandled records (BGNLIB timestamps, PATH, etc.).
+		}
+	}
+}
+
+func readRecord(r io.Reader) (uint16, []byte, error) {
+	hdr := make([]byte, 4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, nil, fmt.Errorf("gds: truncated record header")
+		}
+		return 0, nil, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr))
+	rectype := binary.BigEndian.Uint16(hdr[2:])
+	if length < 4 {
+		return 0, nil, fmt.Errorf("gds: record length %d < 4", length)
+	}
+	payload := make([]byte, length-4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("gds: truncated record 0x%04x: %w", rectype, err)
+	}
+	return rectype, payload, nil
+}
+
+func trimNul(b []byte) string {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}

@@ -1,0 +1,321 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, -4)
+	q := Pt(10, 2)
+	if got := p.Add(q); got != Pt(13, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != Pt(7, 6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(-2); got != Pt(-6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := p.ManhattanDist(q); got != 13 {
+		t.Errorf("ManhattanDist = %d", got)
+	}
+}
+
+func TestRectCanon(t *testing.T) {
+	r := R(10, 20, 2, 5)
+	if r.Min != Pt(2, 5) || r.Max != Pt(10, 20) {
+		t.Fatalf("R not canonical: %v", r)
+	}
+	if r.W() != 8 || r.H() != 15 {
+		t.Errorf("W,H = %d,%d", r.W(), r.H())
+	}
+	if r.Area() != 120 {
+		t.Errorf("Area = %d", r.Area())
+	}
+}
+
+func TestRectEmptyArea(t *testing.T) {
+	var zero Rect
+	if !zero.Empty() || zero.Area() != 0 {
+		t.Errorf("zero rect should be empty with zero area")
+	}
+	line := Rect{Pt(0, 0), Pt(10, 0)}
+	if !line.Empty() {
+		t.Errorf("degenerate rect should be empty")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	c := R(20, 20, 30, 30)
+	if !a.Intersect(c).Empty() {
+		t.Errorf("disjoint rects should intersect empty")
+	}
+	// Touching edges do not overlap.
+	d := R(10, 0, 20, 10)
+	if a.Overlaps(d) {
+		t.Errorf("edge-touching rects must not overlap")
+	}
+	if !a.Intersect(d).Empty() {
+		t.Errorf("edge-touching intersection must be empty")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := R(0, 0, 5, 5)
+	b := R(10, -3, 12, 2)
+	if got := a.Union(b); got != R(0, -3, 12, 5) {
+		t.Errorf("Union = %v", got)
+	}
+	var empty Rect
+	if got := empty.Union(b); got != b {
+		t.Errorf("empty union should return other: %v", got)
+	}
+	if got := b.Union(empty); got != b {
+		t.Errorf("union with empty should return receiver: %v", got)
+	}
+}
+
+func TestRectInset(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if got := a.Inset(2); got != R(2, 2, 8, 8) {
+		t.Errorf("Inset = %v", got)
+	}
+	if got := a.Inset(-3); got != R(-3, -3, 13, 13) {
+		t.Errorf("grow = %v", got)
+	}
+	if got := a.Inset(7); !got.Empty() {
+		t.Errorf("over-inset should be empty, got %v", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if !a.Contains(Pt(0, 0)) {
+		t.Errorf("Min corner should be contained")
+	}
+	if a.Contains(Pt(10, 10)) {
+		t.Errorf("Max corner should not be contained")
+	}
+	if !a.ContainsRect(R(2, 2, 8, 8)) {
+		t.Errorf("inner rect should be contained")
+	}
+	if a.ContainsRect(R(2, 2, 12, 8)) {
+		t.Errorf("protruding rect should not be contained")
+	}
+	if !a.ContainsRect(Rect{}) {
+		t.Errorf("empty rect is contained everywhere")
+	}
+}
+
+func TestRectSeparation(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		name string
+		b    Rect
+		want int64
+	}{
+		{"overlap", R(5, 5, 15, 15), 0},
+		{"touching", R(10, 0, 20, 10), 0},
+		{"x-gap", R(13, 0, 20, 10), 3},
+		{"y-gap", R(0, 17, 10, 20), 7},
+		{"diagonal", R(14, 12, 20, 20), 4},
+		{"left", R(-9, 0, -5, 10), 5},
+	}
+	for _, c := range cases {
+		if got := a.Separation(c.b); got != c.want {
+			t.Errorf("%s: Separation = %d, want %d", c.name, got, c.want)
+		}
+		if got := c.b.Separation(a); got != c.want {
+			t.Errorf("%s: Separation not symmetric: %d", c.name, got)
+		}
+	}
+}
+
+func TestRectTranslateCenter(t *testing.T) {
+	a := R(0, 0, 10, 4)
+	b := a.Translate(Pt(5, 5))
+	if b != R(5, 5, 15, 9) {
+		t.Errorf("Translate = %v", b)
+	}
+	if c := b.Center(); c != Pt(10, 7) {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := FromRect(R(0, 0, 4, 4))
+	if sq.Area() != 16 {
+		t.Errorf("square area = %d", sq.Area())
+	}
+	if sq.Area2() <= 0 {
+		t.Errorf("CCW ring should have positive signed area")
+	}
+	tri := Polygon{{0, 0}, {10, 0}, {0, 10}}
+	if tri.Area() != 50 {
+		t.Errorf("triangle area = %d", tri.Area())
+	}
+}
+
+func TestPolygonBoundsContains(t *testing.T) {
+	p := Polygon{{0, 0}, {10, 0}, {10, 10}, {5, 5}, {0, 10}}
+	if b := p.Bounds(); b != R(0, 0, 10, 10) {
+		t.Errorf("Bounds = %v", b)
+	}
+	if !p.ContainsPoint(Pt(2, 2)) {
+		t.Errorf("interior point should be inside")
+	}
+	if p.ContainsPoint(Pt(5, 8)) {
+		t.Errorf("notch point should be outside")
+	}
+	if p.ContainsPoint(Pt(20, 2)) {
+		t.Errorf("far point should be outside")
+	}
+	var empty Polygon
+	if !empty.Bounds().Empty() {
+		t.Errorf("empty polygon bounds should be empty")
+	}
+}
+
+func TestTransformOrientations(t *testing.T) {
+	p := Pt(2, 1)
+	cases := []struct {
+		o    Orientation
+		want Point
+	}{
+		{R0, Pt(2, 1)},
+		{R90, Pt(-1, 2)},
+		{R180, Pt(-2, -1)},
+		{R270, Pt(1, -2)},
+		{MX, Pt(2, -1)},
+		{MY, Pt(-2, 1)},
+		{MX90, Pt(1, 2)},
+		{MY90, Pt(-1, -2)},
+	}
+	for _, c := range cases {
+		got := Transform{Orient: c.o}.Apply(p)
+		if got != c.want {
+			t.Errorf("orient %d: %v, want %v", c.o, got, c.want)
+		}
+	}
+}
+
+func TestTransformOffsetAndRect(t *testing.T) {
+	tr := Transform{Orient: R90, Offset: Pt(100, 0)}
+	if got := tr.Apply(Pt(10, 0)); got != Pt(100, 10) {
+		t.Errorf("Apply = %v", got)
+	}
+	r := tr.ApplyRect(R(0, 0, 10, 4))
+	if r != R(96, 0, 100, 10) {
+		t.Errorf("ApplyRect = %v", r)
+	}
+}
+
+func TestComposeMatchesSequentialApplication(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {0, 1}, {5, -3}, {-7, 11}}
+	for a := R0; a <= MY90; a++ {
+		for b := R0; b <= MY90; b++ {
+			t1 := Transform{Orient: a, Offset: Pt(3, -2)}
+			t2 := Transform{Orient: b, Offset: Pt(-1, 9)}
+			c := Compose(t1, t2)
+			for _, p := range pts {
+				want := t1.Apply(t2.Apply(p))
+				got := c.Apply(p)
+				if got != want {
+					t.Fatalf("compose(%d,%d) at %v: %v want %v", a, b, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := R(int64(ax), int64(ay), int64(ax)+int64(abs16(aw)), int64(ay)+int64(abs16(ah)))
+		b := R(int64(bx), int64(by), int64(bx)+int64(abs16(bw)), int64(by)+int64(abs16(bh)))
+		i1 := a.Intersect(b)
+		i2 := b.Intersect(a)
+		if i1 != i2 {
+			return false
+		}
+		if !i1.Empty() && (!a.ContainsRect(i1) || !b.ContainsRect(i1)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union contains both operands, and area(union) >= max areas.
+func TestUnionProperties(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh int16) bool {
+		a := R(int64(ax), int64(ay), int64(ax)+int64(abs16(aw)), int64(ay)+int64(abs16(ah)))
+		b := R(int64(bx), int64(by), int64(bx)+int64(abs16(bw)), int64(by)+int64(abs16(bh)))
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			return false
+		}
+		return u.Area() >= a.Area() && u.Area() >= b.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Separation is zero iff rectangles overlap or touch.
+func TestSeparationOverlapConsistency(t *testing.T) {
+	f := func(ax, ay, bx, by int8) bool {
+		a := R(int64(ax), int64(ay), int64(ax)+10, int64(ay)+10)
+		b := R(int64(bx), int64(by), int64(bx)+10, int64(by)+10)
+		sep := a.Separation(b)
+		if a.Overlaps(b) && sep != 0 {
+			return false
+		}
+		if sep > 0 && a.Overlaps(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: polygon area of a rect polygon equals rect area.
+func TestPolygonRectAreaProperty(t *testing.T) {
+	f := func(x, y int16, w, h uint8) bool {
+		r := R(int64(x), int64(y), int64(x)+int64(w), int64(y)+int64(h))
+		return FromRect(r).Area() == r.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs16(v int16) int16 {
+	if v < 0 {
+		if v == -32768 {
+			return 32767
+		}
+		return -v
+	}
+	return v
+}
+
+func TestRectString(t *testing.T) {
+	if s := R(0, 1, 2, 3).String(); s != "[(0,1)-(2,3)]" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Pt(-1, 2).String(); s != "(-1,2)" {
+		t.Errorf("Point String = %q", s)
+	}
+}

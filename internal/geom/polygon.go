@@ -1,0 +1,161 @@
+package geom
+
+// Polygon is a simple (non-self-intersecting) polygon given as an ordered
+// vertex ring. The ring is implicitly closed: the edge from the last
+// vertex back to the first is part of the boundary.
+type Polygon []Point
+
+// FromRect returns the 4-vertex polygon covering r, counter-clockwise.
+func FromRect(r Rect) Polygon {
+	return Polygon{
+		{r.Min.X, r.Min.Y},
+		{r.Max.X, r.Min.Y},
+		{r.Max.X, r.Max.Y},
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Area2 returns twice the signed area of the polygon (shoelace formula).
+// Counter-clockwise rings have positive area.
+func (p Polygon) Area2() int64 {
+	var s int64
+	n := len(p)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += p[i].X*p[j].Y - p[j].X*p[i].Y
+	}
+	return s
+}
+
+// Area returns the absolute area of the polygon.
+func (p Polygon) Area() int64 {
+	a := p.Area2()
+	if a < 0 {
+		a = -a
+	}
+	return a / 2
+}
+
+// Bounds returns the bounding rectangle of the polygon.
+func (p Polygon) Bounds() Rect {
+	if len(p) == 0 {
+		return Rect{}
+	}
+	b := Rect{p[0], p[0]}
+	for _, v := range p[1:] {
+		b.Min.X = minInt64(b.Min.X, v.X)
+		b.Min.Y = minInt64(b.Min.Y, v.Y)
+		b.Max.X = maxInt64(b.Max.X, v.X)
+		b.Max.Y = maxInt64(b.Max.Y, v.Y)
+	}
+	return b
+}
+
+// Translate returns the polygon shifted by d.
+func (p Polygon) Translate(d Point) Polygon {
+	out := make(Polygon, len(p))
+	for i, v := range p {
+		out[i] = v.Add(d)
+	}
+	return out
+}
+
+// ContainsPoint reports whether q is strictly inside the polygon, using
+// the even-odd ray-casting rule. Points exactly on the boundary may be
+// classified either way.
+func (p Polygon) ContainsPoint(q Point) bool {
+	in := false
+	n := len(p)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := p[i], p[j]
+		if (pi.Y > q.Y) != (pj.Y > q.Y) {
+			// X coordinate of the edge at height q.Y, computed in
+			// float to avoid overflow on large coordinates.
+			xc := float64(pj.X-pi.X)*float64(q.Y-pi.Y)/float64(pj.Y-pi.Y) + float64(pi.X)
+			if float64(q.X) < xc {
+				in = !in
+			}
+		}
+	}
+	return in
+}
+
+// Orientation values for transforms.
+type Orientation int
+
+// The eight rectilinear orientations (rotations by 90° and mirrored
+// versions) that appear in IC layouts.
+const (
+	R0 Orientation = iota
+	R90
+	R180
+	R270
+	MX   // mirror across the X axis (Y negated)
+	MY   // mirror across the Y axis (X negated)
+	MX90 // mirror X then rotate 90
+	MY90 // mirror Y then rotate 90
+)
+
+// Transform is a rectilinear placement transform: an orientation followed
+// by a translation, as used for cell instances in a layout.
+type Transform struct {
+	Orient Orientation
+	Offset Point
+}
+
+// Apply maps p through the transform.
+func (t Transform) Apply(p Point) Point {
+	var q Point
+	switch t.Orient {
+	case R0:
+		q = p
+	case R90:
+		q = Point{-p.Y, p.X}
+	case R180:
+		q = Point{-p.X, -p.Y}
+	case R270:
+		q = Point{p.Y, -p.X}
+	case MX:
+		q = Point{p.X, -p.Y}
+	case MY:
+		q = Point{-p.X, p.Y}
+	case MX90:
+		q = Point{p.Y, p.X}
+	case MY90:
+		q = Point{-p.Y, -p.X}
+	default:
+		q = p
+	}
+	return q.Add(t.Offset)
+}
+
+// ApplyRect maps a rectangle through the transform, returning the
+// canonical bounding rectangle of the transformed corners.
+func (t Transform) ApplyRect(r Rect) Rect {
+	a := t.Apply(r.Min)
+	b := t.Apply(r.Max)
+	return Rect{a, b}.Canon()
+}
+
+// Compose returns the transform equivalent to applying t after u
+// (i.e. Compose(t,u).Apply(p) == t.Apply(u.Apply(p))).
+func Compose(t, u Transform) Transform {
+	// Derive the composed orientation by probing basis vectors.
+	o := composeOrient(t.Orient, u.Orient)
+	off := t.Apply(u.Offset)
+	return Transform{Orient: o, Offset: off}
+}
+
+func composeOrient(a, b Orientation) Orientation {
+	// Apply b then a to the basis vectors and find the matching
+	// orientation. Orientations form a group of order 8 (dihedral D4).
+	ex := Transform{Orient: a}.Apply(Transform{Orient: b}.Apply(Point{1, 0}))
+	ey := Transform{Orient: a}.Apply(Transform{Orient: b}.Apply(Point{0, 1}))
+	for o := R0; o <= MY90; o++ {
+		t := Transform{Orient: o}
+		if t.Apply(Point{1, 0}) == ex && t.Apply(Point{0, 1}) == ey {
+			return o
+		}
+	}
+	return R0
+}

@@ -1,0 +1,193 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Rules holds the per-layer design rules that matter for the paper's
+// free-space analysis (Appendix A): minimum feature width and minimum
+// spacing between distinct shapes on the same layer.
+type Rules struct {
+	MinWidth   map[Layer]int64
+	MinSpacing map[Layer]int64
+}
+
+// DefaultRules returns rules scaled from a feature size F (nm): bitlines
+// and other minimum-pitch wires have width F and spacing F, matching the
+// 6F² open-bitline cell budget the paper discusses, with relaxed rules on
+// M2 (the paper measures M2 wires ~8x bigger than M1 bitlines).
+func DefaultRules(f int64) Rules {
+	return Rules{
+		MinWidth: map[Layer]int64{
+			LayerActive:    f,
+			LayerGate:      f,
+			LayerContact:   f,
+			LayerM1:        f,
+			LayerVia1:      f,
+			LayerM2:        4 * f,
+			LayerCapacitor: f,
+		},
+		MinSpacing: map[Layer]int64{
+			LayerActive:    f,
+			LayerGate:      f,
+			LayerContact:   f,
+			LayerM1:        f,
+			LayerVia1:      f,
+			LayerM2:        2 * f,
+			LayerCapacitor: f / 2,
+		},
+	}
+}
+
+// Violation describes a single design-rule violation.
+type Violation struct {
+	Rule  string // "min-width" or "min-spacing"
+	Layer Layer
+	// A and B are the offending shapes (B is zero for width checks).
+	A, B geom.Rect
+	// Got and Want are the measured and required dimension in nm.
+	Got, Want int64
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	if v.Rule == "min-width" {
+		return fmt.Sprintf("%s on %s: shape %v has width %dnm < %dnm",
+			v.Rule, v.Layer, v.A, v.Got, v.Want)
+	}
+	return fmt.Sprintf("%s on %s: shapes %v and %v are %dnm apart < %dnm",
+		v.Rule, v.Layer, v.A, v.B, v.Got, v.Want)
+}
+
+// Check runs width and spacing checks over the given shapes and returns
+// all violations. Shapes on the same net are exempt from spacing checks
+// against each other (they may abut), matching standard DRC semantics.
+func Check(shapes []Shape, rules Rules) []Violation {
+	var out []Violation
+	byLayer := make(map[Layer][]Shape)
+	for _, s := range shapes {
+		if s.Rect.Empty() {
+			continue
+		}
+		byLayer[s.Layer] = append(byLayer[s.Layer], s)
+	}
+	for layer, ss := range byLayer {
+		if w, ok := rules.MinWidth[layer]; ok {
+			for _, s := range ss {
+				minDim := s.Rect.W()
+				if s.Rect.H() < minDim {
+					minDim = s.Rect.H()
+				}
+				if minDim < w {
+					out = append(out, Violation{
+						Rule: "min-width", Layer: layer,
+						A: s.Rect, Got: minDim, Want: w,
+					})
+				}
+			}
+		}
+		if sp, ok := rules.MinSpacing[layer]; ok {
+			out = append(out, spacingViolations(ss, layer, sp)...)
+		}
+	}
+	sortViolations(out)
+	return out
+}
+
+// spacingViolations checks all pairs on one layer. The shape counts in a
+// SA region are small enough (hundreds) that the O(n²) pair scan with a
+// cheap bounding pre-filter is fine.
+func spacingViolations(ss []Shape, layer Layer, sp int64) []Violation {
+	var out []Violation
+	for i := 0; i < len(ss); i++ {
+		for j := i + 1; j < len(ss); j++ {
+			a, b := ss[i], ss[j]
+			if a.Net != "" && a.Net == b.Net {
+				continue // same net may abut
+			}
+			d := a.Rect.Separation(b.Rect)
+			if a.Rect.Overlaps(b.Rect) {
+				out = append(out, Violation{
+					Rule: "min-spacing", Layer: layer,
+					A: a.Rect, B: b.Rect, Got: 0, Want: sp,
+				})
+				continue
+			}
+			if d < sp {
+				out = append(out, Violation{
+					Rule: "min-spacing", Layer: layer,
+					A: a.Rect, B: b.Rect, Got: d, Want: sp,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func sortViolations(vs []Violation) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Layer != vs[j].Layer {
+			return vs[i].Layer < vs[j].Layer
+		}
+		if vs[i].Rule != vs[j].Rule {
+			return vs[i].Rule < vs[j].Rule
+		}
+		if vs[i].A.Min != vs[j].A.Min {
+			if vs[i].A.Min.X != vs[j].A.Min.X {
+				return vs[i].A.Min.X < vs[j].A.Min.X
+			}
+			return vs[i].A.Min.Y < vs[j].A.Min.Y
+		}
+		return false
+	})
+}
+
+// FreeSpace reports, for a layer within a window, the largest axis-
+// aligned empty gap between consecutive shapes along the X axis (the
+// bitline pitch direction). It is the quantity behind inaccuracies I1-I2:
+// adding a new bitline requires a gap of at least
+// MinWidth + 2*MinSpacing.
+func FreeSpace(shapes []Shape, layer Layer, window geom.Rect) int64 {
+	type iv struct{ lo, hi int64 }
+	var ivs []iv
+	for _, s := range shapes {
+		if s.Layer != layer {
+			continue
+		}
+		r := s.Rect.Intersect(window)
+		if r.Empty() {
+			continue
+		}
+		ivs = append(ivs, iv{r.Min.X, r.Max.X})
+	}
+	if len(ivs) == 0 {
+		return window.W()
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].lo < ivs[j].lo })
+	var gap int64
+	cur := window.Min.X
+	for _, v := range ivs {
+		if v.lo > cur && v.lo-cur > gap {
+			gap = v.lo - cur
+		}
+		if v.hi > cur {
+			cur = v.hi
+		}
+	}
+	if window.Max.X > cur && window.Max.X-cur > gap {
+		gap = window.Max.X - cur
+	}
+	return gap
+}
+
+// CanInsertWire reports whether a new wire of the layer's minimum width
+// can be legally inserted in the window without moving existing shapes,
+// i.e. whether some gap fits MinWidth + 2*MinSpacing. This implements the
+// Fig. 13 check ("no free space to add new bitlines").
+func CanInsertWire(shapes []Shape, layer Layer, window geom.Rect, rules Rules) bool {
+	need := rules.MinWidth[layer] + 2*rules.MinSpacing[layer]
+	return FreeSpace(shapes, layer, window) >= need
+}

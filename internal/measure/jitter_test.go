@@ -1,0 +1,52 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/netex"
+)
+
+// TestMeasurementStatisticsUnderVariation: with process variation in the
+// generator, repeated measurements of one element spread around the
+// nominal dimension — the reason the paper performs multiple distinct
+// measurements per transistor (Section V-B).
+func TestMeasurementStatisticsUnderVariation(t *testing.T) {
+	cfg := chipgen.DefaultConfig(chips.ByID("C4"))
+	cfg.Units = 4
+	cfg.JitterPct = 5
+	cfg.JitterSeed = 11
+	r, err := chipgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netex.Extract(netex.FromCell(r.Cell))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Topology != chips.Classic {
+		t.Fatalf("variation broke topology discovery")
+	}
+	stats := FromTransistors(res.Transistors)
+	nsa := stats[chips.NSA]
+	nominal, _ := chips.ByID("C4").Dim(chips.NSA)
+	if nsa.W.N < 8 {
+		t.Fatalf("nSA instances = %d", nsa.W.N)
+	}
+	if nsa.W.Std == 0 {
+		t.Errorf("repeated measurements should spread under variation")
+	}
+	// The mean stays within the variation band of the nominal value.
+	if math.Abs(nsa.W.Mean-nominal.W)/nominal.W > 0.05 {
+		t.Errorf("nSA mean width %.1f deviates from nominal %.1f", nsa.W.Mean, nominal.W)
+	}
+	if nsa.W.Max-nsa.W.Min <= 0 {
+		t.Errorf("min/max should differ under variation")
+	}
+	sc := CompareToTruth(res, r.Truth)
+	if !sc.TopologyCorrect || sc.MeanRelErr > 0.06 {
+		t.Errorf("variation run scored poorly: %s", sc.Summary())
+	}
+}

@@ -1,0 +1,76 @@
+// Package models encodes the two public DDR4 analog sense-amplifier
+// models the paper audits in Section VI-A: CROW (Hassan et al., ISCA
+// 2019), whose transistor dimensions are best guesses, and REM (Marazzi
+// et al., S&P 2023 "REGA"), based on a smaller vendor's 25 nm DDR4
+// technology — one generation older than the commodity chips of the
+// study. Neither model includes column transistors in CROW's case nor the
+// OCSA design in either case.
+package models
+
+import "repro/internal/chips"
+
+// Model is a public analog DRAM model: a name and its per-element
+// transistor dimensions.
+type Model struct {
+	Name string
+	// Source describes where the dimensions come from.
+	Source string
+	// Year of publication.
+	Year int
+	// Dims holds the model's transistor dimensions per element class.
+	// Elements the model does not define are absent.
+	Dims map[chips.Element]chips.Dims
+}
+
+// Has reports whether the model defines the element.
+func (m *Model) Has(e chips.Element) bool {
+	_, ok := m.Dims[e]
+	return ok
+}
+
+// Dim returns the model's dimensions for an element.
+func (m *Model) Dim(e chips.Element) (chips.Dims, bool) {
+	d, ok := m.Dims[e]
+	return d, ok
+}
+
+// CROW returns the CROW (2019) model. Its dimensions are research best
+// guesses with strongly oversized transistors, and it omits the column
+// multiplexer entirely.
+func CROW() *Model {
+	return &Model{
+		Name:   "CROW",
+		Source: "best-guess SPICE model, no commodity-device basis",
+		Year:   2019,
+		Dims: map[chips.Element]chips.Dims{
+			chips.NSA:       {W: 300, L: 50},
+			chips.PSA:       {W: 210, L: 50},
+			chips.Precharge: {W: 436, L: 70},
+			chips.Equalizer: {W: 180, L: 25},
+		},
+	}
+}
+
+// REM returns the REM (2022) model: real transistor dimensions from a
+// smaller vendor (Zentel Japan) on 25 nm DDR4 technology, one node
+// behind the majors.
+func REM() *Model {
+	return &Model{
+		Name:   "REM",
+		Source: "Zentel Japan 25 nm DDR4 (one generation older)",
+		Year:   2022,
+		Dims: map[chips.Element]chips.Dims{
+			chips.NSA:       {W: 150, L: 36},
+			chips.PSA:       {W: 100, L: 36},
+			chips.Precharge: {W: 80, L: 42},
+			chips.Equalizer: {W: 70, L: 80},
+			chips.Column:    {W: 90, L: 30},
+		},
+	}
+}
+
+// Public returns the public DDR4 models in publication order. No public
+// DDR5 model exists (Section VI-A).
+func Public() []*Model {
+	return []*Model{CROW(), REM()}
+}

@@ -1,0 +1,97 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+)
+
+func TestPublicModels(t *testing.T) {
+	ms := Public()
+	if len(ms) != 2 {
+		t.Fatalf("models = %d, want 2 (no public DDR5 model exists)", len(ms))
+	}
+	if ms[0].Name != "CROW" || ms[1].Name != "REM" {
+		t.Errorf("model order: %s, %s", ms[0].Name, ms[1].Name)
+	}
+	if ms[0].Year != 2019 || ms[1].Year != 2022 {
+		t.Errorf("years: %d, %d", ms[0].Year, ms[1].Year)
+	}
+}
+
+func TestCROWOmitsColumn(t *testing.T) {
+	// Section VI-A: CROW "does not include column transistors".
+	c := CROW()
+	if c.Has(chips.Column) {
+		t.Errorf("CROW must not define column transistors")
+	}
+	for _, e := range []chips.Element{chips.NSA, chips.PSA, chips.Precharge, chips.Equalizer} {
+		if !c.Has(e) {
+			t.Errorf("CROW missing %s", e)
+		}
+	}
+}
+
+func TestREMDefinesClassicElements(t *testing.T) {
+	r := REM()
+	for _, e := range []chips.Element{chips.NSA, chips.PSA, chips.Precharge, chips.Equalizer, chips.Column} {
+		if !r.Has(e) {
+			t.Errorf("REM missing %s", e)
+		}
+	}
+}
+
+func TestNeitherModelIncludesOCSA(t *testing.T) {
+	// "Neither models include the OCSA design."
+	for _, m := range Public() {
+		for _, e := range []chips.Element{chips.Isolation, chips.OffsetCancel} {
+			if m.Has(e) {
+				t.Errorf("%s must not define %s", m.Name, e)
+			}
+		}
+	}
+}
+
+func TestCROWDimensionsOversized(t *testing.T) {
+	// CROW's best-guess transistors dwarf every measured chip's.
+	crow := CROW()
+	for _, c := range chips.All() {
+		for _, e := range []chips.Element{chips.NSA, chips.PSA, chips.Precharge} {
+			md, _ := crow.Dim(e)
+			cd, ok := c.Dim(e)
+			if !ok {
+				continue
+			}
+			if md.W <= cd.W {
+				t.Errorf("CROW %s width %v should exceed %s's %v", e, md.W, c.ID, cd.W)
+			}
+		}
+	}
+}
+
+func TestDimLookup(t *testing.T) {
+	r := REM()
+	if _, ok := r.Dim(chips.Isolation); ok {
+		t.Errorf("REM should not define isolation")
+	}
+	d, ok := r.Dim(chips.NSA)
+	if !ok || !d.Valid() {
+		t.Errorf("REM nSA dims invalid: %v %v", d, ok)
+	}
+	if d.WL() <= 0 {
+		t.Errorf("REM nSA W/L should be positive")
+	}
+}
+
+func TestModelsValid(t *testing.T) {
+	for _, m := range Public() {
+		if m.Source == "" {
+			t.Errorf("%s: missing source note", m.Name)
+		}
+		for e, d := range m.Dims {
+			if !d.Valid() {
+				t.Errorf("%s: invalid dims for %s", m.Name, e)
+			}
+		}
+	}
+}

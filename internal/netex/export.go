@@ -1,0 +1,49 @@
+package netex
+
+import (
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// ToCell converts a plan into a layout cell — the reverse-engineered
+// physical layout, ready for GDSII export (the paper releases its
+// extracted layouts in this format).
+func (p *Plan) ToCell(name string) *layout.Cell {
+	c := &layout.Cell{Name: name}
+	for _, l := range layout.Layers() {
+		for _, r := range p.ByLayer[l] {
+			c.AddRect(l, r, "", "")
+		}
+	}
+	return c
+}
+
+// AnnotatedCell converts a plan into a layout cell with the extraction's
+// findings recorded as roles on the transistor gates and actives, so the
+// exported layout carries the circuit identification.
+func (res *Result) AnnotatedCell(p *Plan, name string) *layout.Cell {
+	gateRole := make(map[geom.Rect]string)
+	activeRole := make(map[geom.Rect]string)
+	for _, t := range res.Transistors {
+		gateRole[t.Gate] = "gate:" + t.Element.String()
+		activeRole[t.Active] = "active:" + t.Element.String()
+	}
+	c := &layout.Cell{Name: name}
+	for _, l := range layout.Layers() {
+		for _, r := range p.ByLayer[l] {
+			role := ""
+			switch l {
+			case layout.LayerGate:
+				role = gateRole[r]
+			case layout.LayerActive:
+				role = activeRole[r]
+			case layout.LayerM1:
+				if r.W() >= p.Bounds.W()/10 && r.W() > 4*r.H() {
+					role = "bitline"
+				}
+			}
+			c.AddRect(l, r, "", role)
+		}
+	}
+	return c
+}

@@ -1,0 +1,513 @@
+package netex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chips"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Class is one of the three transistor classes of Section V-A step (iv).
+type Class int
+
+// Transistor classes.
+const (
+	// Multiplexer transistors have individual gates with distinct
+	// controls (the column select).
+	Multiplexer Class = iota
+	// CommonGate transistors share a gate spanning the entire region
+	// (precharge, equalizer, isolation, offset-cancellation).
+	CommonGate
+	// Coupled transistors share an active region and source (the latch
+	// elements, Fig. 7c).
+	Coupled
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Multiplexer:
+		return "multiplexer"
+	case CommonGate:
+		return "common-gate"
+	case Coupled:
+		return "coupled"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Transistor is one identified gate/active crossing.
+type Transistor struct {
+	Class   Class
+	Element chips.Element
+	// Gate is the crossing gate rectangle, Active the active region
+	// bounds, Overlap their intersection.
+	Gate, Active, Overlap geom.Rect
+	// FlowY reports whether the channel current flows along Y (the gate
+	// covers the active member's full X extent) rather than along X.
+	FlowY bool
+	// WNM and LNM are the measured width and length: L is the overlap
+	// extent along the flow axis, W the perpendicular extent
+	// (Section V-B: gate pitch and gate/active overlap).
+	WNM, LNM float64
+}
+
+// Result is the reverse-engineered structure of an SA region.
+type Result struct {
+	// Topology is the identified sense-amplifier family.
+	Topology chips.Topology
+	// Bitlines is the number of distinct bitline tracks; PitchNM their
+	// median pitch.
+	Bitlines int
+	PitchNM  float64
+	// BrokenBitlines counts tracks whose M1 wire is interrupted inside
+	// the region (the isolation signature).
+	BrokenBitlines int
+	// CommonGateGroups is the number of distinct spanning gate groups
+	// owning transistors (2 on classic chips: the PEQ-connected
+	// equalizer group and precharge strip; 3 on OCSA: ISO, OC, PRE).
+	CommonGateGroups int
+	// M2BitlineRouting reports long M2 wires along the bitline
+	// direction (vendor A's second-SA translation, Appendix A).
+	M2BitlineRouting bool
+	// Transistors lists every identified device.
+	Transistors []Transistor
+	// Blocks is the element sequence along the bitline direction with
+	// consecutive duplicates collapsed — Fig. 10's organization.
+	Blocks []string
+}
+
+// ByElement groups the transistors by assigned element.
+func (r *Result) ByElement() map[chips.Element][]Transistor {
+	out := make(map[chips.Element][]Transistor)
+	for _, t := range r.Transistors {
+		out[t.Element] = append(out[t.Element], t)
+	}
+	return out
+}
+
+// Extract reverse engineers a plan. It implements steps (i)-(viii) of
+// Section V-A on geometric evidence alone (net labels are never read).
+func Extract(p *Plan) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	regionW := p.Bounds.W()
+	regionH := p.Bounds.H()
+
+	// (ii) Identify the bitlines: long M1 member rects along X.
+	m1 := p.Comps(layout.LayerM1)
+	var segments []geom.Rect
+	for _, c := range m1 {
+		for _, r := range c.Rects {
+			if r.W() >= regionW/10 && r.W() > 4*r.H() {
+				segments = append(segments, r)
+			}
+		}
+	}
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("netex: no bitline segments found")
+	}
+	tracks := clusterTracks(segments)
+	res.Bitlines = len(tracks)
+	res.PitchNM = medianPitch(tracks)
+	pitch := int64(res.PitchNM)
+	if pitch <= 0 {
+		return nil, fmt.Errorf("netex: degenerate bitline pitch")
+	}
+	res.BrokenBitlines = countBroken(segments, tracks, p.Bounds)
+
+	// Vendor-A signature: long M2 wires along X.
+	for _, c := range p.Comps(layout.LayerM2) {
+		for _, r := range c.Rects {
+			if r.W() >= regionW/5 && r.W() > 4*r.H() {
+				res.M2BitlineRouting = true
+			}
+		}
+	}
+
+	// (iii)-(iv) Identify transistors and classify.
+	gates := p.Comps(layout.LayerGate)
+	actives := p.Comps(layout.LayerActive)
+	contacts := p.ByLayer[layout.LayerContact]
+	// A "common gate spanning the entire region" covers every bitline
+	// track (the bounds of the plan may extend beyond the tracks).
+	trackLo, trackHi := tracks[0], tracks[len(tracks)-1]
+	spanning := make([]bool, len(gates))
+	for i, g := range gates {
+		spanning[i] = g.Bounds.Min.Y <= trackLo && g.Bounds.Max.Y >= trackHi
+	}
+	_ = regionH
+
+	type crossing struct {
+		gateComp int
+		gate     geom.Rect
+		member   geom.Rect
+		overlap  geom.Rect
+	}
+	// Crossings are evaluated against the member rectangles of each
+	// active group: an H-shaped latch active (two channel columns and a
+	// source bridge) contributes one crossing per column. When
+	// segmentation splits one active into stacked slivers, a gate can
+	// cross several members of the same group — those are one
+	// transistor, so crossings of the same gate rect merge (union of
+	// members and overlaps).
+	perActive := make([][]crossing, len(actives))
+	for ai, a := range actives {
+		merged := make(map[geom.Rect]*crossing)
+		var order []geom.Rect
+		for gi, g := range gates {
+			for _, gr := range g.Rects {
+				for _, am := range a.Rects {
+					ov := gr.Intersect(am)
+					if ov.Empty() {
+						continue
+					}
+					// A genuine crossing covers the member's full
+					// extent on one axis (the gate passes over the
+					// channel).
+					if ov.W() < am.W() && ov.H() < am.H() {
+						continue
+					}
+					if c, ok := merged[gr]; ok {
+						c.member = c.member.Union(am)
+						c.overlap = c.overlap.Union(ov)
+						continue
+					}
+					merged[gr] = &crossing{gi, gr, am, ov}
+					order = append(order, gr)
+				}
+			}
+		}
+		for _, gr := range order {
+			perActive[ai] = append(perActive[ai], *merged[gr])
+		}
+	}
+
+	groupTransistors := make(map[int][]int) // spanning gate comp -> transistor indices
+	byActive := make(map[int][]int)         // active comp -> transistor indices
+	var latchActives []int
+	for ai := range actives {
+		cs := perActive[ai]
+		switch {
+		case len(cs) >= 2:
+			for _, c := range cs {
+				byActive[ai] = append(byActive[ai], len(res.Transistors))
+				res.Transistors = append(res.Transistors, newTransistor(Coupled, c.gate, c.member, c.overlap))
+			}
+			latchActives = append(latchActives, ai)
+		case len(cs) == 1:
+			c := cs[0]
+			cl := Multiplexer
+			if spanning[c.gateComp] {
+				cl = CommonGate
+			}
+			ti := len(res.Transistors)
+			byActive[ai] = append(byActive[ai], ti)
+			res.Transistors = append(res.Transistors, newTransistor(cl, c.gate, c.member, c.overlap))
+			if cl == CommonGate {
+				groupTransistors[c.gateComp] = append(groupTransistors[c.gateComp], ti)
+			}
+		}
+	}
+	if len(res.Transistors) == 0 {
+		return nil, fmt.Errorf("netex: no transistors identified")
+	}
+
+	// (v) Multiplexer transistors are the column select.
+	for i := range res.Transistors {
+		if res.Transistors[i].Class == Multiplexer {
+			res.Transistors[i].Element = chips.Column
+		}
+	}
+
+	// (vii) Classify the common-gate groups: series strips either break
+	// the bitlines (isolation) or tie them to a global value
+	// (precharge); bridging strips connect the pair's bitlines
+	// (equalizer / offset-cancellation, resolved by topology).
+	var bridgeGroups [][]int
+	isoFound := false
+	for gi, tis := range groupTransistors {
+		res.CommonGateGroups++
+		series := 0
+		for _, ti := range tis {
+			if !res.Transistors[ti].FlowY {
+				series++
+			}
+		}
+		if series*2 >= len(tis) { // series strip (flow along the bitlines)
+			band := gates[gi].Bounds
+			if endpointsNear(segments, band, 5*pitch/2) >= len(tis) {
+				isoFound = true
+				assign(res, tis, chips.Isolation)
+			} else {
+				assign(res, tis, chips.Precharge)
+			}
+		} else {
+			bridgeGroups = append(bridgeGroups, tis)
+		}
+	}
+	// (viii)+topology: isolation implies the offset-cancellation design.
+	if isoFound {
+		res.Topology = chips.OCSA
+		for _, tis := range bridgeGroups {
+			assign(res, tis, chips.OffsetCancel)
+		}
+	} else {
+		res.Topology = chips.Classic
+		for _, tis := range bridgeGroups {
+			assign(res, tis, chips.Equalizer)
+		}
+	}
+
+	// (vi)+(viii) Coupled pairs: bitline-connected actives are the SA
+	// latch (pSA narrower than nSA); the rest are the LIO/LSA datapath
+	// latches.
+	if err := assignLatches(res, actives, latchActives, byActive, contacts, segments); err != nil {
+		return nil, err
+	}
+
+	res.Blocks = blockSequence(res.Transistors)
+	return res, nil
+}
+
+func newTransistor(cl Class, gate, active, ov geom.Rect) Transistor {
+	t := Transistor{Class: cl, Gate: gate, Active: active, Overlap: ov}
+	// The gate covers the active's full extent on the axis
+	// perpendicular to current flow. When it covers both (a degenerate
+	// full-cover), fall back to the member aspect.
+	coversX := ov.W() >= active.W()
+	coversY := ov.H() >= active.H()
+	switch {
+	case coversX && !coversY:
+		t.FlowY = true
+	case coversY && !coversX:
+		t.FlowY = false
+	default:
+		t.FlowY = active.H() > active.W()
+	}
+	if t.FlowY {
+		t.WNM = float64(ov.W())
+		t.LNM = float64(ov.H())
+	} else {
+		t.WNM = float64(ov.H())
+		t.LNM = float64(ov.W())
+	}
+	return t
+}
+
+func assign(res *Result, tis []int, e chips.Element) {
+	for _, ti := range tis {
+		res.Transistors[ti].Element = e
+	}
+}
+
+// assignLatches splits the coupled actives into bitline-connected latch
+// blocks (pSA/nSA, paired along X with the narrower block being PMOS)
+// and non-connected LSA blocks.
+func assignLatches(res *Result, actives []Comp, latch []int, byActive map[int][]int, contacts, segments []geom.Rect) error {
+	type cluster struct {
+		cx        int64
+		meanW     float64
+		actives   []int
+		connected bool
+	}
+	var clusters []cluster
+	for _, ai := range latch {
+		a := actives[ai].Bounds
+		conn := activeOnBitline(a, contacts, segments)
+		cx := a.Center().X
+		placed := false
+		for i := range clusters {
+			if absI64(clusters[i].cx-cx) < a.W() && clusters[i].connected == conn {
+				clusters[i].actives = append(clusters[i].actives, ai)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, cluster{cx: cx, connected: conn, actives: []int{ai}})
+		}
+	}
+	for i := range clusters {
+		var sum float64
+		n := 0
+		for _, ai := range clusters[i].actives {
+			for _, ti := range byActive[ai] {
+				sum += res.Transistors[ti].WNM
+				n++
+			}
+		}
+		if n == 0 {
+			return fmt.Errorf("netex: latch cluster without transistors")
+		}
+		clusters[i].meanW = sum / float64(n)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].cx < clusters[j].cx })
+
+	var conn []cluster
+	for _, cl := range clusters {
+		if !cl.connected {
+			for _, ai := range cl.actives {
+				assign(res, byActive[ai], chips.LSA)
+			}
+			continue
+		}
+		conn = append(conn, cl)
+	}
+	if len(conn) == 0 {
+		return fmt.Errorf("netex: no bitline-connected latch blocks")
+	}
+	// Segmentation can split one block into two clusters; while the
+	// count is odd, merge the closest pair along X (they belong to the
+	// same block).
+	for len(conn)%2 == 1 && len(conn) > 1 {
+		best, bestGap := 0, int64(1)<<62
+		for i := 0; i+1 < len(conn); i++ {
+			if gap := conn[i+1].cx - conn[i].cx; gap < bestGap {
+				best, bestGap = i, gap
+			}
+		}
+		merged := conn[best]
+		merged.actives = append(merged.actives, conn[best+1].actives...)
+		merged.meanW = (merged.meanW + conn[best+1].meanW) / 2
+		conn = append(conn[:best], append([]cluster{merged}, conn[best+2:]...)...)
+	}
+	// Pair consecutive bitline-connected clusters (pSA/nSA per band);
+	// within a pair the narrower transistors are PMOS (step viii).
+	for i := 0; i+1 < len(conn); i += 2 {
+		a, b := conn[i], conn[i+1]
+		pa, pb := chips.PSA, chips.NSA
+		if a.meanW > b.meanW {
+			pa, pb = chips.NSA, chips.PSA
+		}
+		for _, ai := range a.actives {
+			assign(res, byActive[ai], pa)
+		}
+		for _, ai := range b.actives {
+			assign(res, byActive[ai], pb)
+		}
+	}
+	if len(conn) == 1 {
+		for _, ai := range conn[0].actives {
+			assign(res, byActive[ai], chips.NSA)
+		}
+	}
+	return nil
+}
+
+// activeOnBitline reports whether a contact connects the active to a
+// bitline segment: the contact overlaps both in plan view. A real drain
+// contact sits squarely on the wire, so most of the contact must lie on
+// the segment — segmentation slop of a pixel or two around an off-track
+// contact (an LIO pad) does not count as a connection.
+func activeOnBitline(a geom.Rect, contacts, segments []geom.Rect) bool {
+	for _, c := range contacts {
+		if !c.Overlaps(a) {
+			continue
+		}
+		for _, s := range segments {
+			if ov := c.Intersect(s); !ov.Empty() && ov.Area()*5 >= 3*c.Area() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clusterTracks groups bitline segments by center Y.
+func clusterTracks(segments []geom.Rect) []int64 {
+	ys := make([]int64, len(segments))
+	var hSum int64
+	for i, s := range segments {
+		ys[i] = (s.Min.Y + s.Max.Y) / 2
+		hSum += s.H()
+	}
+	tol := hSum / int64(len(segments)) // one wire width
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	var tracks []int64
+	for i, y := range ys {
+		if i == 0 || y-tracks[len(tracks)-1] > tol {
+			tracks = append(tracks, y)
+		}
+	}
+	return tracks
+}
+
+func medianPitch(tracks []int64) float64 {
+	if len(tracks) < 2 {
+		return 0
+	}
+	diffs := make([]int64, 0, len(tracks)-1)
+	for i := 1; i < len(tracks); i++ {
+		diffs = append(diffs, tracks[i]-tracks[i-1])
+	}
+	sort.Slice(diffs, func(i, j int) bool { return diffs[i] < diffs[j] })
+	return float64(diffs[len(diffs)/2])
+}
+
+// countBroken counts tracks with more than one segment strictly inside
+// the region.
+func countBroken(segments []geom.Rect, tracks []int64, bounds geom.Rect) int {
+	count := 0
+	for _, ty := range tracks {
+		n := 0
+		for _, s := range segments {
+			cy := (s.Min.Y + s.Max.Y) / 2
+			if absI64(cy-ty) <= s.H() {
+				n++
+			}
+		}
+		if n > 1 {
+			count++
+		}
+	}
+	_ = bounds
+	return count
+}
+
+// endpointsNear counts bitline segment endpoints within dist of the
+// strip's x-band.
+func endpointsNear(segments []geom.Rect, band geom.Rect, dist int64) int {
+	n := 0
+	for _, s := range segments {
+		if s.Max.X >= band.Min.X-dist && s.Max.X <= band.Max.X+dist {
+			n++
+		}
+		if s.Min.X >= band.Min.X-dist && s.Min.X <= band.Max.X+dist {
+			n++
+		}
+	}
+	return n
+}
+
+// blockSequence orders the identified elements along X and collapses
+// consecutive repeats.
+func blockSequence(ts []Transistor) []string {
+	type inst struct {
+		x    int64
+		name string
+	}
+	insts := make([]inst, len(ts))
+	for i, t := range ts {
+		insts[i] = inst{x: t.Gate.Center().X, name: t.Element.String()}
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i].x < insts[j].x })
+	var out []string
+	for _, in := range insts {
+		if len(out) == 0 || out[len(out)-1] != in.name {
+			out = append(out, in.name)
+		}
+	}
+	return out
+}
+
+func absI64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

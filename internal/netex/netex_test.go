@@ -1,0 +1,286 @@
+package netex
+
+import (
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+func planFor(t testing.TB, id string) (*Plan, chipgen.GroundTruth) {
+	t.Helper()
+	r, err := chipgen.Generate(chipgen.DefaultConfig(chips.ByID(id)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromCell(r.Cell), r.Truth
+}
+
+func TestExtractTopologyAllChips(t *testing.T) {
+	// The headline reverse-engineering result: classic on B4/C4/C5,
+	// OCSA on A4/A5/B5 — recovered from geometry alone.
+	for _, c := range chips.All() {
+		p, truth := planFor(t, c.ID)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatalf("%s: %v", c.ID, err)
+		}
+		if res.Topology != truth.Topology {
+			t.Errorf("%s: topology %v, want %v", c.ID, res.Topology, truth.Topology)
+		}
+	}
+}
+
+func TestExtractBitlines(t *testing.T) {
+	for _, id := range []string{"C4", "B5", "A4"} {
+		p, truth := planFor(t, id)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bitlines != truth.Bitlines {
+			t.Errorf("%s: bitlines = %d, want %d", id, res.Bitlines, truth.Bitlines)
+		}
+		if res.PitchNM != float64(truth.PitchNM) {
+			t.Errorf("%s: pitch = %v, want %v", id, res.PitchNM, truth.PitchNM)
+		}
+	}
+}
+
+func TestExtractCommonGateGroups(t *testing.T) {
+	// Classic: equalizer group + precharge strip = 2 spanning groups
+	// (one PEQ net). OCSA: ISO + OC + PRE = 3.
+	p, _ := planFor(t, "C5")
+	res, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommonGateGroups != 4 { // 2 per band
+		t.Errorf("C5: common-gate groups = %d, want 4 (2 per band)", res.CommonGateGroups)
+	}
+	p, _ = planFor(t, "B5")
+	res, err = Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CommonGateGroups != 6 { // 3 per band
+		t.Errorf("B5: common-gate groups = %d, want 6 (3 per band)", res.CommonGateGroups)
+	}
+}
+
+func TestExtractBitlineBreaks(t *testing.T) {
+	p, _ := planFor(t, "B5")
+	res, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BrokenBitlines != 8 {
+		t.Errorf("B5: broken bitlines = %d, want 8 (ISO on every bitline)", res.BrokenBitlines)
+	}
+	p, _ = planFor(t, "C4")
+	res, err = Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BrokenBitlines != 0 {
+		t.Errorf("C4: broken bitlines = %d, want 0", res.BrokenBitlines)
+	}
+}
+
+func TestExtractM2Routing(t *testing.T) {
+	for _, id := range []string{"A4", "A5"} {
+		p, _ := planFor(t, id)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.M2BitlineRouting {
+			t.Errorf("%s: M2 bitline routing not detected", id)
+		}
+	}
+	p, _ := planFor(t, "C4")
+	res, _ := Extract(p)
+	if res.M2BitlineRouting {
+		t.Errorf("C4: spurious M2 routing")
+	}
+}
+
+func TestExtractElementCounts(t *testing.T) {
+	for _, c := range chips.All() {
+		p, truth := planFor(t, c.ID)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Transistors) != truth.TransistorCount {
+			t.Errorf("%s: transistors = %d, want %d", c.ID, len(res.Transistors), truth.TransistorCount)
+		}
+		by := res.ByElement()
+		want := map[chips.Element]int{
+			chips.Column: 8, chips.PSA: 8, chips.NSA: 8,
+			chips.Precharge: 8, chips.LSA: 8,
+		}
+		if c.Topology == chips.OCSA {
+			want[chips.Isolation] = 8
+			want[chips.OffsetCancel] = 4
+		} else {
+			want[chips.Equalizer] = 4
+		}
+		for e, n := range want {
+			if got := len(by[e]); got != n {
+				t.Errorf("%s: %s count = %d, want %d", c.ID, e, got, n)
+			}
+		}
+	}
+}
+
+func TestExtractMeasurementsMatchTruth(t *testing.T) {
+	for _, c := range chips.All() {
+		p, truth := planFor(t, c.ID)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e, ts := range res.ByElement() {
+			want, ok := truth.Dims[e]
+			if !ok {
+				t.Errorf("%s: extracted unknown element %s", c.ID, e)
+				continue
+			}
+			for _, tr := range ts {
+				if d := tr.WNM - want.W; d > 1.1 || d < -1.1 {
+					t.Errorf("%s/%s: W = %v, want %v", c.ID, e, tr.WNM, want.W)
+					break
+				}
+				if d := tr.LNM - want.L; d > 1.1 || d < -1.1 {
+					t.Errorf("%s/%s: L = %v, want %v", c.ID, e, tr.LNM, want.L)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestExtractClassAssignment(t *testing.T) {
+	p, _ := planFor(t, "B5")
+	res, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.Transistors {
+		switch tr.Element {
+		case chips.Column:
+			if tr.Class != Multiplexer {
+				t.Errorf("column transistor class %v", tr.Class)
+			}
+		case chips.Precharge, chips.Isolation, chips.OffsetCancel, chips.Equalizer:
+			if tr.Class != CommonGate {
+				t.Errorf("%s transistor class %v", tr.Element, tr.Class)
+			}
+		case chips.PSA, chips.NSA, chips.LSA:
+			if tr.Class != Coupled {
+				t.Errorf("%s transistor class %v", tr.Element, tr.Class)
+			}
+		}
+	}
+}
+
+func TestExtractBlockOrderColumnFirst(t *testing.T) {
+	// Inaccuracy I4: column transistors are the first elements after
+	// the MAT — the extractor must recover this organization.
+	for _, id := range []string{"C4", "B5"} {
+		p, _ := planFor(t, id)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Blocks) == 0 || res.Blocks[0] != "column" {
+			t.Errorf("%s: block sequence %v should start with column", id, res.Blocks)
+		}
+		// LSA is the last element of each band.
+		if res.Blocks[len(res.Blocks)-1] != "LSA" {
+			t.Errorf("%s: block sequence should end with LSA: %v", id, res.Blocks)
+		}
+	}
+}
+
+func TestExtractPSANarrowerThanNSA(t *testing.T) {
+	p, _ := planFor(t, "A4")
+	res, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := res.ByElement()
+	meanW := func(ts []Transistor) float64 {
+		var s float64
+		for _, t := range ts {
+			s += t.WNM
+		}
+		return s / float64(len(ts))
+	}
+	if meanW(by[chips.PSA]) >= meanW(by[chips.NSA]) {
+		t.Errorf("pSA width must be identified as the narrower latch class")
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	if err := NewPlan().Validate(); err == nil {
+		t.Errorf("empty plan should fail validation")
+	}
+	p := NewPlan()
+	p.Add(layout.LayerM1, geom.R(0, 0, 100, 10))
+	if err := p.Validate(); err == nil {
+		t.Errorf("plan without gates should fail")
+	}
+	if _, err := Extract(p); err == nil {
+		t.Errorf("extract on invalid plan should fail")
+	}
+	// Empty rect is ignored.
+	p.Add(layout.LayerGate, geom.Rect{})
+	if len(p.ByLayer[layout.LayerGate]) != 0 {
+		t.Errorf("empty rect should be ignored")
+	}
+}
+
+func TestConnectedGrouping(t *testing.T) {
+	p := NewPlan()
+	p.Add(layout.LayerM1, geom.R(0, 0, 10, 2))
+	p.Add(layout.LayerM1, geom.R(10, 0, 20, 2)) // touches the first
+	p.Add(layout.LayerM1, geom.R(0, 50, 10, 52))
+	comps := p.Comps(layout.LayerM1)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if len(comps[0].Rects) != 2 {
+		t.Errorf("touching rects should group")
+	}
+	if comps[0].Bounds != geom.R(0, 0, 20, 2) {
+		t.Errorf("group bounds = %v", comps[0].Bounds)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Multiplexer.String() != "multiplexer" || CommonGate.String() != "common-gate" ||
+		Coupled.String() != "coupled" {
+		t.Errorf("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Errorf("unknown class empty")
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	r, err := chipgen.Generate(chipgen.DefaultConfig(chips.ByID("B5")))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := FromCell(r.Cell)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package netex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chips"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// This file builds an electrical netlist from the plan geometry — the
+// multi-dimensional inter- and intra-layer mapping of Fig. 8: contacts
+// bond the transistor level to M1, vias bond M1 to M2, and touching
+// shapes on one layer are one conductor. The resulting nets let the
+// extractor reason electrically: precharge transistors "short the
+// bitlines together and with a global value" (Section V-A step vii),
+// latch pairs share a source net that reaches a rail, and isolation
+// breaks produce distinct sense-side nets.
+
+// NodeRef identifies one connected component on one layer.
+type NodeRef struct {
+	Layer layout.Layer
+	Index int // index into Plan.Comps(Layer)
+}
+
+// Netlist is the electrical view of a plan.
+type Netlist struct {
+	// NetOf maps every conductor component to its net id.
+	NetOf map[NodeRef]int
+	// Nets[id] lists the members of each net.
+	Nets [][]NodeRef
+	// comps caches the per-layer components the ids refer to.
+	comps map[layout.Layer][]Comp
+}
+
+// conductorLayers participate in net formation. Gates are conductors too
+// (a common-gate strip is one net); the active layer is excluded — its
+// connectivity is mediated by the transistors themselves.
+var conductorLayers = []layout.Layer{
+	layout.LayerGate, layout.LayerContact, layout.LayerM1,
+	layout.LayerVia1, layout.LayerM2,
+}
+
+// vertical lists which layer pairs a bonding layer connects.
+var vertical = map[layout.Layer][2]layout.Layer{
+	layout.LayerContact: {layout.LayerM1, layout.LayerGate},
+	layout.LayerVia1:    {layout.LayerM1, layout.LayerM2},
+}
+
+// BuildNetlist derives the nets of a plan.
+func BuildNetlist(p *Plan) (*Netlist, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nl := &Netlist{
+		NetOf: make(map[NodeRef]int),
+		comps: make(map[layout.Layer][]Comp),
+	}
+	// Union-find over all conductor components.
+	var refs []NodeRef
+	refIndex := make(map[NodeRef]int)
+	for _, l := range conductorLayers {
+		cs := p.Comps(l)
+		nl.comps[l] = cs
+		for i := range cs {
+			r := NodeRef{Layer: l, Index: i}
+			refIndex[r] = len(refs)
+			refs = append(refs, r)
+		}
+	}
+	parent := make([]int, len(refs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b NodeRef) {
+		ra, rb := find(refIndex[a]), find(refIndex[b])
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	// Vertical bonding: a contact or via joins whatever overlaps it on
+	// its two target layers. A contact without metal above it joins only
+	// the gate/active level (dangling), which is fine.
+	for bonding, targets := range vertical {
+		for bi, bc := range nl.comps[bonding] {
+			bref := NodeRef{Layer: bonding, Index: bi}
+			for _, tl := range targets {
+				for ti, tc := range nl.comps[tl] {
+					if overlapsComp(bc, tc) {
+						union(bref, NodeRef{Layer: tl, Index: ti})
+					}
+				}
+			}
+		}
+	}
+	// Collect nets.
+	groups := make(map[int][]NodeRef)
+	for _, r := range refs {
+		root := find(refIndex[r])
+		groups[root] = append(groups[root], r)
+	}
+	roots := make([]int, 0, len(groups))
+	for root := range groups {
+		roots = append(roots, root)
+	}
+	sort.Ints(roots)
+	for id, root := range roots {
+		members := groups[root]
+		sort.Slice(members, func(i, j int) bool {
+			if members[i].Layer != members[j].Layer {
+				return members[i].Layer < members[j].Layer
+			}
+			return members[i].Index < members[j].Index
+		})
+		nl.Nets = append(nl.Nets, members)
+		for _, m := range members {
+			nl.NetOf[m] = id
+		}
+	}
+	return nl, nil
+}
+
+func overlapsComp(a, b Comp) bool {
+	if !a.Bounds.Overlaps(b.Bounds) {
+		return false
+	}
+	for _, ra := range a.Rects {
+		for _, rb := range b.Rects {
+			if ra.Overlaps(rb) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NetOfRect returns the net id of the conductor component containing the
+// given rectangle on a layer, with ok=false if no component contains it.
+func (nl *Netlist) NetOfRect(l layout.Layer, r geom.Rect) (int, bool) {
+	for i, c := range nl.comps[l] {
+		for _, m := range c.Rects {
+			if m == r || m.ContainsRect(r) {
+				return nl.NetOf[NodeRef{Layer: l, Index: i}], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// NetCount returns the number of electrical nets.
+func (nl *Netlist) NetCount() int { return len(nl.Nets) }
+
+// HasLayer reports whether a net reaches the given layer.
+func (nl *Netlist) HasLayer(net int, l layout.Layer) bool {
+	if net < 0 || net >= len(nl.Nets) {
+		return false
+	}
+	for _, m := range nl.Nets[net] {
+		if m.Layer == l {
+			return true
+		}
+	}
+	return false
+}
+
+// TerminalNets resolves a transistor's terminal nets: the gate net plus
+// the nets of the contacts landing on its active region, split by which
+// side of the gate they fall on along the flow axis.
+type TerminalNets struct {
+	Gate int
+	// SourceSide and DrainSide are the contact nets before and after
+	// the gate along the flow axis (naming is positional; the
+	// electrical roles follow from the circuit).
+	SourceSide, DrainSide []int
+}
+
+// Terminals resolves the terminal nets of a transistor against the plan's
+// contacts. The gate net comes from the gate rect's conductor component.
+// Contacts are matched against the transistor's whole active group (an
+// H-shaped latch active includes the source bridge), not just the channel
+// member the gate crosses.
+func (nl *Netlist) Terminals(p *Plan, t Transistor) (TerminalNets, error) {
+	var out TerminalNets
+	g, ok := nl.NetOfRect(layout.LayerGate, t.Gate)
+	if !ok {
+		return out, fmt.Errorf("netex: gate %v not in any conductor", t.Gate)
+	}
+	out.Gate = g
+	group := []geom.Rect{t.Active}
+	for _, ac := range p.Comps(layout.LayerActive) {
+		for _, m := range ac.Rects {
+			if m == t.Active || m.ContainsRect(t.Active) {
+				group = ac.Rects
+				break
+			}
+		}
+	}
+	for ci, cc := range nl.comps[layout.LayerContact] {
+		touches := false
+	outer:
+		for _, m := range cc.Rects {
+			for _, am := range group {
+				if m.Overlaps(am) {
+					touches = true
+					break outer
+				}
+			}
+		}
+		if !touches {
+			continue
+		}
+		net := nl.NetOf[NodeRef{Layer: layout.LayerContact, Index: ci}]
+		c := cc.Bounds.Center()
+		gc := t.Gate.Center()
+		var before bool
+		if t.FlowY {
+			before = c.Y < gc.Y
+		} else {
+			before = c.X < gc.X
+		}
+		if before {
+			out.SourceSide = append(out.SourceSide, net)
+		} else {
+			out.DrainSide = append(out.DrainSide, net)
+		}
+	}
+	return out, nil
+}
+
+// VerifyPrecharge checks the paper's step-(vii) criterion on an extracted
+// result: every transistor identified as precharge connects the bitlines
+// to a shared global value. Each SA band has its own Vpre rail, so the
+// check groups the precharge transistors by their common gate net (one
+// strip per band) and requires every transistor of a strip to reach the
+// same M2 net. It returns the global net per gate net.
+func VerifyPrecharge(p *Plan, nl *Netlist, res *Result) (map[int]int, error) {
+	global := make(map[int]int)
+	n := 0
+	for _, t := range res.Transistors {
+		if t.Element != chips.Precharge {
+			continue
+		}
+		n++
+		term, err := nl.Terminals(p, t)
+		if err != nil {
+			return nil, err
+		}
+		nets := append(append([]int(nil), term.SourceSide...), term.DrainSide...)
+		found := false
+		for _, net := range nets {
+			if !nl.HasLayer(net, layout.LayerM2) {
+				continue
+			}
+			want, seen := global[term.Gate]
+			if !seen {
+				global[term.Gate] = net
+				found = true
+				break
+			}
+			if net == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("netex: precharge at %v has no shared global net", t.Gate)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("netex: no precharge transistors to verify")
+	}
+	return global, nil
+}

@@ -1,0 +1,209 @@
+package netex
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+func TestBuildNetlistSmall(t *testing.T) {
+	// A hand-built plan: one M1 wire, one via up to an M2 rail, one
+	// contact down to a gate; a second isolated M1 wire.
+	p := NewPlan()
+	p.Add(layout.LayerM1, geom.R(0, 0, 100, 10))
+	p.Add(layout.LayerVia1, geom.R(40, 0, 50, 10))
+	p.Add(layout.LayerM2, geom.R(40, -50, 50, 60))
+	p.Add(layout.LayerContact, geom.R(10, 0, 20, 10))
+	p.Add(layout.LayerGate, geom.R(5, 0, 25, 10))
+	p.Add(layout.LayerActive, geom.R(0, 0, 30, 10)) // keeps Validate happy
+	p.Add(layout.LayerM1, geom.R(0, 100, 100, 110)) // isolated wire
+	nl, err := BuildNetlist(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Net 1: M1+via+M2+contact+gate; net 2: the isolated wire.
+	if nl.NetCount() != 2 {
+		t.Fatalf("nets = %d, want 2", nl.NetCount())
+	}
+	n1, ok := nl.NetOfRect(layout.LayerM1, geom.R(0, 0, 100, 10))
+	if !ok {
+		t.Fatal("wire not found")
+	}
+	n2, ok := nl.NetOfRect(layout.LayerM2, geom.R(40, -50, 50, 60))
+	if !ok || n1 != n2 {
+		t.Errorf("via should bond M1 and M2 into one net: %d vs %d", n1, n2)
+	}
+	ng, ok := nl.NetOfRect(layout.LayerGate, geom.R(5, 0, 25, 10))
+	if !ok || ng != n1 {
+		t.Errorf("contact should bond the gate to the wire")
+	}
+	niso, ok := nl.NetOfRect(layout.LayerM1, geom.R(0, 100, 100, 110))
+	if !ok || niso == n1 {
+		t.Errorf("isolated wire must be its own net")
+	}
+	if !nl.HasLayer(n1, layout.LayerM2) || nl.HasLayer(niso, layout.LayerM2) {
+		t.Errorf("HasLayer wrong")
+	}
+	if nl.HasLayer(99, layout.LayerM1) {
+		t.Errorf("out-of-range net should report no layers")
+	}
+	if _, ok := nl.NetOfRect(layout.LayerM1, geom.R(500, 500, 510, 510)); ok {
+		t.Errorf("unknown rect should not resolve")
+	}
+}
+
+func TestNetlistOnGeneratedChips(t *testing.T) {
+	for _, id := range []string{"C4", "B5"} {
+		p, truth := planFor(t, id)
+		nl, err := BuildNetlist(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// At minimum: every bitline is a net, plus rails and gates.
+		if nl.NetCount() < truth.Bitlines {
+			t.Errorf("%s: nets = %d, want >= %d", id, nl.NetCount(), truth.Bitlines)
+		}
+	}
+}
+
+func TestVerifyPrechargeGlobalNet(t *testing.T) {
+	// Step (vii): the precharge transistors short the bitlines with a
+	// global value — all their rail-side contacts land on ONE net that
+	// reaches the M2 Vpre rail.
+	for _, id := range []string{"C4", "B5", "C5"} {
+		p, _ := planFor(t, id)
+		res, err := Extract(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := BuildNetlist(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		global, err := VerifyPrecharge(p, nl, res)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		// One Vpre rail per band (two bands).
+		if len(global) != 2 {
+			t.Errorf("%s: %d precharge strips, want 2", id, len(global))
+		}
+		for gate, net := range global {
+			if !nl.HasLayer(net, layout.LayerM2) {
+				t.Errorf("%s: Vpre net %d of strip %d does not reach M2", id, net, gate)
+			}
+		}
+	}
+}
+
+func TestLatchSourcesShareRailNet(t *testing.T) {
+	// Paper step (vi): "the source is shared among all of these
+	// transistors". Per latch block, every source-side contact net
+	// reaches an M2 rail, and within a block they are one net.
+	p, _ := planFor(t, "C4")
+	res, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := BuildNetlist(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	railNets := map[chips.Element]map[int]bool{}
+	for _, tr := range res.Transistors {
+		if tr.Element != chips.NSA && tr.Element != chips.PSA {
+			continue
+		}
+		term, err := nl.Terminals(p, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, n := range append(append([]int(nil), term.SourceSide...), term.DrainSide...) {
+			if nl.HasLayer(n, layout.LayerM2) {
+				if railNets[tr.Element] == nil {
+					railNets[tr.Element] = map[int]bool{}
+				}
+				railNets[tr.Element][n] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s latch at %v has no rail-connected source", tr.Element, tr.Gate)
+		}
+	}
+	// nSA sources connect to LAB, pSA to LA: one rail net per element
+	// per band (two bands = up to 2 nets each).
+	for e, nets := range railNets {
+		if len(nets) > 2 {
+			t.Errorf("%s: %d distinct source rails, want <= 2 (one per band)", e, len(nets))
+		}
+	}
+}
+
+func TestIsolationSplitsBitlineNets(t *testing.T) {
+	// On an OCSA chip each bitline's MAT side and sense side are
+	// distinct nets (the ISO break); on a classic chip every bitline is
+	// one net end to end.
+	countBitlineNets := func(id string) int {
+		p, _ := planFor(t, id)
+		nl, err := BuildNetlist(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]bool{}
+		for _, c := range p.Comps(layout.LayerM1) {
+			for _, r := range c.Rects {
+				if r.W() >= p.Bounds.W()/10 && r.W() > 4*r.H() {
+					if n, ok := nl.NetOfRect(layout.LayerM1, r); ok {
+						seen[n] = true
+					}
+				}
+			}
+		}
+		return len(seen)
+	}
+	classic := countBitlineNets("C4")
+	ocsa := countBitlineNets("B5")
+	if classic != 8 {
+		t.Errorf("C4 bitline nets = %d, want 8 (continuous wires)", classic)
+	}
+	if ocsa <= classic {
+		t.Errorf("B5 bitline nets = %d, want more than C4's %d (ISO splits them)", ocsa, classic)
+	}
+}
+
+func TestVerifyPrechargeErrors(t *testing.T) {
+	p, _ := planFor(t, "C4")
+	res, err := Extract(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := BuildNetlist(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip all precharge transistors: verification must fail.
+	var ts []Transistor
+	for _, tr := range res.Transistors {
+		if tr.Element != chips.Precharge {
+			ts = append(ts, tr)
+		}
+	}
+	res.Transistors = ts
+	if _, err := VerifyPrecharge(p, nl, res); err == nil {
+		t.Errorf("expected error with no precharge transistors")
+	}
+}
+
+func BenchmarkBuildNetlist(b *testing.B) {
+	p, _ := planFor(b, "B5")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildNetlist(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

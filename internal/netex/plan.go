@@ -1,0 +1,127 @@
+// Package netex reverse engineers circuit structure from planar layout
+// geometry, mechanizing the multi-dimensional mapping of Section V-A:
+// starting from per-layer rectangles (recovered by segmentation of the
+// reconstructed planar views, or taken from a clean layout in tests), it
+// identifies bitlines, classifies transistors into the paper's three
+// classes (multiplexer, common-gate, coupled), assigns circuit functions,
+// determines the deployed sense-amplifier topology (classic vs OCSA), and
+// measures every transistor's W/L.
+package netex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// Plan is the per-layer rectangle view of a region, in nanometers.
+type Plan struct {
+	ByLayer map[layout.Layer][]geom.Rect
+	Bounds  geom.Rect
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan {
+	return &Plan{ByLayer: make(map[layout.Layer][]geom.Rect)}
+}
+
+// Add inserts a rectangle on a layer and grows the bounds.
+func (p *Plan) Add(l layout.Layer, r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	p.ByLayer[l] = append(p.ByLayer[l], r)
+	p.Bounds = p.Bounds.Union(r)
+}
+
+// FromCell builds a plan directly from a layout cell — the noise-free
+// extraction path used to validate the classifier logic in isolation.
+func FromCell(c *layout.Cell) *Plan {
+	p := NewPlan()
+	for _, s := range c.Shapes {
+		p.Add(s.Layer, s.Rect)
+	}
+	return p
+}
+
+// Comp is a connected group of same-layer rectangles (touching or
+// overlapping), the geometric equivalent of an electrical node on that
+// layer.
+type Comp struct {
+	Layer  layout.Layer
+	Rects  []geom.Rect
+	Bounds geom.Rect
+}
+
+// connected groups the rectangles of one layer into touching components
+// with a union-find over pairwise adjacency.
+func connected(l layout.Layer, rects []geom.Rect) []Comp {
+	n := len(rects)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rects[i].Separation(rects[j]) == 0 {
+				union(i, j)
+			}
+		}
+	}
+	groups := make(map[int]*Comp)
+	for i, r := range rects {
+		root := find(i)
+		g, ok := groups[root]
+		if !ok {
+			g = &Comp{Layer: l}
+			groups[root] = g
+		}
+		g.Rects = append(g.Rects, r)
+		g.Bounds = g.Bounds.Union(r)
+	}
+	out := make([]Comp, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, *g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bounds.Min.X != out[j].Bounds.Min.X {
+			return out[i].Bounds.Min.X < out[j].Bounds.Min.X
+		}
+		return out[i].Bounds.Min.Y < out[j].Bounds.Min.Y
+	})
+	return out
+}
+
+// Comps returns the connected components of a layer.
+func (p *Plan) Comps(l layout.Layer) []Comp {
+	return connected(l, p.ByLayer[l])
+}
+
+// Validate checks that the plan has the layers extraction requires.
+func (p *Plan) Validate() error {
+	if p.Bounds.Empty() {
+		return fmt.Errorf("netex: empty plan")
+	}
+	for _, l := range []layout.Layer{layout.LayerM1, layout.LayerGate, layout.LayerActive} {
+		if len(p.ByLayer[l]) == 0 {
+			return fmt.Errorf("netex: plan has no %s shapes", l)
+		}
+	}
+	return nil
+}

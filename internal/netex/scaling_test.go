@@ -1,0 +1,57 @@
+package netex
+
+import (
+	"testing"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+)
+
+// TestExtractionScalesWithUnits: the extraction invariants hold for any
+// region size — counts scale linearly with the number of SA units, and
+// topology, pitch and block order are size-independent.
+func TestExtractionScalesWithUnits(t *testing.T) {
+	for _, c := range chips.All() {
+		perUnit := map[chips.Element]int{
+			chips.Column: 2, chips.PSA: 2, chips.NSA: 2, chips.LSA: 2,
+			chips.Precharge: 2,
+		}
+		if c.Topology == chips.OCSA {
+			perUnit[chips.Isolation] = 2
+			perUnit[chips.OffsetCancel] = 1
+		} else {
+			perUnit[chips.Equalizer] = 1
+		}
+		for _, units := range []int{1, 2, 4} {
+			cfg := chipgen.DefaultConfig(c)
+			cfg.Units = units
+			r, err := chipgen.Generate(cfg)
+			if err != nil {
+				t.Fatalf("%s units=%d: %v", c.ID, units, err)
+			}
+			res, err := Extract(FromCell(r.Cell))
+			if err != nil {
+				t.Fatalf("%s units=%d: %v", c.ID, units, err)
+			}
+			if res.Topology != c.Topology {
+				t.Errorf("%s units=%d: topology %v", c.ID, units, res.Topology)
+			}
+			if res.Bitlines != 4*units {
+				t.Errorf("%s units=%d: bitlines %d, want %d", c.ID, units, res.Bitlines, 4*units)
+			}
+			if want := float64(2 * int64(c.FeatureNM+0.5)); res.PitchNM != want {
+				t.Errorf("%s units=%d: pitch %v, want %v", c.ID, units, res.PitchNM, want)
+			}
+			by := res.ByElement()
+			for e, n := range perUnit {
+				want := 2 * units * n // two bands
+				if got := len(by[e]); got != want {
+					t.Errorf("%s units=%d: %s count %d, want %d", c.ID, units, e, got, want)
+				}
+			}
+			if res.Blocks[0] != "column" {
+				t.Errorf("%s units=%d: first block %s", c.ID, units, res.Blocks[0])
+			}
+		}
+	}
+}

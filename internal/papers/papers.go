@@ -1,0 +1,332 @@
+// Package papers implements the Section VI-B/C audit of thirteen research
+// proposals that modify the DRAM sense-amplifier region: each paper's
+// inaccuracy classes (I1-I5), its Appendix-B area-overhead formula
+// evaluated against the measured chips, and the resulting overhead error
+// and porting cost of Table II and Fig. 14.
+package papers
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chips"
+)
+
+// Inaccuracy is one of the five inaccuracy classes of Section VI-B.
+type Inaccuracy int
+
+// The inaccuracy classes.
+const (
+	I1 Inaccuracy = iota + 1 // no free space for bitlines in the MAT
+	I2                       // no free space for bitlines in the SA region
+	I3                       // assumed SA circuitry not deployed in practice
+	I4                       // assumed SA physical layout not deployed
+	I5                       // offset-cancellation designs not considered
+)
+
+// String implements fmt.Stringer.
+func (i Inaccuracy) String() string { return fmt.Sprintf("I%d", int(i)) }
+
+// Describe returns the one-line definition of the inaccuracy.
+func (i Inaccuracy) Describe() string {
+	switch i {
+	case I1:
+		return "no free space for bitlines in the MAT area"
+	case I2:
+		return "no free space for bitlines in the SA area"
+	case I3:
+		return "assuming a SA circuitry that is not deployed in practice"
+	case I4:
+		return "assuming a SA physical layout that does not correspond to the ones deployed"
+	case I5:
+		return "not considering offset-cancellation designs as the deployed SA topologies"
+	}
+	return "unknown"
+}
+
+// Paper is one audited research proposal.
+type Paper struct {
+	Name string
+	// Ref is the paper's citation tag in HiFi-DRAM.
+	Ref string
+	// Gen is the DDR generation the proposal was evaluated on.
+	Gen chips.Generation
+	// Year of publication.
+	Year int
+	// Inaccuracies are the classes that affect the proposal.
+	Inaccuracies []Inaccuracy
+	// OriginalOverhead is the paper's own chip-area overhead estimate
+	// (fraction). Values published by the originals are used where
+	// available (e.g. CoolDRAM's 0.4%); the rest are derived to be
+	// consistent with Table II, flagged by DerivedEstimate.
+	OriginalOverhead float64
+	DerivedEstimate  bool
+	// Overhead evaluates the Appendix-B P_chip formula: the realistic
+	// fractional chip-area overhead of the proposal on a given chip.
+	Overhead func(c *chips.Chip) float64
+}
+
+// Has reports whether the paper suffers the given inaccuracy class.
+func (p *Paper) Has(i Inaccuracy) bool {
+	for _, x := range p.Inaccuracies {
+		if x == i {
+			return true
+		}
+	}
+	return false
+}
+
+// stripPerNM returns the fractional chip area consumed per nanometer of
+// SA-region extension along the bitline direction:
+// MATs × SA_width / die_area. Multiplying by an element's effective size
+// (nm) yields the P_chip of a per-SA-region addition.
+func stripPerNM(c *chips.Chip) float64 {
+	dieNM2 := c.DieAreaMM2 * 1e12
+	return float64(c.MATs) * c.SAWidthNM() / dieNM2
+}
+
+// doubleRegion is the Appendix-B approximation for papers hit by I1/I2
+// that double the bitline count: P_extra = MAT_area + SA_area.
+func doubleRegion(c *chips.Chip) float64 {
+	return c.MATFraction() + c.SAFraction()
+}
+
+func effW(c *chips.Chip, e chips.Element) float64 {
+	d, ok := c.EffDim(e)
+	if !ok {
+		return 0
+	}
+	return d.W
+}
+
+// latchTerm returns san_ws + sap_ws: the effective widths of the nSA and
+// pSA latch transistors (their width is along the SA height, X).
+func latchTerm(c *chips.Chip) float64 {
+	return effW(c, chips.NSA) + effW(c, chips.PSA)
+}
+
+// isoL returns iso_ls: the effective isolation length for the chip,
+// scaled from the study average when the chip has no isolation
+// transistors (Section VI-C).
+func isoL(c *chips.Chip) float64 {
+	return chips.ScaledIsolationEff(c).L
+}
+
+// All returns the thirteen audited papers in Table II order.
+func All() []*Paper {
+	return []*Paper{
+		{
+			Name: "CHARM", Ref: "[94]", Gen: 3, Year: 2013,
+			Inaccuracies:     []Inaccuracy{I5},
+			OriginalOverhead: 0.020, DerivedEstimate: true,
+			// Aspect-ratio change [x2,/4]: a quarter of the SA area
+			// plus 1% chip for layout reorganization.
+			Overhead: func(c *chips.Chip) float64 {
+				return c.SAFraction()/4 + 0.01
+			},
+		},
+		{
+			Name: "R.B. DEC.", Ref: "[87]", Gen: 3, Year: 2014,
+			Inaccuracies:     []Inaccuracy{I4, I5},
+			OriginalOverhead: 0.00101, DerivedEstimate: true,
+			// New isolation transistors: 2 × iso_ls per SA region.
+			Overhead: func(c *chips.Chip) float64 {
+				return stripPerNM(c) * 2 * isoL(c)
+			},
+		},
+		{
+			Name: "AMBIT", Ref: "[88]", Gen: 3, Year: 2017,
+			Inaccuracies:     []Inaccuracy{I1, I2, I5},
+			OriginalOverhead: 0.00883, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "DrACC", Ref: "[21]", Gen: 4, Year: 2018,
+			Inaccuracies:     []Inaccuracy{I1, I2, I5},
+			OriginalOverhead: 0.01709, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "Graphide", Ref: "[2]", Gen: 4, Year: 2019,
+			Inaccuracies:     []Inaccuracy{I1, I2, I5},
+			OriginalOverhead: 0.01119, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "In-Mem.Lowcost.", Ref: "[1]", Gen: 4, Year: 2019,
+			Inaccuracies:     []Inaccuracy{I1, I2, I5},
+			OriginalOverhead: 0.008665, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "ELP2IM", Ref: "[112]", Gen: 3, Year: 2020,
+			Inaccuracies:     []Inaccuracy{I2, I3, I5},
+			OriginalOverhead: 0.006696, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "CLR-DRAM", Ref: "[66]", Gen: 4, Year: 2020,
+			Inaccuracies:     []Inaccuracy{I2, I5},
+			OriginalOverhead: 0.02675, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "SIMDRAM", Ref: "[28]", Gen: 4, Year: 2021,
+			Inaccuracies:     []Inaccuracy{I1, I2, I5},
+			OriginalOverhead: 0.008665, DerivedEstimate: true,
+			Overhead: doubleRegion,
+		},
+		{
+			Name: "Nov. DRAM", Ref: "[99]", Gen: 4, Year: 2021,
+			Inaccuracies:     []Inaccuracy{I4, I5},
+			OriginalOverhead: 0.0150, DerivedEstimate: true,
+			// Isolation, column and a full extra set of latch
+			// transistors: 2·iso_ls + 2·col_ws + 8·(san_ws+sap_ws).
+			Overhead: func(c *chips.Chip) float64 {
+				return stripPerNM(c) * (2*isoL(c) + 2*effW(c, chips.Column) + 8*latchTerm(c))
+			},
+		},
+		{
+			Name: "PF-DRAM", Ref: "[81]", Gen: 4, Year: 2021,
+			Inaccuracies:     []Inaccuracy{I5},
+			OriginalOverhead: 0.01585, DerivedEstimate: true,
+			// Independent isolation transistors plus an SA imbalancer:
+			// 4·iso_ls + 8·(san_ws+sap_ws).
+			Overhead: func(c *chips.Chip) float64 {
+				return stripPerNM(c) * (4*isoL(c) + 8*latchTerm(c))
+			},
+		},
+		{
+			Name: "REGA", Ref: "[68]", Gen: 4, Year: 2023,
+			Inaccuracies:     []Inaccuracy{I2, I4, I5},
+			OriginalOverhead: 0.01546, DerivedEstimate: true,
+			// One new bitline per three on vendors B and C; on vendor A
+			// the M2 routing headroom (Appendix A) exempts REGA from
+			// I2, leaving isolation transistors and SAs:
+			// 2·iso_ls + 8·(san_ws+sap_ws)/6.
+			Overhead: func(c *chips.Chip) float64 {
+				if c.Vendor == chips.VendorA {
+					return stripPerNM(c) * (2*isoL(c) + 8*latchTerm(c)/6)
+				}
+				return doubleRegion(c) / 3
+			},
+		},
+		{
+			Name: "CoolDRAM", Ref: "[83]", Gen: 4, Year: 2023,
+			Inaccuracies: []Inaccuracy{I1, I2, I3, I5},
+			// CoolDRAM's published estimate: 0.4% chip area. The
+			// smallest original estimate produces the largest error.
+			OriginalOverhead: 0.003495,
+			Overhead:         doubleRegion,
+		},
+	}
+}
+
+// ByName returns the audited paper with the given name, or nil.
+func ByName(name string) *Paper {
+	for _, p := range All() {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// OverheadError evaluates the Table II "Error" column: the average of
+// (P_chip/P_oe - 1) over the chips of the paper's original technology
+// generation. It returns ok=false (N/A) for pre-DDR4 papers.
+func (p *Paper) OverheadError() (float64, bool) {
+	if p.Gen < chips.DDR4 {
+		return 0, false
+	}
+	return p.meanRatioMinus1(chips.ByGeneration(p.Gen)), true
+}
+
+// PortingCost evaluates the Table II "Port. Cost" column: the overhead
+// variation when porting to newer technology. DDR3 proposals are ported
+// to DDR4 and DDR5 (all six chips); DDR4 proposals to DDR5.
+func (p *Paper) PortingCost() float64 {
+	var target []*chips.Chip
+	if p.Gen < chips.DDR4 {
+		target = chips.All()
+	} else {
+		target = chips.ByGeneration(chips.DDR5)
+	}
+	return p.meanRatioMinus1(target)
+}
+
+func (p *Paper) meanRatioMinus1(cs []*chips.Chip) float64 {
+	var sum float64
+	for _, c := range cs {
+		sum += p.Overhead(c)/p.OriginalOverhead - 1
+	}
+	return sum / float64(len(cs))
+}
+
+// TableIIRow is one row of Table II.
+type TableIIRow struct {
+	Paper       *Paper
+	Error       float64
+	ErrorKnown  bool // false renders as N/A
+	PortingCost float64
+}
+
+// TableII computes the full audit table.
+func TableII() []TableIIRow {
+	var rows []TableIIRow
+	for _, p := range All() {
+		e, ok := p.OverheadError()
+		rows = append(rows, TableIIRow{
+			Paper: p, Error: e, ErrorKnown: ok, PortingCost: p.PortingCost(),
+		})
+	}
+	return rows
+}
+
+// Fig14Point is one bar of Fig. 14: a paper's cost on one specific chip.
+type Fig14Point struct {
+	Paper string
+	Chip  string
+	// Kind is "error" (original-generation chips) or "porting".
+	Kind  string
+	Value float64
+}
+
+// Fig14 returns the per-chip error and porting costs for the papers whose
+// costs are not always above the cutoff (the paper omits proposals always
+// above 10x).
+func Fig14(cutoff float64) []Fig14Point {
+	var pts []Fig14Point
+	for _, p := range All() {
+		var cand []Fig14Point
+		minV := math.Inf(1)
+		for _, c := range chips.All() {
+			v := p.Overhead(c)/p.OriginalOverhead - 1
+			kind := "porting"
+			if c.Gen == p.Gen {
+				kind = "error"
+			}
+			if math.Abs(v) < minV {
+				minV = math.Abs(v)
+			}
+			cand = append(cand, Fig14Point{Paper: p.Name, Chip: c.ID, Kind: kind, Value: v})
+		}
+		if minV <= cutoff {
+			pts = append(pts, cand...)
+		}
+	}
+	return pts
+}
+
+// MATExtensionOverhead returns the average chip overhead of extending the
+// MATs alone (no SA extension) across all chips affected by a doubling of
+// the MAT width — the "57% chip overhead, solely for the MAT extension"
+// statistic of Section VI-B.
+func MATExtensionOverhead() float64 {
+	var sum float64
+	cs := chips.All()
+	for _, c := range cs {
+		sum += c.MATFraction()
+	}
+	return sum / float64(len(cs))
+}

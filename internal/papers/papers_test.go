@@ -1,0 +1,323 @@
+package papers
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chips"
+)
+
+// tableIITargets are the published Table II values our audit must land
+// near (tolerance is relative; the substrate is synthetic so only the
+// magnitude and sign must hold).
+var tableIITargets = []struct {
+	name       string
+	err        float64
+	errKnown   bool
+	port       float64
+	gen        chips.Generation
+	year       int
+	inacc      []Inaccuracy
+	relTol     float64 // relative tolerance on err/port
+	absTolPort float64 // absolute tolerance for near-zero ports
+}{
+	{"CHARM", 0, false, 0.29, 3, 2013, []Inaccuracy{I5}, 0.25, 0.1},
+	{"R.B. DEC.", 0, false, -0.25, 3, 2014, []Inaccuracy{I4, I5}, 0.25, 0.1},
+	{"AMBIT", 0, false, 68, 3, 2017, []Inaccuracy{I1, I2, I5}, 0.15, 0},
+	{"DrACC", 35, true, 34, 4, 2018, []Inaccuracy{I1, I2, I5}, 0.15, 0},
+	{"Graphide", 54, true, 52, 4, 2019, []Inaccuracy{I1, I2, I5}, 0.15, 0},
+	{"In-Mem.Lowcost.", 70, true, 67, 4, 2019, []Inaccuracy{I1, I2, I5}, 0.15, 0},
+	{"ELP2IM", 0, false, 90, 3, 2020, []Inaccuracy{I2, I3, I5}, 0.15, 0},
+	{"CLR-DRAM", 22, true, 21, 4, 2020, []Inaccuracy{I2, I5}, 0.15, 0},
+	{"SIMDRAM", 70, true, 67, 4, 2021, []Inaccuracy{I1, I2, I5}, 0.15, 0},
+	{"Nov. DRAM", 0.49, true, 0.001, 4, 2021, []Inaccuracy{I4, I5}, 0.25, 0.15},
+	{"PF-DRAM", 0.35, true, -0.01, 4, 2021, []Inaccuracy{I5}, 0.25, 0.1},
+	{"REGA", 8, true, 7, 4, 2023, []Inaccuracy{I2, I4, I5}, 0.2, 0},
+	{"CoolDRAM", 175, true, 168, 4, 2023, []Inaccuracy{I1, I2, I3, I5}, 0.15, 0},
+}
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	rows := TableII()
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
+	}
+	byName := make(map[string]TableIIRow)
+	for _, r := range rows {
+		byName[r.Paper.Name] = r
+	}
+	for _, want := range tableIITargets {
+		r, ok := byName[want.name]
+		if !ok {
+			t.Errorf("missing paper %s", want.name)
+			continue
+		}
+		if r.ErrorKnown != want.errKnown {
+			t.Errorf("%s: error known = %v, want %v", want.name, r.ErrorKnown, want.errKnown)
+			continue
+		}
+		if want.errKnown && !within(r.Error, want.err, want.relTol, 0.05) {
+			t.Errorf("%s: error %.2fx, want ~%.2fx", want.name, r.Error, want.err)
+		}
+		if !within(r.PortingCost, want.port, want.relTol, want.absTolPort) {
+			t.Errorf("%s: porting %.3fx, want ~%.3fx", want.name, r.PortingCost, want.port)
+		}
+		if r.Paper.Gen != want.gen || r.Paper.Year != want.year {
+			t.Errorf("%s: gen/year %v/%d, want %v/%d",
+				want.name, r.Paper.Gen, r.Paper.Year, want.gen, want.year)
+		}
+		if len(r.Paper.Inaccuracies) != len(want.inacc) {
+			t.Errorf("%s: inaccuracies %v, want %v", want.name, r.Paper.Inaccuracies, want.inacc)
+			continue
+		}
+		for _, i := range want.inacc {
+			if !r.Paper.Has(i) {
+				t.Errorf("%s: missing inaccuracy %s", want.name, i)
+			}
+		}
+	}
+}
+
+func within(got, want, relTol, absTol float64) bool {
+	if math.Abs(got-want) <= absTol {
+		return true
+	}
+	if want == 0 {
+		return false
+	}
+	return math.Abs(got/want-1) <= relTol
+}
+
+func TestCoolDRAMIsWorstCase(t *testing.T) {
+	// The 175x headline: CoolDRAM has the largest overhead error.
+	rows := TableII()
+	var worst TableIIRow
+	for _, r := range rows {
+		if r.ErrorKnown && r.Error > worst.Error {
+			worst = r
+		}
+	}
+	if worst.Paper.Name != "CoolDRAM" {
+		t.Errorf("worst paper = %s, want CoolDRAM", worst.Paper.Name)
+	}
+	if worst.Error < 150 || worst.Error > 200 {
+		t.Errorf("worst error %.1fx, want ~175x", worst.Error)
+	}
+}
+
+func TestI1PapersHaveLargeErrors(t *testing.T) {
+	// Section VI-C: papers hit by I1 or I2 have consistently large
+	// errors (>20x) on every vendor.
+	for _, p := range All() {
+		if !p.Has(I1) && !p.Has(I2) {
+			continue
+		}
+		if p.Name == "REGA" {
+			continue // vendor-A exemption makes REGA's average smaller
+		}
+		for _, c := range chips.All() {
+			ratio := p.Overhead(c)/p.OriginalOverhead - 1
+			if ratio < 20 {
+				t.Errorf("%s on %s: error %.1fx, expected >20x for I1/I2 papers",
+					p.Name, c.ID, ratio)
+			}
+		}
+	}
+}
+
+func TestObservation2PortingCheaperOnDDR5(t *testing.T) {
+	// Porting transistor-level modifications to DDR5 yields lower
+	// overheads than the original technology (Observation 2).
+	for _, name := range []string{"R.B. DEC.", "Nov. DRAM", "PF-DRAM"} {
+		p := ByName(name)
+		var orig []*chips.Chip
+		if p.Gen < chips.DDR4 {
+			orig = chips.ByGeneration(chips.DDR4)
+		} else {
+			orig = chips.ByGeneration(p.Gen)
+		}
+		var sumO float64
+		for _, c := range orig {
+			sumO += p.Overhead(c)
+		}
+		avgO := sumO / float64(len(orig))
+		var sum5 float64
+		dd5 := chips.ByGeneration(chips.DDR5)
+		for _, c := range dd5 {
+			sum5 += p.Overhead(c)
+		}
+		avg5 := sum5 / float64(len(dd5))
+		if avg5 >= avgO {
+			t.Errorf("%s: DDR5 overhead %.4f%% not below original-gen %.4f%%",
+				name, 100*avg5, 100*avgO)
+		}
+	}
+}
+
+func TestObservation2BiggestVariationRBDecOnA5(t *testing.T) {
+	// "The biggest variation is for [87] (-0.47x on A5)."
+	p := ByName("R.B. DEC.")
+	a5 := chips.ByID("A5")
+	v := p.Overhead(a5)/p.OriginalOverhead - 1
+	if math.Abs(v-(-0.47)) > 0.1 {
+		t.Errorf("R.B. DEC. on A5 = %.3fx, want ~-0.47x", v)
+	}
+}
+
+func TestObservation1VendorVariation(t *testing.T) {
+	// "[94] has a variation of 0.45x when passing from Vendor A to
+	// Vendor C on DDR5 chips."
+	p := ByName("CHARM")
+	a5, c5 := chips.ByID("A5"), chips.ByID("C5")
+	va := p.Overhead(a5)/p.OriginalOverhead - 1
+	vc := p.Overhead(c5)/p.OriginalOverhead - 1
+	if diff := vc - va; math.Abs(diff-0.45) > 0.12 {
+		t.Errorf("CHARM A5->C5 variation = %.3fx, want ~0.45x", diff)
+	}
+}
+
+func TestFig14OmitsAlwaysLargePapers(t *testing.T) {
+	pts := Fig14(10)
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		seen[pt.Paper] = true
+	}
+	// Papers that are always >10x on every chip must be omitted.
+	for _, name := range []string{"CoolDRAM", "AMBIT", "SIMDRAM", "Graphide", "DrACC", "In-Mem.Lowcost.", "ELP2IM", "CLR-DRAM"} {
+		if seen[name] {
+			t.Errorf("%s should be omitted from Fig. 14", name)
+		}
+	}
+	// Small-overhead papers must be present.
+	for _, name := range []string{"CHARM", "R.B. DEC.", "Nov. DRAM", "PF-DRAM", "REGA"} {
+		if !seen[name] {
+			t.Errorf("%s should appear in Fig. 14", name)
+		}
+	}
+	// Each included paper contributes one point per chip.
+	count := map[string]int{}
+	for _, pt := range pts {
+		count[pt.Paper]++
+		if pt.Kind != "error" && pt.Kind != "porting" {
+			t.Errorf("bad kind %q", pt.Kind)
+		}
+	}
+	for name, n := range count {
+		if n != 6 {
+			t.Errorf("%s: %d points, want 6", name, n)
+		}
+	}
+}
+
+func TestFig14KindsFollowGeneration(t *testing.T) {
+	for _, pt := range Fig14(10) {
+		p := ByName(pt.Paper)
+		c := chips.ByID(pt.Chip)
+		wantKind := "porting"
+		if c.Gen == p.Gen {
+			wantKind = "error"
+		}
+		if pt.Kind != wantKind {
+			t.Errorf("%s on %s: kind %s, want %s", pt.Paper, pt.Chip, pt.Kind, wantKind)
+		}
+	}
+}
+
+func TestMATExtensionOverheadNearPaper(t *testing.T) {
+	// Section VI-B: ~57% chip overhead solely for the MAT extension.
+	got := MATExtensionOverhead()
+	if math.Abs(got-0.57) > 0.04 {
+		t.Errorf("MAT extension overhead %.3f, want ~0.57", got)
+	}
+}
+
+func TestInaccuracyDescriptions(t *testing.T) {
+	for i := I1; i <= I5; i++ {
+		if i.Describe() == "unknown" || i.String() == "" {
+			t.Errorf("%s: missing description", i)
+		}
+	}
+	if Inaccuracy(9).Describe() != "unknown" {
+		t.Errorf("unknown inaccuracy should describe as unknown")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("AMBIT") == nil {
+		t.Errorf("AMBIT not found")
+	}
+	if ByName("nope") != nil {
+		t.Errorf("unknown paper should be nil")
+	}
+}
+
+func TestOriginalEstimatesPositive(t *testing.T) {
+	for _, p := range All() {
+		if p.OriginalOverhead <= 0 || p.OriginalOverhead > 0.05 {
+			t.Errorf("%s: original estimate %.4f implausible", p.Name, p.OriginalOverhead)
+		}
+		// CoolDRAM's is the published 0.4%.
+		if p.Name == "CoolDRAM" {
+			if p.DerivedEstimate {
+				t.Errorf("CoolDRAM estimate is published, not derived")
+			}
+			if math.Abs(p.OriginalOverhead-0.004) > 0.001 {
+				t.Errorf("CoolDRAM estimate %.4f, want ~0.004", p.OriginalOverhead)
+			}
+		}
+	}
+}
+
+func TestAllPapersSufferI5OrDocumentWhy(t *testing.T) {
+	// Section VI-B: no audited paper considered OCSA.
+	for _, p := range All() {
+		if !p.Has(I5) {
+			t.Errorf("%s: every audited paper predates the OCSA discovery and carries I5", p.Name)
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if rows := TableII(); len(rows) != 13 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// Property: every audited paper's realistic overhead is positive on every
+// chip, and papers that double a region track the MAT+SA fraction.
+func TestOverheadProperties(t *testing.T) {
+	for _, p := range All() {
+		for _, c := range chips.All() {
+			ov := p.Overhead(c)
+			if ov <= 0 || ov > 1 {
+				t.Errorf("%s on %s: overhead %v outside (0, 1]", p.Name, c.ID, ov)
+			}
+		}
+	}
+	// Doubling papers: exactly MAT+SA.
+	for _, name := range []string{"AMBIT", "SIMDRAM", "CoolDRAM"} {
+		p := ByName(name)
+		for _, c := range chips.All() {
+			want := c.MATFraction() + c.SAFraction()
+			if got := p.Overhead(c); math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s on %s: %v, want MAT+SA = %v", name, c.ID, got, want)
+			}
+		}
+	}
+}
+
+// Property: growing a chip's SA region raises the overhead of every
+// region-doubling paper and of CHARM (which charges a quarter of it).
+func TestOverheadMonotoneInSAArea(t *testing.T) {
+	base := chips.ByID("C4")
+	grown := chips.ByID("C4")
+	grown.SAHeightNM *= 1.5
+	for _, name := range []string{"CoolDRAM", "CHARM"} {
+		p := ByName(name)
+		if p.Overhead(grown) <= p.Overhead(base) {
+			t.Errorf("%s: overhead not monotone in SA area", name)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package register
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/img"
+)
+
+// texture builds a structured test image resembling an IC cross section:
+// periodic vertical wires plus a horizontal layer boundary.
+func texture(w, h int, seed int64) *img.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := img.New(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.2
+			if (x/4)%2 == 0 {
+				v = 0.8
+			}
+			if y > h/2 {
+				v *= 0.6
+			}
+			g.Set(x, y, v+0.02*rng.NormFloat64())
+		}
+	}
+	return g
+}
+
+// symOptions is a symmetric search window for tests that shift in Y.
+func symOptions() Options {
+	return Options{MaxShift: 6, MaxShiftY: 6, Bins: 32, Margin: 2}
+}
+
+func TestShiftArithmetic(t *testing.T) {
+	a := Shift{2, -3}
+	b := Shift{-1, 5}
+	if got := a.Add(b); got != (Shift{1, 2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Neg(); got != (Shift{-2, 3}) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestMutualInformationSelfIsEntropy(t *testing.T) {
+	g := texture(32, 32, 1)
+	mi, err := MutualInformation(g, g, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// I(A;A) = H(A) > 0 for a non-constant image.
+	if mi <= 0 {
+		t.Errorf("self MI should be positive, got %v", mi)
+	}
+	// MI with an independent image should be much smaller.
+	other := texture(32, 32, 99)
+	noise := img.New(32, 32)
+	rng := rand.New(rand.NewSource(5))
+	for i := range noise.Pix {
+		noise.Pix[i] = rng.Float64()
+	}
+	miNoise, err := MutualInformation(other, noise, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miNoise >= mi/2 {
+		t.Errorf("MI with noise (%v) should be well below self MI (%v)", miNoise, mi)
+	}
+}
+
+func TestMutualInformationErrors(t *testing.T) {
+	a := img.New(4, 4)
+	if _, err := MutualInformation(a, img.New(5, 5), 8); err == nil {
+		t.Errorf("expected size mismatch error")
+	}
+	if _, err := MutualInformation(a, a, 1); err == nil {
+		t.Errorf("expected bins error")
+	}
+}
+
+func TestMutualInformationInvariantToMonotoneRemap(t *testing.T) {
+	// MI should survive an intensity remap that correlation would not:
+	// this is why the paper uses it across FIB slices.
+	a := texture(32, 32, 2)
+	b := a.Clone()
+	for i, v := range b.Pix {
+		b.Pix[i] = 1 - 0.5*v // inverted and compressed contrast
+	}
+	miRemap, err := MutualInformation(a, b, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	miSelf, _ := MutualInformation(a, a, 16)
+	if miRemap < 0.8*miSelf {
+		t.Errorf("MI not robust to monotone remap: %v vs self %v", miRemap, miSelf)
+	}
+}
+
+func TestAlignRecoversKnownShift(t *testing.T) {
+	base := texture(48, 48, 3)
+	for _, want := range []Shift{{0, 0}, {2, 0}, {0, -3}, {-4, 2}, {5, 5}} {
+		moved := base.Translate(want.DX, want.DY)
+		got, mi, err := Align(base, moved, symOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The correcting shift is the negation of the applied one.
+		if got != want.Neg() {
+			t.Errorf("shift %v: recovered %v, want %v (MI %v)", want, got, want.Neg(), mi)
+		}
+	}
+}
+
+func TestAlignWithNoiseAndContrastChange(t *testing.T) {
+	base := texture(48, 48, 4)
+	moved := base.Translate(3, -2)
+	rng := rand.New(rand.NewSource(8))
+	for i, v := range moved.Pix {
+		moved.Pix[i] = 0.9*v + 0.05 + 0.03*rng.NormFloat64()
+	}
+	got, _, err := Align(base, moved, symOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (Shift{-3, 2}) {
+		t.Errorf("recovered %v, want {-3 2}", got)
+	}
+}
+
+func TestAlignIdentityOnSameImage(t *testing.T) {
+	g := texture(40, 40, 6)
+	s, _, err := Align(g, g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != (Shift{0, 0}) {
+		t.Errorf("self-alignment should be identity, got %v", s)
+	}
+}
+
+func TestAlignValidation(t *testing.T) {
+	g := texture(40, 40, 1)
+	if _, _, err := Align(g, texture(32, 32, 1), DefaultOptions()); err == nil {
+		t.Errorf("expected size mismatch error")
+	}
+	small := texture(8, 8, 1)
+	if _, _, err := Align(small, small, DefaultOptions()); err == nil {
+		t.Errorf("expected too-small error")
+	}
+	if _, _, err := Align(g, g, Options{MaxShift: -1, Bins: 8}); err == nil {
+		t.Errorf("expected MaxShift validation error")
+	}
+	if _, _, err := Align(g, g, Options{MaxShift: 2, Bins: 1}); err == nil {
+		t.Errorf("expected Bins validation error")
+	}
+	if _, _, err := Align(g, g, Options{MaxShift: 2, Bins: 8, Margin: -2}); err == nil {
+		t.Errorf("expected Margin validation error")
+	}
+}
+
+func TestAlignStackCorrectsCumulativeDrift(t *testing.T) {
+	base := texture(48, 48, 7)
+	// Simulate drift: each slice shifts one more pixel to the right.
+	var stack []*img.Gray
+	for i := 0; i < 5; i++ {
+		stack = append(stack, base.Translate(i, 0))
+	}
+	aligned, res, err := AlignStack(stack, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shifts[0] != (Shift{0, 0}) {
+		t.Errorf("first shift must be zero")
+	}
+	for i := 1; i < 5; i++ {
+		if res.Shifts[i] != (Shift{-i, 0}) {
+			t.Errorf("slice %d: shift %v, want {-%d 0}", i, res.Shifts[i], i)
+		}
+	}
+	drift, err := ResidualDrift(aligned, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift > 0.01 {
+		t.Errorf("aligned stack residual drift %v should be ~0", drift)
+	}
+}
+
+func TestAlignStackEmpty(t *testing.T) {
+	if _, _, err := AlignStack(nil, DefaultOptions()); err == nil {
+		t.Errorf("expected error for empty stack")
+	}
+}
+
+func TestResidualDriftDetectsMisalignment(t *testing.T) {
+	base := texture(48, 48, 9)
+	stack := []*img.Gray{base, base.Translate(4, 0), base.Translate(8, 0)}
+	drift, err := ResidualDrift(stack, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(drift-4) > 0.5 {
+		t.Errorf("drift = %v, want ~4", drift)
+	}
+	single, err := ResidualDrift(stack[:1], DefaultOptions())
+	if err != nil || single != 0 {
+		t.Errorf("single-slice drift should be 0, got %v (%v)", single, err)
+	}
+}
+
+// Property: alignment exactly inverts any translation within the window.
+func TestAlignInvertsTranslationProperty(t *testing.T) {
+	base := texture(48, 48, 11)
+	f := func(dx8, dy8 int8) bool {
+		dx := int(dx8)%5 - 2
+		dy := int(dy8)%5 - 2
+		moved := base.Translate(dx, dy)
+		got, _, err := Align(base, moved, symOptions())
+		if err != nil {
+			return false
+		}
+		return got == (Shift{-dx, -dy})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAlign48(b *testing.B) {
+	base := texture(48, 48, 1)
+	moved := base.Translate(2, -1)
+	o := DefaultOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Align(base, moved, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

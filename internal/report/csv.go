@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/analysis"
+	"repro/internal/chips"
+	"repro/internal/papers"
+)
+
+// CSV renderers for downstream plotting of the figures.
+
+// TableIICSV writes the research audit as CSV: paper, inaccuracies,
+// error, porting cost, generation, year.
+func TableIICSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"paper", "inaccuracies", "error_x", "porting_x", "ddr", "year"}); err != nil {
+		return err
+	}
+	for _, row := range papers.TableII() {
+		inacc := ""
+		for i, x := range row.Paper.Inaccuracies {
+			if i > 0 {
+				inacc += ";"
+			}
+			inacc += x.String()
+		}
+		errStr := ""
+		if row.ErrorKnown {
+			errStr = strconv.FormatFloat(row.Error, 'f', 4, 64)
+		}
+		rec := []string{
+			row.Paper.Name, inacc, errStr,
+			strconv.FormatFloat(row.PortingCost, 'f', 4, 64),
+			strconv.Itoa(int(row.Paper.Gen)), strconv.Itoa(row.Paper.Year),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig12CSV writes the model-inaccuracy statistics as CSV.
+func Fig12CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "metric", "generation", "avg", "max", "max_chip", "max_element"}); err != nil {
+		return err
+	}
+	for _, r := range analysis.Fig12() {
+		rec := []string{
+			r.Model, r.Metric.String(), r.Gen.String(),
+			strconv.FormatFloat(r.Avg, 'f', 4, 64),
+			strconv.FormatFloat(r.Max, 'f', 4, 64),
+			r.MaxChip, r.MaxElem.String(),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DimsCSV writes every chip's per-element dimensions as CSV.
+func DimsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"chip", "element", "w_nm", "l_nm", "eff_w_nm", "eff_l_nm"}); err != nil {
+		return err
+	}
+	for _, c := range chips.All() {
+		for _, e := range chips.Elements() {
+			d, ok := c.Dim(e)
+			if !ok {
+				continue
+			}
+			eff, _ := c.EffDim(e)
+			rec := []string{
+				c.ID, e.String(),
+				fmt.Sprintf("%.0f", d.W), fmt.Sprintf("%.0f", d.L),
+				fmt.Sprintf("%.0f", eff.W), fmt.Sprintf("%.0f", eff.L),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

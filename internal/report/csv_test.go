@@ -1,0 +1,56 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, f func(b *strings.Builder) error) [][]string {
+	t.Helper()
+	out := render(t, f)
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestTableIICSV(t *testing.T) {
+	recs := parseCSV(t, func(b *strings.Builder) error { return TableIICSV(b) })
+	if len(recs) != 14 { // header + 13
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "paper" || len(recs[0]) != 6 {
+		t.Errorf("header = %v", recs[0])
+	}
+	// CHARM is pre-DDR4: empty error column.
+	for _, r := range recs[1:] {
+		if r[0] == "CHARM" && r[2] != "" {
+			t.Errorf("CHARM error should be empty (N/A), got %q", r[2])
+		}
+		if r[0] == "CoolDRAM" && !strings.HasPrefix(r[2], "175") {
+			t.Errorf("CoolDRAM error = %q", r[2])
+		}
+	}
+}
+
+func TestFig12CSV(t *testing.T) {
+	recs := parseCSV(t, func(b *strings.Builder) error { return Fig12CSV(b) })
+	if len(recs) != 13 { // header + 12 rows
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "model" {
+		t.Errorf("header = %v", recs[0])
+	}
+}
+
+func TestDimsCSV(t *testing.T) {
+	recs := parseCSV(t, func(b *strings.Builder) error { return DimsCSV(b) })
+	// 6 chips x (7 or 6 elements): OCSA 7, classic 7 (equalizer instead
+	// of iso+oc => classic 6+... count: OCSA has NSA,PSA,PRE,COL,ISO,OC,LSA=7;
+	// classic has NSA,PSA,PRE,EQ,COL,LSA=6. 3*7+3*6 = 39 + header.
+	if len(recs) != 40 {
+		t.Fatalf("records = %d, want 40", len(recs))
+	}
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimism(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Optimism(b) })
+	for _, want := range []string{"CROW (model)", "REM (model)", "C4", "latch delay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("optimism table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTiming(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Timing(b) })
+	for _, want := range []string{"A4", "OCSA", "ACT latency", "fJ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timing table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReliability(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Reliability(b) })
+	for _, want := range []string{"classic error rate", "OCSA error rate", "0.0000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("reliability table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPaperDetail(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return PaperDetail(b, "CoolDRAM") })
+	for _, want := range []string{"CoolDRAM", "I1", "I5", "175x", "error", "porting"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paper detail missing %q:\n%s", want, out)
+		}
+	}
+	var b strings.Builder
+	if err := PaperDetail(&b, "nope"); err == nil {
+		t.Errorf("unknown paper should error")
+	}
+	// A pre-DDR4 paper renders N/A.
+	out = render(t, func(b *strings.Builder) error { return PaperDetail(b, "AMBIT") })
+	if !strings.Contains(out, "N/A") {
+		t.Errorf("AMBIT detail should carry N/A error")
+	}
+}

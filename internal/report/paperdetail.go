@@ -1,0 +1,52 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chips"
+	"repro/internal/papers"
+)
+
+// PaperDetail renders the full Appendix-B evaluation of one audited
+// paper: its inaccuracy classes, the original overhead estimate, and the
+// realistic per-chip overhead with the resulting error/porting ratio —
+// the working a researcher would check when re-evaluating a proposal
+// against the measured chips.
+func PaperDetail(w io.Writer, name string) error {
+	p := papers.ByName(name)
+	if p == nil {
+		return fmt.Errorf("report: unknown paper %q", name)
+	}
+	fmt.Fprintf(w, "%s %s (DDR%d, %d)\n", p.Name, p.Ref, int(p.Gen), p.Year)
+	for _, i := range p.Inaccuracies {
+		fmt.Fprintf(w, "  %s: %s\n", i, i.Describe())
+	}
+	src := "published"
+	if p.DerivedEstimate {
+		src = "derived for Table II consistency"
+	}
+	fmt.Fprintf(w, "  original overhead estimate: %.3f%% (%s)\n\n", 100*p.OriginalOverhead, src)
+
+	t := tw(w)
+	fmt.Fprintln(t, "chip\tgen\trealistic overhead\tratio vs estimate\tkind")
+	for _, c := range chips.All() {
+		ov := p.Overhead(c)
+		kind := "porting"
+		if c.Gen == p.Gen {
+			kind = "error"
+		}
+		fmt.Fprintf(t, "%s\t%s\t%.3f%%\t%s\t%s\n",
+			c.ID, c.Gen, 100*ov, fmtX(ov/p.OriginalOverhead-1), kind)
+	}
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	if e, ok := p.OverheadError(); ok {
+		fmt.Fprintf(w, "Table II error: %s", fmtX(e))
+	} else {
+		fmt.Fprint(w, "Table II error: N/A (pre-DDR4 proposal)")
+	}
+	_, err := fmt.Fprintf(w, "   porting cost: %s\n", fmtX(p.PortingCost()))
+	return err
+}

@@ -1,0 +1,164 @@
+// Package report renders the paper's tables and figures from the dataset
+// and analysis packages as aligned text, for the command-line tools and
+// the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/analysis"
+	"repro/internal/chips"
+	"repro/internal/papers"
+)
+
+func tw(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// TableI renders the studied-chips table.
+func TableI(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "ID\tVendor\tStorage\tYr.\tSize\tDet.\tMATs\tPixl.Res.\tTopology")
+	for _, c := range chips.All() {
+		mats := "N.V."
+		if c.MATsVisible {
+			mats = "V."
+		}
+		fmt.Fprintf(t, "%s\t%s (%s)\t%dGb\t'%02d\t%.0fmm²\t%s\t%s\t%.1f nm\t%s\n",
+			c.ID, c.Vendor, c.Gen, c.DensityGb, c.Year%100, c.DieAreaMM2,
+			c.Detector, mats, c.PixelResNM, c.Topology)
+	}
+	return t.Flush()
+}
+
+// TableII renders the research-inaccuracies audit.
+func TableII(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "Research\tInacc.\tError\tPort. Cost\tDDR\tYr.")
+	for _, row := range papers.TableII() {
+		inacc := ""
+		for i, x := range row.Paper.Inaccuracies {
+			if i > 0 {
+				inacc += ","
+			}
+			inacc += fmt.Sprintf("%d", int(x))
+		}
+		errStr := "N/A"
+		if row.ErrorKnown {
+			errStr = fmtX(row.Error)
+		}
+		fmt.Fprintf(t, "%s %s\tI%s\t%s\t%s\t%d\t'%02d\n",
+			row.Paper.Name, row.Paper.Ref, inacc, errStr, fmtX(row.PortingCost),
+			int(row.Paper.Gen), row.Paper.Year%100)
+	}
+	return t.Flush()
+}
+
+func fmtX(v float64) string {
+	if v >= 10 || v <= -10 {
+		return fmt.Sprintf("%.0fx", v)
+	}
+	return fmt.Sprintf("%.2fx", v)
+}
+
+// Fig11 renders the latch transistor size series.
+func Fig11(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "Source\tElement\tW (nm)\tL (nm)\tW/L")
+	for _, p := range analysis.Fig11() {
+		tag := ""
+		if p.IsModel {
+			tag = " (model)"
+		}
+		fmt.Fprintf(t, "%s%s\t%s\t%.0f\t%.0f\t%.2f\n",
+			p.Source, tag, p.Element, p.Dims.W, p.Dims.L, p.Dims.WL())
+	}
+	return t.Flush()
+}
+
+// Fig12 renders the model-inaccuracy statistics.
+func Fig12(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "Model\tMetric\tTech\tAvg\tMax\tMax at")
+	for _, r := range analysis.Fig12() {
+		tech := r.Gen.String()
+		if r.Gen == chips.DDR5 {
+			tech += " (¥)"
+		}
+		fmt.Fprintf(t, "%s\t%s\t%s\t%.0f%%\t%.0f%%\t%s %s\n",
+			r.Model, r.Metric, tech, 100*r.Avg, 100*r.Max, r.MaxChip, r.MaxElem)
+	}
+	return t.Flush()
+}
+
+// Fig14 renders the per-chip error/porting costs for papers under the
+// 10x cutoff.
+func Fig14(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "Research\tChip\tKind\tCost")
+	for _, p := range papers.Fig14(10) {
+		fmt.Fprintf(t, "%s\t%s\t%s\t%s\n", p.Paper, p.Chip, p.Kind, fmtX(p.Value))
+	}
+	return t.Flush()
+}
+
+// AppendixA renders the bitline-shrink analysis for every chip.
+func AppendixA(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "Chip\tRegion extension\tChip overhead")
+	for _, c := range chips.All() {
+		bs := analysis.NewBitlineShrink(c)
+		fmt.Fprintf(t, "%s\t%.1f%%\t%.1f%%\n",
+			c.ID, 100*bs.RegionExtension(), 100*bs.ChipOverhead())
+	}
+	return t.Flush()
+}
+
+// Dims renders the measured transistor dimensions of every chip.
+func Dims(w io.Writer) error {
+	t := tw(w)
+	fmt.Fprintln(t, "Chip\tElement\tW (nm)\tL (nm)\tW/L\teff. W\teff. L")
+	for _, c := range chips.All() {
+		for _, e := range chips.Elements() {
+			d, ok := c.Dim(e)
+			if !ok {
+				continue
+			}
+			eff, _ := c.EffDim(e)
+			fmt.Fprintf(t, "%s\t%s\t%.0f\t%.0f\t%.2f\t%.0f\t%.0f\n",
+				c.ID, e, d.W, d.L, d.WL(), eff.W, eff.L)
+		}
+	}
+	return t.Flush()
+}
+
+// Recommendations renders R1-R4.
+func Recommendations(w io.Writer) error {
+	for _, r := range analysis.Recommendations() {
+		if _, err := fmt.Fprintf(w, "%s (%s): %s\n    %s\n", r.ID, r.Basis, r.Title, r.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Headline renders the two headline numbers of the abstract.
+func Headline(w io.Writer) error {
+	worst := analysis.WorstModelInaccuracy()
+	var worstPaper string
+	var worstErr float64
+	for _, row := range papers.TableII() {
+		if row.ErrorKnown && row.Error > worstErr {
+			worstErr = row.Error
+			worstPaper = row.Paper.Name
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"Public DRAM models are up to %.1fx inaccurate (%s, %s %s %s).\n"+
+			"Existing research has up to %.0fx error (%s).\n",
+		worst.Error, worst.Model, worst.Chip, worst.Element, worst.Metric,
+		worstErr, worstPaper)
+	return err
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, f func(w *strings.Builder) error) string {
+	t.Helper()
+	var b strings.Builder
+	if err := f(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestTableI(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return TableI(b) })
+	for _, want := range []string{"A4", "B5", "C5", "OCSA", "classic", "BSE", "16Gb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 7 { // header + 6 chips
+		t.Errorf("Table I has %d lines", lines)
+	}
+}
+
+func TestTableII(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return TableII(b) })
+	for _, want := range []string{"AMBIT", "CoolDRAM", "REGA", "N/A", "175x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != 14 { // header + 13 papers
+		t.Errorf("Table II has %d lines", lines)
+	}
+}
+
+func TestFig11(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Fig11(b) })
+	if !strings.Contains(out, "REM (model)") {
+		t.Errorf("Fig 11 missing REM model marker")
+	}
+	if strings.Contains(out, "CROW") {
+		t.Errorf("Fig 11 must omit CROW")
+	}
+}
+
+func TestFig12(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Fig12(b) })
+	for _, want := range []string{"CROW", "REM", "width", "length", "W/L", "(¥)", "C4 precharge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 12 missing %q", want)
+		}
+	}
+}
+
+func TestFig14(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Fig14(b) })
+	for _, want := range []string{"CHARM", "porting", "error"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig 14 missing %q", want)
+		}
+	}
+	if strings.Contains(out, "CoolDRAM") {
+		t.Errorf("Fig 14 must omit always->10x papers")
+	}
+}
+
+func TestAppendixA(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return AppendixA(b) })
+	if !strings.Contains(out, "33.3%") {
+		t.Errorf("Appendix A missing the 33%% extension:\n%s", out)
+	}
+}
+
+func TestDims(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Dims(b) })
+	for _, want := range []string{"nSA", "pSA", "isolation", "equalizer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dims table missing %q", want)
+		}
+	}
+}
+
+func TestRecommendations(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Recommendations(b) })
+	for _, want := range []string{"R1", "R2", "R3", "R4", "OCSA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recommendations missing %q", want)
+		}
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	out := render(t, func(b *strings.Builder) error { return Headline(b) })
+	if !strings.Contains(out, "CoolDRAM") || !strings.Contains(out, "CROW") {
+		t.Errorf("headline missing key names:\n%s", out)
+	}
+}

@@ -1,0 +1,43 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+	"repro/internal/dram"
+	"repro/internal/sa"
+)
+
+// Timing renders the per-chip activation implications of the discovered
+// topologies (inaccuracy I5: studies that ignore OCSA mis-estimate
+// timings and energy): activation latency, the minimum interruption
+// window for out-of-spec majority operations, and the simulated
+// activation energy per topology.
+func Timing(w io.Writer) error {
+	energy := map[chips.Topology]sa.EnergyBreakdown{}
+	for _, topo := range []chips.Topology{chips.Classic, chips.OCSA} {
+		e, err := sa.ActivationEnergy(topo, circuit.DefaultParams())
+		if err != nil {
+			return err
+		}
+		energy[topo] = e
+	}
+	t := tw(w)
+	fmt.Fprintln(t, "Chip\tTopology\tACT latency\tmajority window\tACT energy (sim)")
+	for _, c := range chips.All() {
+		bank, err := dram.NewBank(dram.DefaultConfig(c.Topology))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(t, "%s\t%s\t%d ns\t%d ns\t%.0f fJ\n",
+			c.ID, c.Topology, bank.ActivateLatencyNS(), bank.MinMajorityWindowNS(),
+			energy[c.Topology].TotalJ()*1e15)
+	}
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "(OCSA chips pay the offset-cancellation and pre-sensing phases on every activation)")
+	return err
+}

@@ -1,0 +1,77 @@
+package sa
+
+import (
+	"fmt"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+)
+
+// Energy accounting for one activation. The paper notes that ignoring the
+// OCSA topology corrupts "the performance, energy and power overheads of
+// the affected operations" (I5): the OCSA adds control events but its
+// pre-sensing amplifies the tiny sense-node capacitance instead of the
+// full bitline, changing where the charge goes.
+
+// EnergyBreakdown is the supply charge delivered to each capacitor class
+// during an activation, expressed as energy E = Vdd * sum(C * dV+).
+type EnergyBreakdown struct {
+	// BitlineJ, CellJ and SenseJ are joules delivered to the bitline,
+	// cell, and OCSA sense-node capacitances.
+	BitlineJ, CellJ, SenseJ float64
+}
+
+// TotalJ returns the summed activation energy.
+func (e EnergyBreakdown) TotalJ() float64 { return e.BitlineJ + e.CellJ + e.SenseJ }
+
+// EnergyEstimate integrates the positive charge delivered to every
+// capacitor over a simulated activation: each upward swing dV on a
+// capacitor C draws C*dV of charge from the supply at Vdd.
+func EnergyEstimate(res *Result) (EnergyBreakdown, error) {
+	p := res.Params
+	var out EnergyBreakdown
+	add := func(node string, c float64) (float64, error) {
+		tr, ok := res.Traces[node]
+		if !ok {
+			return 0, fmt.Errorf("sa: node %q not traced", node)
+		}
+		var q float64
+		for i := 1; i < len(tr.V); i++ {
+			if d := tr.V[i] - tr.V[i-1]; d > 0 {
+				q += c * d
+			}
+		}
+		return q * p.VDD, nil
+	}
+	var err error
+	for _, node := range []string{circuit.NodeBL, circuit.NodeBLB} {
+		e, aerr := add(node, p.CBitline)
+		if aerr != nil {
+			return out, aerr
+		}
+		out.BitlineJ += e
+	}
+	if out.CellJ, err = add(circuit.NodeCell, p.CCell); err != nil {
+		return out, err
+	}
+	if res.Topology == chips.OCSA {
+		for _, node := range []string{circuit.NodeSBL, circuit.NodeSBLB} {
+			e, aerr := add(node, p.CSense)
+			if aerr != nil {
+				return out, aerr
+			}
+			out.SenseJ += e
+		}
+	}
+	return out, nil
+}
+
+// ActivationEnergy simulates one activation of the topology and returns
+// its energy breakdown.
+func ActivationEnergy(topology chips.Topology, p circuit.Params) (EnergyBreakdown, error) {
+	res, err := Simulate(topology, p)
+	if err != nil {
+		return EnergyBreakdown{}, err
+	}
+	return EnergyEstimate(res)
+}

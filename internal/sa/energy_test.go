@@ -1,0 +1,65 @@
+package sa
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+)
+
+func TestActivationEnergyPlausible(t *testing.T) {
+	p := circuit.DefaultParams()
+	e, err := ActivationEnergy(chips.Classic, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ballpark: bitline swing Vdd/2 on 2x60 fF at 1.2 V plus precharge
+	// return — order of 100 fJ; anything within [10 fJ, 10 pJ] is sane.
+	if e.TotalJ() < 1e-14 || e.TotalJ() > 1e-11 {
+		t.Errorf("classic activation energy %.3g J implausible", e.TotalJ())
+	}
+	if e.BitlineJ <= 0 || e.CellJ <= 0 {
+		t.Errorf("bitline and cell must draw charge: %+v", e)
+	}
+	if e.SenseJ != 0 {
+		t.Errorf("classic SA has no sense nodes: %+v", e)
+	}
+}
+
+func TestOCSAEnergyIncludesSenseNodesAndControlEvents(t *testing.T) {
+	p := circuit.DefaultParams()
+	ec, err := ActivationEnergy(chips.Classic, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo, err := ActivationEnergy(chips.OCSA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.SenseJ <= 0 {
+		t.Errorf("OCSA sense nodes must draw charge")
+	}
+	// The OCSA's extra events (offset cancellation pulls the bitlines
+	// down and the precharge pulls them back) cost extra bitline
+	// energy per activation — the I5 energy error direction.
+	if eo.BitlineJ <= ec.BitlineJ {
+		t.Errorf("OCSA bitline energy (%.3g) should exceed classic (%.3g)",
+			eo.BitlineJ, ec.BitlineJ)
+	}
+	if eo.TotalJ() <= ec.TotalJ() {
+		t.Errorf("OCSA activation energy (%.3g) should exceed classic (%.3g)",
+			eo.TotalJ(), ec.TotalJ())
+	}
+}
+
+func TestEnergyEstimateMissingTrace(t *testing.T) {
+	// Strip a trace from a real result to hit the error path.
+	full, err := Simulate(chips.Classic, circuit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(full.Traces, circuit.NodeCell)
+	if _, err := EnergyEstimate(full); err == nil {
+		t.Errorf("missing trace should error")
+	}
+}

@@ -1,0 +1,93 @@
+package sa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+	"repro/internal/spice"
+)
+
+// This file quantifies Section VI-A's observation that "higher
+// width-to-length ratios correspond to more optimistic simulations": an
+// analog model with oversized latch transistors (CROW) predicts faster
+// sensing than the measured devices support.
+
+// LatchDelay simulates a classic-SA activation with the given latch
+// geometry and returns the time from latch enable until the bitlines
+// separate to 80% of VDD. Larger W/L drives the bitline capacitance
+// harder and latches faster.
+func LatchDelay(p circuit.Params) (float64, error) {
+	c, sched, err := circuit.Classic(p)
+	if err != nil {
+		return 0, err
+	}
+	latch, ok := sched.PhaseByName(EvLatchRestore)
+	if !ok {
+		return 0, fmt.Errorf("sa: schedule lacks latch phase")
+	}
+	res, err := c.Transient(spice.TransientOptions{
+		Dt: 10e-12, Stop: sched.Stop, MaxNewton: 200, Tol: 1e-6,
+		InitialV: circuit.InitialVoltages(c, p),
+		Record:   []string{circuit.NodeBL, circuit.NodeBLB},
+	})
+	if err != nil {
+		return 0, err
+	}
+	bl, err := res.Trace(circuit.NodeBL)
+	if err != nil {
+		return 0, err
+	}
+	blb, err := res.Trace(circuit.NodeBLB)
+	if err != nil {
+		return 0, err
+	}
+	target := 0.8 * p.VDD
+	// Scan from latch enable for the separation crossing.
+	for i, t := range bl.T {
+		if t < latch.Start {
+			continue
+		}
+		if math.Abs(bl.V[i]-blb.V[i]) >= target {
+			return t - latch.Start, nil
+		}
+	}
+	return 0, fmt.Errorf("sa: bitlines never separated to %.2f V", target)
+}
+
+// ParamsForDims returns simulation parameters whose latch W/L matches the
+// given nSA geometry (normalized to the nominal device so that only the
+// ratio matters).
+func ParamsForDims(d chips.Dims) circuit.Params {
+	p := circuit.DefaultParams()
+	p.WSA = d.W
+	p.LSA = d.L
+	// Keep the absolute drive comparable by normalizing K so that the
+	// nominal 2/1 device reproduces DefaultParams' strength at the
+	// measured technology's typical ratio.
+	p.K = 5e-4 / 2
+	return p
+}
+
+// OptimismPoint compares a model's predicted latch delay with a chip's.
+type OptimismPoint struct {
+	Source     string
+	WL         float64
+	LatchDelay float64 // seconds
+}
+
+// ModelOptimism simulates the classic latch with the nSA geometry of each
+// source (chips and public models) and returns the latch delays: sources
+// with inflated W/L latch unrealistically fast.
+func ModelOptimism(sources map[string]chips.Dims) ([]OptimismPoint, error) {
+	var out []OptimismPoint
+	for name, d := range sources {
+		delay, err := LatchDelay(ParamsForDims(d))
+		if err != nil {
+			return nil, fmt.Errorf("sa: %s: %w", name, err)
+		}
+		out = append(out, OptimismPoint{Source: name, WL: d.WL(), LatchDelay: delay})
+	}
+	return out, nil
+}

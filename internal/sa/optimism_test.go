@@ -1,0 +1,87 @@
+package sa
+
+import (
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+	"repro/internal/models"
+)
+
+func TestLatchDelayPositive(t *testing.T) {
+	d, err := LatchDelay(circuit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 20e-9 {
+		t.Errorf("latch delay %v out of plausible range", d)
+	}
+}
+
+func TestHigherWLIsFaster(t *testing.T) {
+	// The physical basis of Section VI-A's optimism metric.
+	slow, err := LatchDelay(ParamsForDims(chips.Dims{W: 100, L: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := LatchDelay(ParamsForDims(chips.Dims{W: 400, L: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast >= slow {
+		t.Errorf("4x W/L should latch faster: %v vs %v", fast, slow)
+	}
+}
+
+func TestCROWIsOptimistic(t *testing.T) {
+	// CROW's oversized nSA makes its simulated sensing faster than any
+	// measured chip supports — the "optimistic simulation" inaccuracy.
+	crowDims, _ := models.CROW().Dim(chips.NSA)
+	c4Dims, _ := chips.ByID("C4").Dim(chips.NSA)
+	pts, err := ModelOptimism(map[string]chips.Dims{
+		"CROW": crowDims,
+		"C4":   c4Dims,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OptimismPoint{}
+	for _, p := range pts {
+		byName[p.Source] = p
+	}
+	if byName["CROW"].LatchDelay >= byName["C4"].LatchDelay {
+		t.Errorf("CROW (W/L %.1f) should latch faster than C4 (W/L %.1f): %v vs %v",
+			byName["CROW"].WL, byName["C4"].WL,
+			byName["CROW"].LatchDelay, byName["C4"].LatchDelay)
+	}
+}
+
+func TestREMCloserThanCROW(t *testing.T) {
+	// REM (real 25 nm dims) predicts timing closer to the measured
+	// chips than CROW's best guesses.
+	crowDims, _ := models.CROW().Dim(chips.NSA)
+	remDims, _ := models.REM().Dim(chips.NSA)
+	c4Dims, _ := chips.ByID("C4").Dim(chips.NSA)
+	pts, err := ModelOptimism(map[string]chips.Dims{
+		"CROW": crowDims, "REM": remDims, "C4": c4Dims,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OptimismPoint{}
+	for _, p := range pts {
+		byName[p.Source] = p
+	}
+	errCROW := abs64(byName["CROW"].LatchDelay - byName["C4"].LatchDelay)
+	errREM := abs64(byName["REM"].LatchDelay - byName["C4"].LatchDelay)
+	if errREM >= errCROW {
+		t.Errorf("REM timing error (%v) should be below CROW's (%v)", errREM, errCROW)
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,263 @@
+// Package sa runs sense-amplifier activations on the circuit netlists and
+// extracts the behavioural quantities the paper discusses: the event
+// sequences of Figs. 2c and 9b, latching correctness under threshold
+// mismatch, and the offset tolerance that distinguishes OCSA from the
+// classic design (Section VI-D).
+package sa
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+	"repro/internal/spice"
+)
+
+// Event is one detected activation event.
+type Event struct {
+	Name       string
+	Start, End float64 // seconds, from the schedule
+	// Observed reports whether the waveforms actually exhibit the
+	// event's signature (not just that it was scheduled).
+	Observed bool
+}
+
+// Result summarizes one simulated activation.
+type Result struct {
+	Topology chips.Topology
+	Params   circuit.Params
+	Events   []Event
+	// LatchedHigh reports whether BL latched to VDD.
+	LatchedHigh bool
+	// Correct reports whether the latched value matches the stored
+	// cell value.
+	Correct bool
+	// SignalMV is the charge-sharing signal magnitude in millivolts,
+	// measured just before sensing begins.
+	SignalMV float64
+	// RestoredV is the cell voltage at wordline close.
+	RestoredV float64
+	// FinalBL and FinalBLB are the bitline voltages at the end
+	// (after precharge) — both should be back at Vpre.
+	FinalBL, FinalBLB float64
+	// Traces holds the recorded waveforms by node name.
+	Traces map[string]*spice.Trace
+}
+
+// Event name constants shared with the figures.
+const (
+	EvOffsetCancel = "offset-cancel"
+	EvChargeShare  = "charge-share"
+	EvPreSense     = "pre-sense"
+	EvLatchRestore = "latch-restore"
+	EvRestore      = "restore"
+	EvPrechargeEq  = "precharge-equalize"
+)
+
+// Simulate runs one full activation of the given topology and analyzes
+// the waveforms.
+func Simulate(topology chips.Topology, p circuit.Params) (*Result, error) {
+	var (
+		c     *spice.Circuit
+		sched circuit.Schedule
+		err   error
+	)
+	switch topology {
+	case chips.Classic:
+		c, sched, err = circuit.Classic(p)
+	case chips.OCSA:
+		c, sched, err = circuit.OCSA(p)
+	default:
+		return nil, fmt.Errorf("sa: unknown topology %v", topology)
+	}
+	if err != nil {
+		return nil, err
+	}
+	opts := spice.TransientOptions{
+		Dt: 10e-12, Stop: sched.Stop, MaxNewton: 200, Tol: 1e-6,
+		InitialV: circuit.InitialVoltages(c, p),
+	}
+	res, err := c.Transient(opts)
+	if err != nil {
+		return nil, fmt.Errorf("sa: %v topology: %w", topology, err)
+	}
+	return analyze(topology, p, sched, res)
+}
+
+func analyze(topology chips.Topology, p circuit.Params, sched circuit.Schedule, res *spice.Result) (*Result, error) {
+	bl, err := res.Trace(circuit.NodeBL)
+	if err != nil {
+		return nil, err
+	}
+	blb, err := res.Trace(circuit.NodeBLB)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := res.Trace(circuit.NodeCell)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{Topology: topology, Params: p, Traces: map[string]*spice.Trace{}}
+	for _, n := range res.Nodes() {
+		tr, _ := res.Trace(n)
+		out.Traces[n] = tr
+	}
+
+	cs, ok := sched.PhaseByName(EvChargeShare)
+	if !ok {
+		return nil, fmt.Errorf("sa: schedule lacks charge-share phase")
+	}
+	// Signal just before sensing starts: BL-BLB differential.
+	tProbe := cs.End - 0.2e-9
+	out.SignalMV = 1000 * (bl.At(tProbe) - blb.At(tProbe))
+
+	// Latching outcome: read the bitlines at the end of the restore
+	// phase (before precharge).
+	restName := EvLatchRestore
+	if topology == chips.OCSA {
+		restName = EvRestore
+	}
+	rest, ok := sched.PhaseByName(restName)
+	if !ok {
+		return nil, fmt.Errorf("sa: schedule lacks %s phase", restName)
+	}
+	vBL, vBLB := bl.At(rest.End-0.5e-9), blb.At(rest.End-0.5e-9)
+	out.LatchedHigh = vBL > vBLB
+	out.Correct = out.LatchedHigh == p.CellValue
+	out.RestoredV = cell.At(rest.End - 0.5e-9)
+	out.FinalBL = bl.Final()
+	out.FinalBLB = blb.Final()
+
+	// Event detection: each scheduled phase must show its waveform
+	// signature.
+	for _, ph := range sched.Phases {
+		ev := Event{Name: ph.Name, Start: ph.Start, End: ph.End}
+		switch ph.Name {
+		case EvOffsetCancel:
+			// Bitlines leave the precharge level while the cell is
+			// still disconnected.
+			mid := (ph.Start + ph.End) / 2
+			ev.Observed = math.Abs(bl.At(ph.End)-p.Vpre) > 0.01 &&
+				math.Abs(cell.At(mid)-cellIdle(p)) < 0.05
+		case EvChargeShare:
+			// BL moves toward the cell value after WL rises; the
+			// magnitude is bounded by the cap divider.
+			dir := 1.0
+			if !p.CellValue {
+				dir = -1
+			}
+			ev.Observed = dir*(bl.At(ph.End-0.2e-9)-bl.At(ph.Start)) > 0.01
+		case EvPreSense:
+			// Sense nodes separate to a large differential while the
+			// bitlines have not fully split yet.
+			sbl, ok1 := out.Traces[circuit.NodeSBL]
+			sblb, ok2 := out.Traces[circuit.NodeSBLB]
+			if ok1 && ok2 {
+				sep := math.Abs(sbl.At(ph.End) - sblb.At(ph.End))
+				blSep := math.Abs(bl.At(ph.End) - blb.At(ph.End))
+				ev.Observed = sep > 0.6*p.VDD && sep > blSep
+			}
+		case EvLatchRestore, EvRestore:
+			ev.Observed = math.Abs(vBL-vBLB) > 0.8*p.VDD
+		case EvPrechargeEq:
+			ev.Observed = math.Abs(out.FinalBL-p.Vpre) < 0.05 &&
+				math.Abs(out.FinalBLB-p.Vpre) < 0.05
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out, nil
+}
+
+func cellIdle(p circuit.Params) float64 {
+	if p.CellValue {
+		return p.VDD
+	}
+	return 0
+}
+
+// EventNames returns the expected activation phases for a topology, in
+// order — the x-axis of Fig. 2c (classic) and Fig. 9b (OCSA).
+func EventNames(t chips.Topology) []string {
+	if t == chips.OCSA {
+		return []string{EvOffsetCancel, EvChargeShare, EvPreSense, EvRestore, EvPrechargeEq}
+	}
+	return []string{EvChargeShare, EvLatchRestore, EvPrechargeEq}
+}
+
+// OffsetTolerance finds, by bisection on the injected nSA threshold
+// mismatch, the largest DeltaVtN (volts) at which the topology still
+// latches the stored value correctly. The search covers [0, maxDelta]
+// with the given resolution.
+func OffsetTolerance(topology chips.Topology, p circuit.Params, maxDelta, resolution float64) (float64, error) {
+	if maxDelta <= 0 || resolution <= 0 || resolution > maxDelta {
+		return 0, fmt.Errorf("sa: invalid search window [%v, %v]", resolution, maxDelta)
+	}
+	ok := func(delta float64) (bool, error) {
+		q := p
+		q.DeltaVtN = delta
+		r, err := Simulate(topology, q)
+		if err != nil {
+			return false, err
+		}
+		return r.Correct, nil
+	}
+	// The failure boundary is monotone in practice; bisect.
+	lo, hi := 0.0, maxDelta
+	good, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !good {
+		return 0, nil // fails even with no mismatch
+	}
+	if good, err = ok(hi); err != nil {
+		return 0, err
+	} else if good {
+		return maxDelta, nil
+	}
+	for hi-lo > resolution {
+		mid := (lo + hi) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// MismatchSweepPoint is one point of an offset-tolerance comparison.
+type MismatchSweepPoint struct {
+	DeltaVtMV float64
+	Classic   bool // classic SA latched correctly
+	OCSA      bool // OCSA latched correctly
+}
+
+// MismatchSweep simulates both topologies across a range of injected
+// threshold mismatches, demonstrating why vendors moved to
+// offset-cancellation designs on smaller nodes (Section V-A).
+func MismatchSweep(p circuit.Params, deltasMV []float64) ([]MismatchSweepPoint, error) {
+	var out []MismatchSweepPoint
+	for _, mv := range deltasMV {
+		q := p
+		q.DeltaVtN = mv / 1000
+		rc, err := Simulate(chips.Classic, q)
+		if err != nil {
+			return nil, err
+		}
+		ro, err := Simulate(chips.OCSA, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MismatchSweepPoint{
+			DeltaVtMV: mv, Classic: rc.Correct, OCSA: ro.Correct,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package sa
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/chips"
+	"repro/internal/circuit"
+)
+
+func TestClassicActivationReadsOne(t *testing.T) {
+	p := circuit.DefaultParams()
+	p.CellValue = true
+	r, err := Simulate(chips.Classic, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Correct || !r.LatchedHigh {
+		t.Errorf("classic SA should latch the stored 1: %+v", r)
+	}
+	// Charge-sharing signal for a stored 1 is positive and close to
+	// the cap-divider value (VDD/2)·Ccell/(Ccell+Cbl) = 85.7 mV.
+	if r.SignalMV < 50 || r.SignalMV > 110 {
+		t.Errorf("signal = %.1f mV, want ~86 mV", r.SignalMV)
+	}
+	// Restore: the cell must be recharged close to VDD.
+	if r.RestoredV < 0.9*p.VDD {
+		t.Errorf("cell restored to %.3f V, want ~%.2f", r.RestoredV, p.VDD)
+	}
+	// Precharge: both bitlines back at Vpre.
+	if math.Abs(r.FinalBL-p.Vpre) > 0.05 || math.Abs(r.FinalBLB-p.Vpre) > 0.05 {
+		t.Errorf("bitlines not precharged: %.3f / %.3f", r.FinalBL, r.FinalBLB)
+	}
+}
+
+func TestClassicActivationReadsZero(t *testing.T) {
+	p := circuit.DefaultParams()
+	p.CellValue = false
+	r, err := Simulate(chips.Classic, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Correct || r.LatchedHigh {
+		t.Errorf("classic SA should latch the stored 0: latchedHigh=%v", r.LatchedHigh)
+	}
+	if r.SignalMV > -50 {
+		t.Errorf("signal = %.1f mV, want ~-86 mV", r.SignalMV)
+	}
+	if r.RestoredV > 0.1*p.VDD {
+		t.Errorf("cell restored to %.3f V, want ~0", r.RestoredV)
+	}
+}
+
+func TestClassicEventSequenceFig2c(t *testing.T) {
+	r, err := Simulate(chips.Classic, circuit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EventNames(chips.Classic)
+	if len(r.Events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(r.Events), len(want))
+	}
+	var prevEnd float64
+	for i, ev := range r.Events {
+		if ev.Name != want[i] {
+			t.Errorf("event %d = %s, want %s", i, ev.Name, want[i])
+		}
+		if !ev.Observed {
+			t.Errorf("event %s scheduled but not observed in waveforms", ev.Name)
+		}
+		if ev.Start < prevEnd-1e-12 {
+			t.Errorf("event %s overlaps previous (start %g < %g)", ev.Name, ev.Start, prevEnd)
+		}
+		prevEnd = ev.Start
+	}
+}
+
+func TestOCSAEventSequenceFig9b(t *testing.T) {
+	r, err := Simulate(chips.OCSA, circuit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := EventNames(chips.OCSA)
+	if len(r.Events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(r.Events), len(want))
+	}
+	for i, ev := range r.Events {
+		if ev.Name != want[i] {
+			t.Errorf("event %d = %s, want %s", i, ev.Name, want[i])
+		}
+		if !ev.Observed {
+			t.Errorf("event %s scheduled but not observed in waveforms", ev.Name)
+		}
+	}
+	if !r.Correct {
+		t.Errorf("OCSA should latch the stored value")
+	}
+	if r.RestoredV < 0.9*r.Params.VDD {
+		t.Errorf("OCSA restore reached %.3f V", r.RestoredV)
+	}
+}
+
+func TestOCSAChargeSharingIsDelayed(t *testing.T) {
+	// Section VI-D: in OCSA chips charge sharing is delayed and happens
+	// after the offset cancellation — unlike the classic design where
+	// it starts immediately upon activation.
+	rc, err := Simulate(chips.Classic, circuit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Simulate(chips.OCSA, circuit.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	csC := eventByName(t, rc, EvChargeShare)
+	csO := eventByName(t, ro, EvChargeShare)
+	if csO.Start <= csC.Start {
+		t.Errorf("OCSA charge share at %g should start after classic's %g", csO.Start, csC.Start)
+	}
+	oc := eventByName(t, ro, EvOffsetCancel)
+	if csO.Start < oc.End {
+		t.Errorf("charge share (%g) must follow offset cancellation (ends %g)", csO.Start, oc.End)
+	}
+}
+
+func eventByName(t *testing.T, r *Result, name string) Event {
+	t.Helper()
+	for _, ev := range r.Events {
+		if ev.Name == name {
+			return ev
+		}
+	}
+	t.Fatalf("missing event %s", name)
+	return Event{}
+}
+
+func TestClassicFailsUnderLargeMismatch(t *testing.T) {
+	// With DeltaVt well above the sensing signal the classic SA latches
+	// the wrong value.
+	p := circuit.DefaultParams()
+	p.CellValue = true
+	p.DeltaVtN = 0.15 // 150 mV mismatch vs ~86 mV signal
+	r, err := Simulate(chips.Classic, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Correct {
+		t.Errorf("classic SA should fail with 150 mV mismatch against 86 mV signal")
+	}
+}
+
+func TestOCSATolleratesLargeMismatch(t *testing.T) {
+	p := circuit.DefaultParams()
+	p.CellValue = true
+	p.DeltaVtN = 0.15
+	r, err := Simulate(chips.OCSA, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Correct {
+		t.Errorf("OCSA should cancel a 150 mV nSA mismatch")
+	}
+}
+
+func TestOffsetToleranceOCSAExceedsClassic(t *testing.T) {
+	p := circuit.DefaultParams()
+	tolClassic, err := OffsetTolerance(chips.Classic, p, 0.3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tolOCSA, err := OffsetTolerance(chips.OCSA, p, 0.3, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tolOCSA < 2*tolClassic {
+		t.Errorf("OCSA tolerance %.0f mV should be at least twice classic's %.0f mV",
+			1000*tolOCSA, 1000*tolClassic)
+	}
+	// The classic tolerance should be on the order of the signal.
+	if tolClassic > 0.15 {
+		t.Errorf("classic tolerance %.0f mV implausibly high", 1000*tolClassic)
+	}
+}
+
+func TestOffsetToleranceValidation(t *testing.T) {
+	p := circuit.DefaultParams()
+	if _, err := OffsetTolerance(chips.Classic, p, 0, 0.01); err == nil {
+		t.Errorf("zero window should error")
+	}
+	if _, err := OffsetTolerance(chips.Classic, p, 0.1, 0.2); err == nil {
+		t.Errorf("resolution above window should error")
+	}
+}
+
+func TestMismatchSweep(t *testing.T) {
+	pts, err := MismatchSweep(circuit.DefaultParams(), []float64{0, 60, 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if !pts[0].Classic || !pts[0].OCSA {
+		t.Errorf("both topologies must work with zero mismatch")
+	}
+	if pts[2].Classic {
+		t.Errorf("classic should fail at 150 mV")
+	}
+	if !pts[2].OCSA {
+		t.Errorf("OCSA should survive 150 mV")
+	}
+}
+
+func TestSimulateUnknownTopology(t *testing.T) {
+	if _, err := Simulate(chips.Topology(99), circuit.DefaultParams()); err == nil {
+		t.Errorf("unknown topology should error")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := circuit.DefaultParams()
+	p.Vpre = 2 // above VDD
+	if _, err := Simulate(chips.Classic, p); err == nil {
+		t.Errorf("invalid params should error")
+	}
+	p = circuit.DefaultParams()
+	p.DeltaVtN = 1.0 // drives a threshold negative
+	if _, err := Simulate(chips.Classic, p); err == nil {
+		t.Errorf("excessive mismatch should error")
+	}
+	p = circuit.DefaultParams()
+	p.CSense = 0
+	if _, err := Simulate(chips.OCSA, p); err == nil {
+		t.Errorf("OCSA without sense capacitance should error")
+	}
+}
+
+func TestEventNames(t *testing.T) {
+	if n := EventNames(chips.Classic); len(n) != 3 || n[0] != EvChargeShare {
+		t.Errorf("classic events = %v", n)
+	}
+	if n := EventNames(chips.OCSA); len(n) != 5 || n[0] != EvOffsetCancel {
+		t.Errorf("OCSA events = %v", n)
+	}
+}
+
+func BenchmarkClassicActivation(b *testing.B) {
+	p := circuit.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(chips.Classic, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOCSAActivation(b *testing.B) {
+	p := circuit.DefaultParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(chips.OCSA, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

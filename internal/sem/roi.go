@@ -1,0 +1,148 @@
+package sem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/chipgen"
+	"repro/internal/img"
+	"repro/internal/layout"
+)
+
+// Zone is a classified interval of the die strip along the bitline
+// direction, in voxel coordinates.
+type Zone struct {
+	Kind   string // "mat" or "logic"
+	X0, X1 int    // [X0, X1) in voxels
+}
+
+// WidthVox returns the zone width in voxels.
+func (z Zone) WidthVox() int { return z.X1 - z.X0 }
+
+// probe classifies a single blind cross section taken at position x:
+// MATs show the bright periodic capacitor texture in the top band of the
+// stack, logic does not (Section IV-A: "the area occupied by capacitors
+// visually differs from the analog logic").
+func probe(v *chipgen.MatVolume, x int, o Options, seed int64) (float64, error) {
+	if x < 0 || x >= v.NX {
+		return 0, fmt.Errorf("sem: probe x=%d out of [0,%d)", x, v.NX)
+	}
+	// Render the orthogonal cross section at x (depth x Z plane) with
+	// the acquisition's noise level. The beam interaction volume spans
+	// a few voxels along the milling normal, so the probe integrates a
+	// small window, which also bridges the gaps between capacitor
+	// columns in the honeycomb.
+	const win = 6
+	capBand, _ := chipgen.Band(layout.LayerCapacitor)
+	g := img.New(v.NZ, capBand.Y1-capBand.Y0)
+	for z := 0; z < v.NZ; z++ {
+		for y := capBand.Y0; y < capBand.Y1; y++ {
+			var s float64
+			n := 0
+			for dx := 0; dx < win && x+dx < v.NX; dx++ {
+				s += Intensity(o.Detector, v.At(x+dx, y, z))
+				n++
+			}
+			g.Set(z, y-capBand.Y0, s/float64(n))
+		}
+	}
+	noisy := addProbeNoise(g, o, seed)
+	return noisy.Statistics().Mean, nil
+}
+
+func addProbeNoise(g *img.Gray, o Options, seed int64) *img.Gray {
+	out := g.Clone()
+	sigma := noiseSigma(o.DwellUS)
+	// Cheap deterministic noise keyed by the seed.
+	s := uint64(seed)*2654435761 + 1
+	for i := range out.Pix {
+		s = s*6364136223846793005 + 1442695040888963407
+		u := float64(s>>11) / float64(1<<53)
+		out.Pix[i] += (u - 0.5) * 2 * sigma
+	}
+	return out
+}
+
+// ScanZones performs the blind procedure of Fig. 6: cross sections are
+// acquired at a stride along the bitline direction and classified into
+// MAT and logic zones by the capacitor-band signature, with an adaptive
+// (Otsu-style) threshold over the probe features.
+func ScanZones(v *chipgen.MatVolume, o Options, strideVox int) ([]Zone, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if strideVox <= 0 {
+		return nil, fmt.Errorf("sem: non-positive stride %d", strideVox)
+	}
+	var xs []int
+	var feats []float64
+	for x := 0; x < v.NX; x += strideVox {
+		f, err := probe(v, x, o, int64(x)+o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		xs = append(xs, x)
+		feats = append(feats, f)
+	}
+	thr, err := split1D(feats)
+	if err != nil {
+		return nil, err
+	}
+	var zones []Zone
+	for i, x := range xs {
+		kind := "logic"
+		if feats[i] > thr {
+			kind = "mat"
+		}
+		end := x + strideVox
+		if end > v.NX {
+			end = v.NX
+		}
+		if n := len(zones); n > 0 && zones[n-1].Kind == kind {
+			zones[n-1].X1 = end
+			continue
+		}
+		zones = append(zones, Zone{Kind: kind, X0: x, X1: end})
+	}
+	return zones, nil
+}
+
+// split1D finds a threshold between the two clusters of a bimodal 1-D
+// feature set (midpoint of the largest gap between sorted values).
+func split1D(vals []float64) (float64, error) {
+	if len(vals) < 2 {
+		return 0, fmt.Errorf("sem: need at least 2 probes, got %d", len(vals))
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	bestGap := -1.0
+	thr := sorted[0]
+	for i := 1; i < len(sorted); i++ {
+		if gap := sorted[i] - sorted[i-1]; gap > bestGap {
+			bestGap = gap
+			thr = (sorted[i] + sorted[i-1]) / 2
+		}
+	}
+	return thr, nil
+}
+
+// FindROI locates the sense-amplifier region: among the logic zones that
+// are bounded by MATs on both sides or are the widest, the SA region is
+// the widest logic zone (row drivers are smaller — Section IV-A). The
+// identification mirrors Fig. 6's W1 vs W2 comparison.
+func FindROI(v *chipgen.MatVolume, o Options, strideVox int) (Zone, []Zone, error) {
+	zones, err := ScanZones(v, o, strideVox)
+	if err != nil {
+		return Zone{}, nil, err
+	}
+	best := Zone{}
+	for _, z := range zones {
+		if z.Kind == "logic" && z.WidthVox() > best.WidthVox() {
+			best = z
+		}
+	}
+	if best.WidthVox() == 0 {
+		return Zone{}, zones, fmt.Errorf("sem: no logic zone found")
+	}
+	return best, zones, nil
+}

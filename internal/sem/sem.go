@@ -1,0 +1,248 @@
+// Package sem simulates the FIB/SEM volumetric acquisition of Section IV:
+// the focused ion beam repeatedly slices the region of interest and a
+// scanning electron microscope images each exposed cross section with
+// either the secondary-electron (SE) or backscatter-electron (BSE)
+// detector. The simulator reproduces the artifact classes the real
+// post-processing pipeline must correct: shot noise governed by dwell
+// time, beam blur, per-slice intensity variation (charging), and
+// cumulative stage drift.
+package sem
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/chipgen"
+	"repro/internal/img"
+)
+
+// Options configures an acquisition.
+type Options struct {
+	// Detector is "SE" or "BSE"; the two have different material
+	// contrast (Section IV: BSE tracks atomic number, SE conductivity).
+	Detector string
+	// DwellUS is the per-spot dwell time in microseconds; noise falls
+	// with sqrt(dwell) but acquisition cost rises linearly.
+	DwellUS float64
+	// BlurSigmaPx is the beam point-spread sigma in pixels.
+	BlurSigmaPx float64
+	// DriftSigmaPx is the per-slice stage drift standard deviation in
+	// pixels (a cumulative random walk across the stack).
+	DriftSigmaPx float64
+	// DriftTrendPx adds a systematic per-slice lateral drift: the
+	// planar-shear signature of a sample not milled perpendicular to
+	// the feature lines, which the post-processing must correct (the
+	// paper's final rotation step).
+	DriftTrendPx float64
+	// ChargeSigma is the per-slice brightness wobble amplitude.
+	ChargeSigma float64
+	// SliceStep is the FIB slice thickness in voxels (>= 1).
+	SliceStep int
+	// Seed drives the noise generator; acquisitions are reproducible.
+	Seed int64
+}
+
+// DefaultOptions returns a realistic mid-quality acquisition: BSE, 3 us
+// dwell, one-voxel slices.
+func DefaultOptions() Options {
+	return Options{
+		Detector: "BSE", DwellUS: 3, BlurSigmaPx: 0.7,
+		DriftSigmaPx: 0.8, ChargeSigma: 0.02, SliceStep: 1, Seed: 1,
+	}
+}
+
+// Validate checks the options.
+func (o Options) Validate() error {
+	if o.Detector != "SE" && o.Detector != "BSE" {
+		return fmt.Errorf("sem: unknown detector %q", o.Detector)
+	}
+	if o.DwellUS <= 0 {
+		return fmt.Errorf("sem: non-positive dwell time %v", o.DwellUS)
+	}
+	if o.SliceStep < 1 {
+		return fmt.Errorf("sem: slice step %d < 1", o.SliceStep)
+	}
+	if o.BlurSigmaPx < 0 || o.DriftSigmaPx < 0 || o.ChargeSigma < 0 {
+		return fmt.Errorf("sem: negative artifact parameter")
+	}
+	if o.DriftTrendPx < 0 {
+		return fmt.Errorf("sem: negative drift trend")
+	}
+	return nil
+}
+
+// Intensity returns the nominal detector response for a material in
+// [0, 1]. BSE contrast separates the metal layers strongly (atomic
+// number); SE compresses the metal levels but emphasizes the conductive
+// silicon features.
+func Intensity(detector string, m chipgen.Material) float64 {
+	switch detector {
+	case "BSE":
+		switch m {
+		case chipgen.MatOxide:
+			return 0.08
+		case chipgen.MatCapacitor:
+			return 0.70
+		case chipgen.MatM2:
+			return 0.92
+		case chipgen.MatVia:
+			return 0.80
+		case chipgen.MatM1:
+			return 0.88
+		case chipgen.MatContact:
+			return 0.62
+		case chipgen.MatGate:
+			return 0.45
+		case chipgen.MatActive:
+			return 0.30
+		}
+	case "SE":
+		switch m {
+		case chipgen.MatOxide:
+			return 0.12
+		case chipgen.MatCapacitor:
+			return 0.55
+		case chipgen.MatM2:
+			return 0.75
+		case chipgen.MatVia:
+			return 0.68
+		case chipgen.MatM1:
+			return 0.72
+		case chipgen.MatContact:
+			return 0.60
+		case chipgen.MatGate:
+			return 0.50
+		case chipgen.MatActive:
+			return 0.42
+		}
+	}
+	return 0
+}
+
+// noiseSigma converts dwell time to the additive noise level: 3 us dwell
+// yields sigma 0.05, scaling with 1/sqrt(dwell).
+func noiseSigma(dwellUS float64) float64 {
+	return 0.05 * math.Sqrt(3/dwellUS)
+}
+
+// RenderCrossSection produces the ideal (artifact-free) SEM image of the
+// material cross-section at slicing position z.
+func RenderCrossSection(v *chipgen.MatVolume, z int, detector string) (*img.Gray, error) {
+	if z < 0 || z >= v.NZ {
+		return nil, fmt.Errorf("sem: slice z=%d out of [0,%d)", z, v.NZ)
+	}
+	g := img.New(v.NX, v.NY)
+	for y := 0; y < v.NY; y++ {
+		for x := 0; x < v.NX; x++ {
+			g.Set(x, y, Intensity(detector, v.At(x, y, z)))
+		}
+	}
+	return g, nil
+}
+
+// Acquisition is the output of a FIB/SEM run.
+type Acquisition struct {
+	// Slices are the acquired cross-section images, one per FIB cut.
+	Slices []*img.Gray
+	// SliceZ records each slice's voxel position along the milling
+	// axis.
+	SliceZ []int
+	// TrueDrift is the cumulative (dx, dy) drift injected into each
+	// slice, in pixels — ground truth for scoring alignment.
+	TrueDrift [][2]float64
+	// Options echoes the acquisition parameters.
+	Options Options
+}
+
+// AcquireStack mills through the volume along Z, imaging every SliceStep
+// voxels with the configured artifacts.
+func AcquireStack(v *chipgen.MatVolume, o Options) (*Acquisition, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	sigma := noiseSigma(o.DwellUS)
+	acq := &Acquisition{Options: o}
+	var dx, dy float64
+	for z := 0; z < v.NZ; z += o.SliceStep {
+		ideal, err := RenderCrossSection(v, z, o.Detector)
+		if err != nil {
+			return nil, err
+		}
+		g := ideal
+		if o.BlurSigmaPx > 0 {
+			g = img.GaussianBlur(g, o.BlurSigmaPx)
+		}
+		// Cumulative stage drift (skip the first slice: it defines the
+		// reference frame). Drift is mostly lateral; the vertical
+		// component is a quarter of the lateral one.
+		if len(acq.Slices) > 0 && o.DriftSigmaPx > 0 {
+			dx += rng.NormFloat64() * o.DriftSigmaPx
+			dy += rng.NormFloat64() * o.DriftSigmaPx / 4
+		}
+		if len(acq.Slices) > 0 {
+			dx += o.DriftTrendPx
+		}
+		if dx != 0 || dy != 0 {
+			g = g.TranslateSubpixel(dx, dy)
+		}
+		// Charging: per-slice brightness offset plus a mild horizontal
+		// gradient.
+		offset := rng.NormFloat64() * o.ChargeSigma
+		tilt := rng.NormFloat64() * o.ChargeSigma / float64(g.W)
+		for y := 0; y < g.H; y++ {
+			for x := 0; x < g.W; x++ {
+				val := g.At(x, y) + offset + tilt*float64(x) + rng.NormFloat64()*sigma
+				g.Set(x, y, val)
+			}
+		}
+		g.Clamp(0, 1.5)
+		acq.Slices = append(acq.Slices, g)
+		acq.SliceZ = append(acq.SliceZ, z)
+		acq.TrueDrift = append(acq.TrueDrift, [2]float64{dx, dy})
+	}
+	if len(acq.Slices) == 0 {
+		return nil, fmt.Errorf("sem: volume produced no slices")
+	}
+	return acq, nil
+}
+
+// CostHours estimates the acquisition wall-clock cost in hours: dwell
+// time per pixel times pixel count across all slices (the paper reports
+// >24 h for the 100 um² scans).
+func (a *Acquisition) CostHours() float64 {
+	if len(a.Slices) == 0 {
+		return 0
+	}
+	px := float64(a.Slices[0].W*a.Slices[0].H) * float64(len(a.Slices))
+	// Dwell plus fixed per-slice FIB milling overhead (around 90 s).
+	return (px*a.Options.DwellUS*1e-6 + float64(len(a.Slices))*90) / 3600
+}
+
+// PlanDwell returns the dwell time (µs) needed to reach a target additive
+// noise level, inverting the shot-noise model: sigma = 0.05*sqrt(3/dwell).
+// SEM time is shared and expensive (Section IV), so acquisitions are
+// planned against a noise budget rather than maximal quality.
+func PlanDwell(targetSigma float64) (float64, error) {
+	if targetSigma <= 0 {
+		return 0, fmt.Errorf("sem: non-positive noise target %v", targetSigma)
+	}
+	r := 0.05 / targetSigma
+	return 3 * r * r, nil
+}
+
+// PlanCostHours estimates the acquisition cost of imaging a region of the
+// given voxel dimensions at the dwell that reaches targetSigma.
+func PlanCostHours(nx, ny, nSlices int, targetSigma float64) (dwellUS, hours float64, err error) {
+	if nx <= 0 || ny <= 0 || nSlices <= 0 {
+		return 0, 0, fmt.Errorf("sem: non-positive scan dimensions")
+	}
+	dwellUS, err = PlanDwell(targetSigma)
+	if err != nil {
+		return 0, 0, err
+	}
+	px := float64(nx*ny) * float64(nSlices)
+	hours = (px*dwellUS*1e-6 + float64(nSlices)*90) / 3600
+	return dwellUS, hours, nil
+}

@@ -1,0 +1,350 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ground is the reference node name; its voltage is fixed at 0.
+const Ground = "0"
+
+// Stamper receives the MNA stamps of each device at the current Newton
+// iterate. Node index -1 denotes ground.
+type Stamper struct {
+	g   *matrix
+	rhs []float64
+}
+
+// Conductance stamps a conductance g between nodes a and b.
+func (s *Stamper) Conductance(a, b int, g float64) {
+	if a >= 0 {
+		s.g.add(a, a, g)
+	}
+	if b >= 0 {
+		s.g.add(b, b, g)
+	}
+	if a >= 0 && b >= 0 {
+		s.g.add(a, b, -g)
+		s.g.add(b, a, -g)
+	}
+}
+
+// VCCS stamps a voltage-controlled current source: current gm*(V(cp)-V(cn))
+// flows from node a to node b (out of a, into b).
+func (s *Stamper) VCCS(a, b, cp, cn int, gm float64) {
+	stamp := func(row, col int, v float64) {
+		if row >= 0 && col >= 0 {
+			s.g.add(row, col, v)
+		}
+	}
+	stamp(a, cp, gm)
+	stamp(a, cn, -gm)
+	stamp(b, cp, -gm)
+	stamp(b, cn, gm)
+}
+
+// Current stamps a constant current i flowing out of node a into node b.
+func (s *Stamper) Current(a, b int, i float64) {
+	if a >= 0 {
+		s.rhs[a] -= i
+	}
+	if b >= 0 {
+		s.rhs[b] += i
+	}
+}
+
+// State exposes the solver state to devices during stamping.
+type State struct {
+	// X is the current Newton iterate (node voltages then branch
+	// currents).
+	X []float64
+	// Prev holds the converged solution of the previous timestep.
+	Prev []float64
+	// Dt is the timestep, Time the time being solved for.
+	Dt, Time float64
+	// Trapezoidal selects the integration method for reactive devices.
+	// The first step always runs backward Euler (FirstStep), which
+	// bootstraps the capacitor-current history the trapezoidal rule
+	// needs.
+	Trapezoidal bool
+	FirstStep   bool
+}
+
+// V returns the iterate voltage of a node index (-1 is ground).
+func (st *State) V(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return st.X[n]
+}
+
+// PrevV returns the previous-timestep voltage of a node index.
+func (st *State) PrevV(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return st.Prev[n]
+}
+
+// Device is an element that stamps itself into the MNA system.
+type Device interface {
+	// Stamp adds the device's contribution at the given state.
+	Stamp(s *Stamper, st *State)
+	// Nodes returns the node indices the device is connected to
+	// (branch rows excluded).
+	Nodes() []int
+	// Label returns a human-readable identifier.
+	Label() string
+}
+
+// Resistor is a linear two-terminal resistor.
+type Resistor struct {
+	Name string
+	A, B int
+	Ohms float64
+}
+
+// Stamp implements Device.
+func (r *Resistor) Stamp(s *Stamper, _ *State) { s.Conductance(r.A, r.B, 1/r.Ohms) }
+
+// Nodes implements Device.
+func (r *Resistor) Nodes() []int { return []int{r.A, r.B} }
+
+// Label implements Device.
+func (r *Resistor) Label() string { return r.Name }
+
+// Capacitor is a linear capacitor integrated with backward Euler or the
+// trapezoidal rule (per State.Trapezoidal).
+type Capacitor struct {
+	Name   string
+	A, B   int
+	Farads float64
+	// iPrev is the converged capacitor current of the previous
+	// timestep, maintained by the engine for trapezoidal integration.
+	iPrev float64
+}
+
+// Stamp implements Device. Backward Euler uses the companion model
+// geq = C/dt with history current geq*Vprev; the trapezoidal rule uses
+// geq = 2C/dt with history current geq*Vprev + Iprev (A-stable and
+// second-order accurate).
+func (c *Capacitor) Stamp(s *Stamper, st *State) {
+	if st.Dt <= 0 {
+		// DC operating point: capacitor is open; add a tiny leak for
+		// definiteness of floating nodes.
+		s.Conductance(c.A, c.B, 1e-12)
+		return
+	}
+	geq := c.Farads / st.Dt
+	hist := 0.0
+	if st.Trapezoidal && !st.FirstStep {
+		geq = 2 * c.Farads / st.Dt
+		hist = c.iPrev
+	}
+	s.Conductance(c.A, c.B, geq)
+	vPrev := st.PrevV(c.A) - st.PrevV(c.B)
+	// History current flows from B to A (into the positive node).
+	s.Current(c.B, c.A, geq*vPrev+hist)
+}
+
+// commit records the converged capacitor current after a timestep, the
+// state the trapezoidal rule carries forward:
+// i = geq*(v - vPrev) - iPrev for trapezoidal, geq*(v - vPrev) for BE.
+func (c *Capacitor) commit(st *State) {
+	if st.Dt <= 0 {
+		return
+	}
+	v := st.V(c.A) - st.V(c.B)
+	vPrev := st.PrevV(c.A) - st.PrevV(c.B)
+	if st.Trapezoidal && !st.FirstStep {
+		geq := 2 * c.Farads / st.Dt
+		c.iPrev = geq*(v-vPrev) - c.iPrev
+		return
+	}
+	c.iPrev = c.Farads / st.Dt * (v - vPrev)
+}
+
+// Nodes implements Device.
+func (c *Capacitor) Nodes() []int { return []int{c.A, c.B} }
+
+// Label implements Device.
+func (c *Capacitor) Label() string { return c.Name }
+
+// Waveform is a time-dependent scalar signal.
+type Waveform interface {
+	At(t float64) float64
+}
+
+// DC is a constant waveform.
+type DC float64
+
+// At implements Waveform.
+func (d DC) At(float64) float64 { return float64(d) }
+
+// PWL is a piecewise-linear waveform defined by (time, value) points in
+// increasing time order; values are held before the first and after the
+// last point.
+type PWL []struct{ T, V float64 }
+
+// At implements Waveform.
+func (p PWL) At(t float64) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	if t <= p[0].T {
+		return p[0].V
+	}
+	for i := 1; i < len(p); i++ {
+		if t <= p[i].T {
+			f := (t - p[i-1].T) / (p[i].T - p[i-1].T)
+			return p[i-1].V + f*(p[i].V-p[i-1].V)
+		}
+	}
+	return p[len(p)-1].V
+}
+
+// Step returns a PWL that transitions from v0 to v1 across
+// [t, t+rise].
+func Step(v0, v1, t, rise float64) PWL {
+	return PWL{{0, v0}, {t, v0}, {t + rise, v1}}
+}
+
+// VSource is an ideal voltage source handled with an MNA branch current.
+type VSource struct {
+	Name   string
+	A, B   int // positive, negative terminal
+	Branch int // branch-current row index, assigned by the circuit
+	E      Waveform
+}
+
+// Stamp implements Device.
+func (v *VSource) Stamp(s *Stamper, st *State) {
+	if v.A >= 0 {
+		s.g.add(v.A, v.Branch, 1)
+		s.g.add(v.Branch, v.A, 1)
+	}
+	if v.B >= 0 {
+		s.g.add(v.B, v.Branch, -1)
+		s.g.add(v.Branch, v.B, -1)
+	}
+	s.rhs[v.Branch] += v.E.At(st.Time)
+}
+
+// Nodes implements Device.
+func (v *VSource) Nodes() []int { return []int{v.A, v.B} }
+
+// Label implements Device.
+func (v *VSource) Label() string { return v.Name }
+
+// MOSType distinguishes NMOS and PMOS.
+type MOSType int
+
+// MOSFET polarities.
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+// MOSFET is a level-1 (square-law) MOSFET with channel-length modulation.
+// Terminals are drain, gate, source; the body is tied to the source.
+type MOSFET struct {
+	Name    string
+	Type    MOSType
+	D, G, S int
+	// W and L are the channel width and length (any consistent unit).
+	W, L float64
+	// K is the process transconductance µCox (A/V²); Vt the threshold
+	// voltage magnitude; Lambda the channel-length modulation (1/V).
+	K, Vt, Lambda float64
+}
+
+// gmin keeps the Jacobian nonsingular when transistors are cut off.
+const gmin = 1e-9
+
+// Stamp implements Device: the transistor is linearized at the iterate
+// voltages and stamped as gds, gm and an equivalent current.
+//
+// The stamp is derived in a sign-normalized frame: with sigma = +1 for
+// NMOS and -1 for PMOS, choose (d', s') such that
+// vds' = sigma*(V(d')-V(s')) >= 0 and evaluate the NMOS square-law
+// equations on vds' and vgs' = sigma*(V(G)-V(s')). The external current
+// from d' to s' is i = sigma*ids, whose partial derivatives with respect
+// to the *real* node voltages are exactly the NMOS small-signal stamp
+// (the two sigma factors cancel), so gds/gm stamp identically for both
+// polarities and only the equivalent current carries the sign.
+func (m *MOSFET) Stamp(s *Stamper, st *State) {
+	sigma := 1.0
+	if m.Type == PMOS {
+		sigma = -1
+	}
+	d, src := m.D, m.S
+	if sigma*(st.V(d)-st.V(src)) < 0 {
+		d, src = src, d
+	}
+	vds := sigma * (st.V(d) - st.V(src))
+	vgs := sigma * (st.V(m.G) - st.V(src))
+	beta := m.K * m.W / m.L
+	vov := vgs - m.Vt
+	var ids, gm, gds float64
+	switch {
+	case vov <= 0: // cutoff
+	case vds < vov: // triode
+		clm := 1 + m.Lambda*vds
+		ids = beta * (vov*vds - vds*vds/2) * clm
+		gm = beta * vds * clm
+		gds = beta*(vov-vds)*clm + beta*(vov*vds-vds*vds/2)*m.Lambda
+	default: // saturation
+		clm := 1 + m.Lambda*vds
+		ids = beta / 2 * vov * vov * clm
+		gm = beta * vov * clm
+		gds = beta / 2 * vov * vov * m.Lambda
+	}
+	ieq := sigma * (ids - gm*vgs - gds*vds)
+	s.Conductance(d, src, gds+gmin)
+	s.VCCS(d, src, m.G, src, gm)
+	s.Current(d, src, ieq)
+}
+
+// Nodes implements Device.
+func (m *MOSFET) Nodes() []int { return []int{m.D, m.G, m.S} }
+
+// Label implements Device.
+func (m *MOSFET) Label() string { return m.Name }
+
+// Switch is an ideal voltage-controlled switch driven by a control
+// waveform: closed (low resistance) when the control exceeds the
+// threshold, open (tiny conductance) otherwise. It models the wordline
+// access and the control-line gating without MOSFET overhead where the
+// transistor physics is irrelevant.
+type Switch struct {
+	Name    string
+	A, B    int
+	Ctrl    Waveform
+	Thresh  float64
+	OnOhms  float64
+	OffOhms float64
+}
+
+// Stamp implements Device.
+func (w *Switch) Stamp(s *Stamper, st *State) {
+	r := w.OffOhms
+	if w.Ctrl.At(st.Time) > w.Thresh {
+		r = w.OnOhms
+	}
+	s.Conductance(w.A, w.B, 1/r)
+}
+
+// Nodes implements Device.
+func (w *Switch) Nodes() []int { return []int{w.A, w.B} }
+
+// Label implements Device.
+func (w *Switch) Label() string { return w.Name }
+
+func validPositive(name string, vs ...float64) error {
+	for _, v := range vs {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("spice: %s: non-positive parameter %v", name, v)
+		}
+	}
+	return nil
+}

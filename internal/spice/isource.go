@@ -1,0 +1,27 @@
+package spice
+
+// ISource is an independent current source: current I(t) flows from node
+// A through the source into node B (conventional current out of B). It
+// completes the device set for charge-injection experiments (e.g.
+// emulating cell leakage or disturb currents on a bitline).
+type ISource struct {
+	Name string
+	A, B int
+	I    Waveform
+}
+
+// Stamp implements Device.
+func (i *ISource) Stamp(s *Stamper, st *State) {
+	s.Current(i.A, i.B, i.I.At(st.Time))
+}
+
+// Nodes implements Device.
+func (i *ISource) Nodes() []int { return []int{i.A, i.B} }
+
+// Label implements Device.
+func (i *ISource) Label() string { return i.Name }
+
+// AddI adds an independent current source flowing from node a to node b.
+func (c *Circuit) AddI(name, a, b string, i Waveform) {
+	c.devices = append(c.devices, &ISource{Name: name, A: c.Node(a), B: c.Node(b), I: i})
+}

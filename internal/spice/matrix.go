@@ -1,0 +1,86 @@
+// Package spice is a small transient analog circuit simulator built on
+// modified nodal analysis (MNA): dense LU solves, Newton iteration for
+// the nonlinear MOSFETs, and backward-Euler integration for capacitors.
+// It exists to simulate the sense-amplifier circuits reverse engineered
+// by the study — the classic SA of Fig. 2b and the offset-cancellation SA
+// of Fig. 9a — at the fidelity needed to reproduce their event sequences
+// and offset-tolerance behaviour.
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// matrix is a dense square matrix stored row-major.
+type matrix struct {
+	n int
+	a []float64
+}
+
+func newMatrix(n int) *matrix {
+	return &matrix{n: n, a: make([]float64, n*n)}
+}
+
+func (m *matrix) at(i, j int) float64     { return m.a[i*m.n+j] }
+func (m *matrix) add(i, j int, v float64) { m.a[i*m.n+j] += v }
+func (m *matrix) zero() {
+	for i := range m.a {
+		m.a[i] = 0
+	}
+}
+
+// solve performs in-place LU decomposition with partial pivoting and
+// solves m·x = b, overwriting both m and b; the solution is returned in
+// b. It reports an error for (near-)singular systems.
+func (m *matrix) solve(b []float64) error {
+	n := m.n
+	if len(b) != n {
+		return fmt.Errorf("spice: rhs length %d, want %d", len(b), n)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p := k
+		maxv := math.Abs(m.at(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(m.at(i, k)); v > maxv {
+				maxv = v
+				p = i
+			}
+		}
+		if maxv < 1e-30 {
+			return fmt.Errorf("spice: singular matrix at pivot %d", k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				m.a[k*n+j], m.a[p*n+j] = m.a[p*n+j], m.a[k*n+j]
+			}
+			b[k], b[p] = b[p], b[k]
+		}
+		inv := 1 / m.at(k, k)
+		for i := k + 1; i < n; i++ {
+			f := m.at(i, k) * inv
+			if f == 0 {
+				continue
+			}
+			m.a[i*n+k] = 0
+			for j := k + 1; j < n; j++ {
+				m.a[i*n+j] -= f * m.at(k, j)
+			}
+			b[i] -= f * b[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.at(i, j) * b[j]
+		}
+		b[i] = s / m.at(i, i)
+	}
+	return nil
+}

@@ -1,0 +1,452 @@
+package spice
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixSolveIdentityAndKnown(t *testing.T) {
+	m := newMatrix(2)
+	m.add(0, 0, 2)
+	m.add(0, 1, 1)
+	m.add(1, 0, 1)
+	m.add(1, 1, 3)
+	b := []float64{5, 10}
+	if err := m.solve(b); err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	if math.Abs(b[0]-1) > 1e-12 || math.Abs(b[1]-3) > 1e-12 {
+		t.Errorf("solution = %v", b)
+	}
+}
+
+func TestMatrixSolvePivoting(t *testing.T) {
+	// Zero on the diagonal requires pivoting.
+	m := newMatrix(2)
+	m.add(0, 1, 1)
+	m.add(1, 0, 1)
+	b := []float64{7, 9}
+	if err := m.solve(b); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 9 || b[1] != 7 {
+		t.Errorf("solution = %v", b)
+	}
+}
+
+func TestMatrixSolveSingular(t *testing.T) {
+	m := newMatrix(2)
+	m.add(0, 0, 1)
+	m.add(0, 1, 1)
+	m.add(1, 0, 1)
+	m.add(1, 1, 1)
+	if err := m.solve([]float64{1, 2}); err == nil {
+		t.Errorf("expected singular matrix error")
+	}
+	m2 := newMatrix(2)
+	if err := m2.solve([]float64{1}); err == nil {
+		t.Errorf("expected rhs length error")
+	}
+}
+
+// Property: solving A x = b for random diagonally dominant A recovers x.
+func TestMatrixSolveProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 4
+		m := newMatrix(n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			want[i] = float64(int(seed)+i*7%13) / 3
+			for j := 0; j < n; j++ {
+				v := float64((int(seed)*(i+1)*(j+2))%7) - 3
+				if i == j {
+					v += 20
+				}
+				m.add(i, j, v)
+			}
+		}
+		b := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += m.at(i, j) * want[j]
+			}
+		}
+		if err := m.solve(b); err != nil {
+			return false
+		}
+		for i := range b {
+			if math.Abs(b[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPWLWaveform(t *testing.T) {
+	p := PWL{{0, 0}, {1, 1}, {2, 0.5}}
+	cases := []struct{ t, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 0.5}, {1, 1}, {1.5, 0.75}, {2, 0.5}, {5, 0.5},
+	}
+	for _, c := range cases {
+		if got := p.At(c.t); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PWL(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if (PWL{}).At(1) != 0 {
+		t.Errorf("empty PWL should be 0")
+	}
+	if DC(3.3).At(99) != 3.3 {
+		t.Errorf("DC wrong")
+	}
+	s := Step(0, 1, 2, 0.5)
+	if s.At(2.25) != 0.5 {
+		t.Errorf("Step midpoint = %v", s.At(2.25))
+	}
+}
+
+func TestRCDischarge(t *testing.T) {
+	// A 1k/1u RC discharging from 1V: V(t) = exp(-t/tau), tau = 1ms.
+	c := NewCircuit()
+	if err := c.AddR("R1", "a", "0", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("C1", "a", "0", 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	o := TransientOptions{Dt: 1e-5, Stop: 2e-3, MaxNewton: 10, Tol: 1e-9,
+		InitialV: map[string]float64{"a": 1}}
+	res, err := c.Transient(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Trace("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5e-3, 1e-3, 2e-3} {
+		want := math.Exp(-tt / 1e-3)
+		if got := tr.At(tt); math.Abs(got-want) > 0.02 {
+			t.Errorf("V(%g) = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestRCChargeThroughSource(t *testing.T) {
+	// Source steps to 1V at t=0 through R into C.
+	c := NewCircuit()
+	c.AddV("VS", "in", "0", DC(1))
+	if err := c.AddR("R1", "in", "out", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("C1", "out", "0", 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-5, Stop: 5e-3, MaxNewton: 10, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("out")
+	if got := tr.At(1e-3); math.Abs(got-(1-math.Exp(-1))) > 0.02 {
+		t.Errorf("V(1ms) = %v, want %v", got, 1-math.Exp(-1))
+	}
+	if got := tr.Final(); math.Abs(got-1) > 0.01 {
+		t.Errorf("final = %v, want ~1", got)
+	}
+}
+
+func TestVoltageDivider(t *testing.T) {
+	c := NewCircuit()
+	c.AddV("VS", "in", "0", DC(2))
+	if err := c.AddR("R1", "in", "mid", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("R2", "mid", "0", 3000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-6, Stop: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("mid")
+	if got := tr.Final(); math.Abs(got-1.5) > 1e-6 {
+		t.Errorf("divider = %v, want 1.5", got)
+	}
+}
+
+func TestNMOSSaturationCurrent(t *testing.T) {
+	// NMOS source follower into a resistor: verify square-law current.
+	// Vg = 2V, Vt = 0.5, K*W/L such that beta = 1e-3. Drain at 3V via
+	// small R, source to ground via 1k: solve numerically and check
+	// against the analytic operating point.
+	c := NewCircuit()
+	c.AddV("VD", "vdd", "0", DC(3))
+	c.AddV("VG", "g", "0", DC(2))
+	if err := c.AddMOS("M1", NMOS, "vdd", "g", "s", 1, 1, 1e-3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("RS", "s", "0", 1000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-8, Stop: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("s")
+	vs := tr.Final()
+	// Analytic (lambda=0.02 ignored, tolerance generous):
+	// beta/2 (2 - vs - 0.5)^2 = vs/1000.
+	lhs := 1e-3 / 2 * math.Pow(1.5-vs, 2)
+	rhs := vs / 1000
+	if math.Abs(lhs-rhs) > 0.1*rhs {
+		t.Errorf("operating point inconsistent: vs=%v lhs=%v rhs=%v", vs, lhs, rhs)
+	}
+	if vs < 0.4 || vs > 1.0 {
+		t.Errorf("source voltage %v outside expected window", vs)
+	}
+}
+
+func TestPMOSPullsUp(t *testing.T) {
+	// PMOS with grounded gate pulls output to VDD through its channel.
+	c := NewCircuit()
+	c.AddV("VD", "vdd", "0", DC(1.2))
+	c.AddV("VG", "g", "0", DC(0))
+	if err := c.AddMOS("M1", PMOS, "out", "g", "vdd", 4, 1, 1e-3, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("RL", "out", "0", 100000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-8, Stop: 2e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("out")
+	if got := tr.Final(); got < 1.0 {
+		t.Errorf("PMOS should pull up near VDD, got %v", got)
+	}
+}
+
+func TestMOSCutoff(t *testing.T) {
+	// Gate at 0: output stays pulled down by the resistor.
+	c := NewCircuit()
+	c.AddV("VD", "vdd", "0", DC(1.2))
+	c.AddV("VG", "g", "0", DC(0))
+	if err := c.AddMOS("M1", NMOS, "vdd", "g", "out", 2, 1, 1e-3, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("RL", "out", "0", 10000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-8, Stop: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("out")
+	if got := tr.Final(); got > 0.01 {
+		t.Errorf("cutoff NMOS should not conduct, out = %v", got)
+	}
+}
+
+func TestSwitchGating(t *testing.T) {
+	// Switch closes at t=1us and charges the capacitor.
+	c := NewCircuit()
+	c.AddV("VS", "in", "0", DC(1))
+	c.AddSwitch("S1", "in", "out", Step(0, 1, 1e-6, 1e-8), 0.5)
+	if err := c.AddC("CL", "out", "0", 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-8, Stop: 3e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("out")
+	if got := tr.At(0.9e-6); got > 0.01 {
+		t.Errorf("switch should be open before 1us, out = %v", got)
+	}
+	if got := tr.Final(); got < 0.99 {
+		t.Errorf("switch should charge cap after closing, out = %v", got)
+	}
+}
+
+func TestCrossCoupledLatchAmplifies(t *testing.T) {
+	// The heart of a sense amplifier: a cross-coupled NMOS pair plus
+	// cross-coupled PMOS pair amplifies a small differential on two
+	// capacitive nodes to full rail.
+	c := NewCircuit()
+	c.AddV("VLA", "la", "0", Step(0.6, 1.2, 1e-9, 2e-9)) // pSA source rail
+	c.AddV("VLAB", "lab", "0", Step(0.6, 0, 1e-9, 2e-9)) // nSA source rail
+	mos := func(name string, typ MOSType, d, g, s string) {
+		if err := c.AddMOS(name, typ, d, g, s, 2, 1, 5e-4, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mos("MN1", NMOS, "bl", "blb", "lab")
+	mos("MN2", NMOS, "blb", "bl", "lab")
+	mos("MP1", PMOS, "bl", "blb", "la")
+	mos("MP2", PMOS, "blb", "bl", "la")
+	if err := c.AddC("CBL", "bl", "0", 1e-13); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("CBLB", "blb", "0", 1e-13); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{
+		Dt: 1e-12, Stop: 20e-9, MaxNewton: 200, Tol: 1e-7,
+		InitialV: map[string]float64{"bl": 0.65, "blb": 0.60, "la": 0.6, "lab": 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, _ := res.Trace("bl")
+	blb, _ := res.Trace("blb")
+	if bl.Final() < 1.0 {
+		t.Errorf("BL should latch high, got %v", bl.Final())
+	}
+	if blb.Final() > 0.2 {
+		t.Errorf("BLB should latch low, got %v", blb.Final())
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := NewCircuit()
+	if _, err := c.Transient(TransientOptions{Dt: 1, Stop: 10}); err == nil {
+		t.Errorf("empty circuit should error")
+	}
+	if err := c.AddR("R1", "a", "0", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Transient(TransientOptions{Dt: 0, Stop: 1}); err == nil {
+		t.Errorf("zero dt should error")
+	}
+	if _, err := c.Transient(TransientOptions{Dt: 2, Stop: 1}); err == nil {
+		t.Errorf("dt > stop should error")
+	}
+	if _, err := c.Transient(TransientOptions{Dt: 0.1, Stop: 1,
+		InitialV: map[string]float64{"zzz": 1}}); err == nil {
+		t.Errorf("unknown initial node should error")
+	}
+	if _, err := c.Transient(TransientOptions{Dt: 0.1, Stop: 1,
+		Record: []string{"zzz"}}); err == nil {
+		t.Errorf("unknown record node should error")
+	}
+}
+
+func TestDeviceValidation(t *testing.T) {
+	c := NewCircuit()
+	if err := c.AddR("R1", "a", "0", 0); err == nil {
+		t.Errorf("zero resistance should error")
+	}
+	if err := c.AddC("C1", "a", "0", -1); err == nil {
+		t.Errorf("negative capacitance should error")
+	}
+	if err := c.AddMOS("M1", NMOS, "a", "b", "c", 0, 1, 1, 1); err == nil {
+		t.Errorf("zero width should error")
+	}
+	if err := c.AddMOS("M1", NMOS, "a", "b", "c", 1, 1, math.NaN(), 1); err == nil {
+		t.Errorf("NaN K should error")
+	}
+}
+
+func TestTraceInterpolationAndNodes(t *testing.T) {
+	tr := &Trace{Node: "x", T: []float64{0, 1, 2}, V: []float64{0, 2, 4}}
+	if tr.At(0.5) != 1 || tr.At(-1) != 0 || tr.At(9) != 4 || tr.At(1) != 2 {
+		t.Errorf("interpolation wrong")
+	}
+	empty := &Trace{}
+	if empty.At(1) != 0 || empty.Final() != 0 {
+		t.Errorf("empty trace should read 0")
+	}
+	c := NewCircuit()
+	c.AddV("V1", "a", "0", DC(1))
+	if err := c.AddR("R1", "a", "b", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddR("R2", "b", "0", 10); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 0.1, Stop: 0.4, Record: []string{"b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Nodes(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("recorded nodes = %v", got)
+	}
+	if _, err := res.Trace("a"); err == nil {
+		t.Errorf("unrecorded node should error")
+	}
+}
+
+func TestNodeNamesAndGround(t *testing.T) {
+	c := NewCircuit()
+	if c.Node(Ground) != -1 {
+		t.Errorf("ground must map to -1")
+	}
+	a := c.Node("a")
+	if c.Node("a") != a {
+		t.Errorf("node index not stable")
+	}
+	if names := c.NodeNames(); len(names) != 1 || names[0] != "a" {
+		t.Errorf("node names = %v", names)
+	}
+}
+
+// Property: charge conservation — with no sources, total charge on two
+// capacitors connected by a resistor is conserved while they equilibrate.
+func TestChargeSharingProperty(t *testing.T) {
+	f := func(v0 uint8) bool {
+		v := 0.2 + float64(v0%100)/100 // 0.2 .. 1.2
+		c := NewCircuit()
+		if err := c.AddC("C1", "a", "0", 1e-12); err != nil {
+			return false
+		}
+		if err := c.AddC("C2", "b", "0", 3e-12); err != nil {
+			return false
+		}
+		if err := c.AddR("R1", "a", "b", 1000); err != nil {
+			return false
+		}
+		res, err := c.Transient(TransientOptions{Dt: 1e-11, Stop: 1e-7,
+			InitialV: map[string]float64{"a": v}})
+		if err != nil {
+			return false
+		}
+		ta, _ := res.Trace("a")
+		tb, _ := res.Trace("b")
+		// Final shared voltage: q = C1*v => v_final = v*C1/(C1+C2) = v/4.
+		want := v / 4
+		return math.Abs(ta.Final()-want) < 0.01*v && math.Abs(tb.Final()-want) < 0.01*v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkTransientLatch(b *testing.B) {
+	build := func() *Circuit {
+		c := NewCircuit()
+		c.AddV("VLA", "la", "0", Step(0.6, 1.2, 1e-9, 2e-9))
+		c.AddV("VLAB", "lab", "0", Step(0.6, 0, 1e-9, 2e-9))
+		_ = c.AddMOS("MN1", NMOS, "bl", "blb", "lab", 2, 1, 5e-4, 0.4)
+		_ = c.AddMOS("MN2", NMOS, "blb", "bl", "lab", 2, 1, 5e-4, 0.4)
+		_ = c.AddMOS("MP1", PMOS, "bl", "blb", "la", 2, 1, 5e-4, 0.4)
+		_ = c.AddMOS("MP2", PMOS, "blb", "bl", "la", 2, 1, 5e-4, 0.4)
+		_ = c.AddC("CBL", "bl", "0", 1e-13)
+		_ = c.AddC("CBLB", "blb", "0", 1e-13)
+		return c
+	}
+	opts := TransientOptions{Dt: 1e-11, Stop: 20e-9, MaxNewton: 200, Tol: 1e-7,
+		InitialV: map[string]float64{"bl": 0.65, "blb": 0.6, "la": 0.6, "lab": 0.6}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := build()
+		if _, err := c.Transient(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

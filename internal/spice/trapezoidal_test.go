@@ -1,0 +1,141 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// rcError runs the analytic RC discharge at a coarse step and returns the
+// max absolute error against exp(-t/tau).
+func rcError(t *testing.T, trapezoidal bool, dt float64) float64 {
+	t.Helper()
+	c := NewCircuit()
+	if err := c.AddR("R1", "a", "0", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("C1", "a", "0", 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{
+		Dt: dt, Stop: 2e-3, MaxNewton: 10, Tol: 1e-12,
+		Trapezoidal: trapezoidal,
+		InitialV:    map[string]float64{"a": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := res.Trace("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for i, tt := range tr.T {
+		want := math.Exp(-tt / 1e-3)
+		if e := math.Abs(tr.V[i] - want); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func TestTrapezoidalBeatsBackwardEuler(t *testing.T) {
+	const dt = 1e-4 // deliberately coarse: 10 steps per tau
+	be := rcError(t, false, dt)
+	tr := rcError(t, true, dt)
+	if tr >= be/4 {
+		t.Errorf("trapezoidal error %.2e should be well below BE's %.2e", tr, be)
+	}
+}
+
+func TestTrapezoidalSecondOrder(t *testing.T) {
+	// Halving the step should reduce the trapezoidal error ~4x
+	// (second order) but BE only ~2x (first order).
+	e1 := rcError(t, true, 1e-4)
+	e2 := rcError(t, true, 5e-5)
+	ratio := e1 / e2
+	if ratio < 3.3 || ratio > 5 {
+		t.Errorf("trapezoidal halving ratio %.2f, want ~4", ratio)
+	}
+	b1 := rcError(t, false, 1e-4)
+	b2 := rcError(t, false, 5e-5)
+	bratio := b1 / b2
+	if bratio < 1.6 || bratio > 2.6 {
+		t.Errorf("BE halving ratio %.2f, want ~2", bratio)
+	}
+}
+
+func TestTrapezoidalLatchStillWorks(t *testing.T) {
+	// The strongly nonlinear latch circuit must still converge and
+	// resolve correctly under trapezoidal integration.
+	c := NewCircuit()
+	c.AddV("VLA", "la", "0", Step(0.6, 1.2, 1e-9, 2e-9))
+	c.AddV("VLAB", "lab", "0", Step(0.6, 0, 1e-9, 2e-9))
+	for _, m := range []struct {
+		name, d, g, s string
+		typ           MOSType
+	}{
+		{"MN1", "bl", "blb", "lab", NMOS},
+		{"MN2", "blb", "bl", "lab", NMOS},
+		{"MP1", "bl", "blb", "la", PMOS},
+		{"MP2", "blb", "bl", "la", PMOS},
+	} {
+		if err := c.AddMOS(m.name, m.typ, m.d, m.g, m.s, 2, 1, 5e-4, 0.4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.AddC("CBL", "bl", "0", 1e-13); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddC("CBLB", "blb", "0", 1e-13); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{
+		Dt: 1e-12, Stop: 20e-9, MaxNewton: 200, Tol: 1e-7, Trapezoidal: true,
+		InitialV: map[string]float64{"bl": 0.65, "blb": 0.60, "la": 0.6, "lab": 0.6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, _ := res.Trace("bl")
+	blb, _ := res.Trace("blb")
+	if bl.Final() < 1.0 || blb.Final() > 0.2 {
+		t.Errorf("latch failed under trapezoidal: %v / %v", bl.Final(), blb.Final())
+	}
+}
+
+func TestISourceChargesCapacitor(t *testing.T) {
+	// 1 uA into 1 nF for 1 ms: V = I*t/C = 1 V.
+	c := NewCircuit()
+	c.AddI("I1", "0", "a", DC(1e-6))
+	if err := c.AddC("C1", "a", "0", 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-6, Stop: 1e-3, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("a")
+	if got := tr.Final(); math.Abs(got-1) > 0.01 {
+		t.Errorf("capacitor charged to %v, want 1 V", got)
+	}
+	// Half way through it holds half the voltage (linear ramp).
+	if got := tr.At(0.5e-3); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("midpoint %v, want 0.5 V", got)
+	}
+}
+
+func TestISourceIntoResistor(t *testing.T) {
+	c := NewCircuit()
+	c.AddI("I1", "0", "a", DC(1e-3))
+	if err := c.AddR("R1", "a", "0", 1000); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Transient(TransientOptions{Dt: 1e-6, Stop: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := res.Trace("a")
+	if got := tr.Final(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("V = %v, want I*R = 1", got)
+	}
+}
