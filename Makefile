@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test vet race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the reconstruction
+# hot path fans out on a worker pool, so every change must pass this.
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static analysis plus race-checked tests.
+check: vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -8,6 +8,7 @@ package repro
 import (
 	"io"
 	"math"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/measure"
 	"repro/internal/netex"
 	"repro/internal/papers"
+	"repro/internal/par"
 	"repro/internal/report"
 	"repro/internal/sa"
 	"repro/internal/sem"
@@ -128,9 +130,10 @@ func BenchmarkROIIdentification(b *testing.B) {
 	}
 }
 
-// E5 — Figs. 7/8: full reconstruction (denoise, align, reslice, segment)
-// through the noisy acquisition, on the coarsest chip.
-func BenchmarkReconstruction(b *testing.B) {
+// setupReconstruction builds the noisy B4 acquisition the E5
+// reconstruction benchmarks replay.
+func setupReconstruction(b *testing.B) (*sem.Acquisition, geom.Rect, core.Options) {
+	b.Helper()
 	chip := chips.ByID("B4")
 	o := core.DefaultOptions()
 	o.VoxelNM = 8
@@ -149,8 +152,16 @@ func BenchmarkReconstruction(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return acq, window, o
+}
+
+// benchReconstruction runs E5 with the given worker-pool size.
+func benchReconstruction(b *testing.B, workers int) {
+	acq, window, o := setupReconstruction(b)
+	o.Workers = workers
 	b.ResetTimer()
 	var plan *netex.Plan
+	var err error
 	for i := 0; i < b.N; i++ {
 		plan, _, err = core.Reconstruct(acq, window, o)
 		if err != nil {
@@ -166,6 +177,26 @@ func BenchmarkReconstruction(b *testing.B) {
 		b.Fatalf("reconstruction lost the topology")
 	}
 	b.ReportMetric(float64(len(acq.Slices)), "slices")
+	b.ReportMetric(float64(par.Count(workers)), "workers")
+}
+
+// E5 — Figs. 7/8: full reconstruction (denoise, align, reslice, segment)
+// through the noisy acquisition, on the coarsest chip. Runs with the
+// default worker pool (every core).
+func BenchmarkReconstruction(b *testing.B) {
+	benchReconstruction(b, 0)
+}
+
+// E5a — the sequential baseline: the same reconstruction pinned to one
+// worker. The plan output is byte-identical to the parallel runs.
+func BenchmarkReconstructionSerial(b *testing.B) {
+	benchReconstruction(b, 1)
+}
+
+// E5b — the saturated worker pool, the speedup probe for the concurrency
+// layer (compare against BenchmarkReconstructionSerial).
+func BenchmarkReconstructionParallel(b *testing.B) {
+	benchReconstruction(b, runtime.NumCPU())
 }
 
 // E6 — Fig. 10 and the GDSII release: layout extraction and export.

@@ -5,9 +5,13 @@
 //	hifidram gds -chip C4 -o c4.gds       export the region layout as GDSII
 //	hifidram roi -chip C4                 run the blind ROI identification (Fig. 6)
 //	hifidram extract -chip C4             run the full imaging + extraction pipeline
-//	hifidram extract -all                 run it on all six chips
+//	hifidram extract -all                 run it on all six chips (fanned out in parallel)
 //	hifidram extract -chip C4 -gds out.gds   also export the extracted layout
 //	hifidram planar -chip C4 -o dir       write the reconstructed planar views as PGM
+//
+// extract and planar accept -workers N to bound the reconstruction
+// worker pool (0, the default, uses every core); the output is
+// byte-identical for any worker count.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"repro/internal/chipgen"
@@ -23,6 +29,7 @@ import (
 	"repro/internal/gds"
 	"repro/internal/img"
 	"repro/internal/netex"
+	"repro/internal/par"
 	"repro/internal/sem"
 )
 
@@ -60,6 +67,10 @@ func usage() {
 
 func chipFlag(fs *flag.FlagSet) *string {
 	return fs.String("chip", "C4", "chip ID (A4, B4, C4, A5, B5, C5)")
+}
+
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0, "worker pool size for the reconstruction hot path (0 = all cores)")
 }
 
 func lookup(id string) (*chips.Chip, error) {
@@ -180,6 +191,7 @@ func runExtract(args []string) error {
 	dwell := fs.Float64("dwell", 12, "SEM dwell time (us)")
 	gdsOut := fs.String("gds", "", "export the extracted (annotated) layout as GDSII to this file")
 	die := fs.Bool("die", false, "run the full die-level flow: blind ROI identification, then extract the ROI only")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -193,19 +205,33 @@ func runExtract(args []string) error {
 		}
 		list = []*chips.Chip{c}
 	}
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "chip\ttopology found\tcorrect\tbitlines\ttransistors\tmean dim err\tslices\tsim cost")
-	for _, c := range list {
+	// Split the worker budget between the chip fan-out and each chip's
+	// own pipeline pool so -all doesn't oversubscribe the machine.
+	budget := par.Count(*workers)
+	fan := len(list)
+	if fan > budget {
+		fan = budget
+	}
+	inner := budget / fan
+	if inner < 1 {
+		inner = 1
+	}
+	// Per-chip rows buffer into index-addressed builders so the table
+	// prints in chip order regardless of completion order.
+	rows := make([]strings.Builder, len(list))
+	err := par.ForEach(fan, len(list), func(i int) error {
+		c := list[i]
 		o := core.DefaultOptions()
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
+		o.Workers = inner
 		var res *core.Result
 		var err error
 		if *die {
 			var dres *core.DieResult
 			dres, err = core.RunOnDie(c, o)
 			if err == nil {
-				fmt.Fprintf(w, "(ROI found %v vs true %v, IoU %.2f)\n",
+				fmt.Fprintf(&rows[i], "(ROI found %v vs true %v, IoU %.2f)\n",
 					dres.ROI, dres.TrueROI, dres.ROIOverlap)
 				res = dres.Pipeline
 			}
@@ -215,20 +241,33 @@ func runExtract(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", c.ID, err)
 		}
-		fmt.Fprintf(w, "%s\t%v\t%v\t%d/%d\t%d/%d\t%.1f%%\t%d\t%.1fh\n",
+		fmt.Fprintf(&rows[i], "%s\t%v\t%v\t%d/%d\t%d/%d\t%.1f%%\t%d\t%.1fh\n",
 			c.ID, res.Extraction.Topology, res.Score.TopologyCorrect,
 			res.Extraction.Bitlines, res.Truth.Bitlines,
 			len(res.Extraction.Transistors), res.Truth.TransistorCount,
 			100*res.Score.MeanRelErr, res.SliceCount, res.CostHours)
 		if !*all {
-			fmt.Fprintf(w, "(element order: %v)\n", res.Extraction.Blocks)
+			fmt.Fprintf(&rows[i], "(element order: %v)\n", res.Extraction.Blocks)
 		}
-		if *gdsOut != "" && !*all {
-			if err := exportExtracted(c, o, *gdsOut); err != nil {
-				return err
-			}
-			fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "chip\ttopology found\tcorrect\tbitlines\ttransistors\tmean dim err\tslices\tsim cost")
+	for i := range rows {
+		fmt.Fprint(w, rows[i].String())
+	}
+	if *gdsOut != "" && !*all {
+		o := core.DefaultOptions()
+		o.VoxelNM = *voxel
+		o.SEM.DwellUS = *dwell
+		o.Workers = budget
+		if err := exportExtracted(list[0], o, *gdsOut); err != nil {
+			return err
 		}
+		fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
 	}
 	return w.Flush()
 }
@@ -280,6 +319,7 @@ func runPlanar(args []string) error {
 	id := chipFlag(fs)
 	out := fs.String("o", ".", "output directory")
 	voxel := fs.Int64("voxel", 4, "voxel size (nm)")
+	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -302,6 +342,7 @@ func runPlanar(args []string) error {
 	o := core.DefaultOptions()
 	o.VoxelNM = *voxel
 	o.SEM.Detector = c.Detector
+	o.Workers = *workers
 	acq, err := sem.AcquireStack(vol, o.SEM)
 	if err != nil {
 		return err
@@ -310,7 +351,13 @@ func runPlanar(args []string) error {
 	if err != nil {
 		return err
 	}
-	for layerName, view := range views {
+	names := make([]string, 0, len(views))
+	for layerName := range views {
+		names = append(names, layerName)
+	}
+	sort.Strings(names)
+	for _, layerName := range names {
+		view := views[layerName]
 		path := filepath.Join(*out, fmt.Sprintf("%s_%s.pgm", c.ID, layerName))
 		f, err := os.Create(path)
 		if err != nil {

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/chipgen"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/measure"
 	"repro/internal/netex"
+	"repro/internal/par"
 	"repro/internal/register"
 	"repro/internal/sem"
 	"repro/internal/volume"
@@ -42,6 +44,14 @@ type Options struct {
 	// ground truth (see chipgen.Config).
 	JitterPct  float64
 	JitterSeed int64
+	// Workers bounds the worker pool the post-processing fans out on:
+	// per-slice denoising, the candidate-shift search inside the MI
+	// alignment, and per-layer planar reslicing + segmentation. Values
+	// below 1 mean runtime.NumCPU(). The pipeline output is byte-
+	// identical for every worker count — each unit of work is
+	// index-addressed with no shared mutable state, and assembly happens
+	// in the sequential order.
+	Workers int
 }
 
 // DefaultOptions returns a configuration that survives the default noise
@@ -65,6 +75,7 @@ func DefaultOptions() Options {
 		Denoise:        den,
 		Register:       reg,
 		MinComponentPx: 3,
+		Workers:        runtime.NumCPU(),
 	}
 }
 
@@ -139,33 +150,13 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 // and segment them into the rectangle plan the circuit extraction
 // consumes. The returned residual is the post-alignment drift estimate.
 func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan, float64, error) {
-	slices := make([]*img.Gray, len(acq.Slices))
-	for i, s := range acq.Slices {
-		var err error
-		switch o.Denoiser {
-		case "chambolle":
-			slices[i], err = denoise.Chambolle(s, o.Denoise)
-		case "split-bregman":
-			slices[i], err = denoise.SplitBregman(s, o.Denoise)
-		case "none", "":
-			slices[i] = s.Clone()
-		default:
-			return nil, 0, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
-		}
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: denoise slice %d: %w", i, err)
-		}
-		flatField(slices[i])
+	aligned, didAlign, err := preprocess(acq, o)
+	if err != nil {
+		return nil, 0, err
 	}
-	aligned := slices
 	residual := 0.0
-	if o.Register.MaxShift > 0 && len(slices) > 1 {
-		var err error
-		aligned, _, err = register.AlignStack(slices, o.Register)
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: align: %w", err)
-		}
-		residual, err = register.ResidualDrift(aligned, o.Register)
+	if didAlign {
+		residual, err = register.ResidualDrift(aligned, regOptions(o))
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: residual: %w", err)
 		}
@@ -181,50 +172,131 @@ func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan
 	return plan, residual, nil
 }
 
+// denoiseSlice applies the configured denoiser to one slice. The caller
+// has already rejected unknown denoiser names.
+func denoiseSlice(s *img.Gray, o Options) (*img.Gray, error) {
+	switch o.Denoiser {
+	case "split-bregman":
+		return denoise.SplitBregman(s, o.Denoise)
+	case "none", "":
+		return s.Clone(), nil
+	default: // "chambolle"
+		return denoise.Chambolle(s, o.Denoise)
+	}
+}
+
+// regOptions propagates the pipeline worker budget into the alignment
+// options when the caller has not set one there explicitly.
+func regOptions(o Options) register.Options {
+	reg := o.Register
+	if reg.Workers == 0 {
+		reg.Workers = o.Workers
+	}
+	return reg
+}
+
+// preprocess is the denoise + align prologue shared by Reconstruct and
+// PlanarViews: per-slice TV denoising and flat-fielding fanned out over
+// Options.Workers, then sequential MI stack alignment (guarded exactly
+// like the rest of the pipeline: only when a search window is configured
+// and there is more than one slice). didAlign reports whether the
+// alignment ran.
+func preprocess(acq *sem.Acquisition, o Options) (slices []*img.Gray, didAlign bool, err error) {
+	switch o.Denoiser {
+	case "chambolle", "split-bregman", "none", "":
+	default:
+		return nil, false, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
+	}
+	slices = make([]*img.Gray, len(acq.Slices))
+	err = par.ForEach(o.Workers, len(acq.Slices), func(i int) error {
+		g, err := denoiseSlice(acq.Slices[i], o)
+		if err != nil {
+			return fmt.Errorf("core: denoise slice %d: %w", i, err)
+		}
+		flatField(g)
+		slices[i] = g
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if o.Register.MaxShift > 0 && len(slices) > 1 {
+		aligned, _, err := register.AlignStack(slices, regOptions(o))
+		if err != nil {
+			return nil, false, fmt.Errorf("core: align: %w", err)
+		}
+		return aligned, true, nil
+	}
+	return slices, false, nil
+}
+
 // PlanarViews denoises and aligns an acquisition, then returns the
 // reconstructed planar view image of every fabrication layer by name —
-// the images of Fig. 7d.
+// the images of Fig. 7d. It honours the same Options.Denoiser selection
+// and alignment guard as Reconstruct.
 func PlanarViews(acq *sem.Acquisition, o Options) (map[string]*img.Gray, error) {
-	slices := make([]*img.Gray, len(acq.Slices))
-	for i, s := range acq.Slices {
-		var err error
-		slices[i], err = denoise.Chambolle(s, o.Denoise)
-		if err != nil {
-			return nil, err
-		}
-		flatField(slices[i])
-	}
-	aligned, _, err := register.AlignStack(slices, o.Register)
+	slices, _, err := preprocess(acq, o)
 	if err != nil {
 		return nil, err
 	}
-	vol, err := volume.FromStack(aligned)
+	vol, err := volume.FromStack(slices)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string]*img.Gray)
-	for _, layer := range layout.Layers() {
-		band, ok := chipgen.Band(layer)
-		if !ok {
-			continue
-		}
+	layers := bandedLayers()
+	views := make([]*img.Gray, len(layers))
+	err = par.ForEach(o.Workers, len(layers), func(i int) error {
+		band, _ := chipgen.Band(layers[i])
 		view, err := vol.PlanarAverage(band.Y0+1, band.Y1-1)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out[layer.String()] = view
+		views[i] = view
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*img.Gray, len(layers))
+	for i, layer := range layers {
+		out[layer.String()] = views[i]
 	}
 	return out, nil
+}
+
+// bandedLayers returns the fabrication layers that have a depth band in
+// the voxel model, in layout order.
+func bandedLayers() []layout.Layer {
+	var out []layout.Layer
+	for _, layer := range layout.Layers() {
+		if _, ok := chipgen.Band(layer); ok {
+			out = append(out, layer)
+		}
+	}
+	return out
 }
 
 // flatField removes the per-slice charging offset by anchoring each
 // slice's background level (10th intensity percentile) at zero, so that
 // a global threshold on the resliced planar views treats every slice row
-// consistently.
+// consistently. The percentile comes from a strided sample of ~1024
+// pixels, never fewer than min(len(Pix), 64) so small slices still get a
+// meaningful background estimate.
 func flatField(g *img.Gray) {
-	sample := make([]float64, 0, 1024)
-	step := len(g.Pix)/1024 + 1
-	for i := 0; i < len(g.Pix); i += step {
+	n := len(g.Pix)
+	if n == 0 {
+		return
+	}
+	minSamples := 64
+	if n < minSamples {
+		minSamples = n
+	}
+	step := n/1024 + 1
+	if maxStep := n / minSamples; step > maxStep {
+		step = maxStep
+	}
+	sample := make([]float64, 0, (n+step-1)/step)
+	for i := 0; i < n; i += step {
 		sample = append(sample, g.Pix[i])
 	}
 	sort.Float64s(sample)
@@ -239,52 +311,76 @@ func flatField(g *img.Gray) {
 // rectangles to nanometer coordinates. sliceStep relates volume Z rows to
 // voxel Z positions.
 func PlanFromVolume(vol *volume.Volume, window geom.Rect, o Options) (*netex.Plan, error) {
-	plan := netex.NewPlan()
-	zScale := o.VoxelNM * int64(o.SEM.SliceStep)
-	for _, layer := range layout.Layers() {
-		band, ok := chipgen.Band(layer)
-		if !ok {
-			continue
-		}
-		// Average over the band interior: residual slice misalignment
-		// only bleeds into the band's edge rows.
-		y0, y1 := band.Y0, band.Y1
-		if y1-y0 > 2 {
-			y0, y1 = y0+1, y1-1
-		}
-		raw, err := vol.PlanarAverage(y0, y1)
+	layers := bandedLayers()
+	// Each layer's extraction is independent; the rectangles are
+	// collected per layer index and assembled into the plan in layout
+	// order afterwards, so the plan is byte-identical to a sequential
+	// build for any worker count.
+	perLayer := make([][]geom.Rect, len(layers))
+	err := par.ForEach(o.Workers, len(layers), func(i int) error {
+		rects, err := extractLayer(vol, layers[i], window, o)
 		if err != nil {
-			return nil, fmt.Errorf("core: planar view of %s: %w", layer, err)
+			return err
 		}
-		// The cross-section denoising ran per slice; the planar views
-		// still carry residual per-pixel noise, removed here with an
-		// edge-preserving median before thresholding.
-		view := img.MedianFilter(raw, 1)
-		// Otsu splits the background on sparse layers (contacts and
-		// vias cover ~1% of the area), so the mid-range threshold
-		// competes with it and the better class separation wins. A band
-		// with no structure (e.g. capacitors in an SA-only region)
-		// separates poorly under both and is skipped.
-		st := view.Statistics()
-		thr, sep := 0.0, -1.0
-		for _, cand := range []float64{segmentOtsu(view), (st.Min + st.Max) / 2} {
-			if fg, bg, ok := classMeans(view, cand); ok && fg-bg > sep {
-				thr, sep = cand, fg-bg
-			}
-		}
-		if sep < 0.15 {
-			continue
-		}
-		mask := segmentMask(view, thr)
-		for _, r := range segmentDecompose(mask, view.W, o.MinComponentPx) {
-			rect := geom.R(
-				window.Min.X+int64(r[0])*o.VoxelNM,
-				window.Min.Y+int64(r[1])*zScale,
-				window.Min.X+int64(r[2])*o.VoxelNM,
-				window.Min.Y+int64(r[3])*zScale,
-			)
-			plan.Add(layer, rect)
+		perLayer[i] = rects
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan := netex.NewPlan()
+	for i, layer := range layers {
+		for _, r := range perLayer[i] {
+			plan.Add(layer, r)
 		}
 	}
 	return plan, nil
+}
+
+// extractLayer reslices one fabrication layer's depth band into a planar
+// view, segments it, and returns the recovered rectangles in nanometer
+// coordinates. It returns no rectangles for a band with no structure.
+func extractLayer(vol *volume.Volume, layer layout.Layer, window geom.Rect, o Options) ([]geom.Rect, error) {
+	band, _ := chipgen.Band(layer)
+	zScale := o.VoxelNM * int64(o.SEM.SliceStep)
+	// Average over the band interior: residual slice misalignment
+	// only bleeds into the band's edge rows.
+	y0, y1 := band.Y0, band.Y1
+	if y1-y0 > 2 {
+		y0, y1 = y0+1, y1-1
+	}
+	raw, err := vol.PlanarAverage(y0, y1)
+	if err != nil {
+		return nil, fmt.Errorf("core: planar view of %s: %w", layer, err)
+	}
+	// The cross-section denoising ran per slice; the planar views
+	// still carry residual per-pixel noise, removed here with an
+	// edge-preserving median before thresholding.
+	view := img.MedianFilter(raw, 1)
+	// Otsu splits the background on sparse layers (contacts and
+	// vias cover ~1% of the area), so the mid-range threshold
+	// competes with it and the better class separation wins. A band
+	// with no structure (e.g. capacitors in an SA-only region)
+	// separates poorly under both and is skipped.
+	st := view.Statistics()
+	thr, sep := 0.0, -1.0
+	for _, cand := range []float64{segmentOtsu(view), (st.Min + st.Max) / 2} {
+		if fg, bg, ok := classMeans(view, cand); ok && fg-bg > sep {
+			thr, sep = cand, fg-bg
+		}
+	}
+	if sep < 0.15 {
+		return nil, nil
+	}
+	mask := segmentMask(view, thr)
+	var out []geom.Rect
+	for _, r := range segmentDecompose(mask, view.W, o.MinComponentPx) {
+		out = append(out, geom.R(
+			window.Min.X+int64(r[0])*o.VoxelNM,
+			window.Min.Y+int64(r[1])*zScale,
+			window.Min.X+int64(r[2])*o.VoxelNM,
+			window.Min.Y+int64(r[3])*zScale,
+		))
+	}
+	return out, nil
 }

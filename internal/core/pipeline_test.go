@@ -1,9 +1,12 @@
 package core
 
 import (
+	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/chips"
+	"repro/internal/img"
 )
 
 func TestRunValidation(t *testing.T) {
@@ -127,6 +130,32 @@ func TestMeasurementCountScales(t *testing.T) {
 	if n < 2*res.Truth.TransistorCount*8/10 {
 		t.Errorf("measurements = %d, want close to %d", n, 2*res.Truth.TransistorCount)
 	}
+}
+
+// flatField must stay well-defined on slices far below the nominal
+// 1024-pixel sample: the strided sample always holds at least
+// min(len(Pix), 64) values, and every pixel shifts by exactly the 10th
+// intensity percentile.
+func TestFlatFieldTinyImages(t *testing.T) {
+	for _, dim := range [][2]int{{1, 1}, {2, 2}, {5, 3}, {8, 8}, {40, 2}} {
+		g := img.New(dim[0], dim[1])
+		for i := range g.Pix {
+			g.Pix[i] = 0.25 + 0.01*float64(i%13)
+		}
+		sorted := append([]float64(nil), g.Pix...)
+		sort.Float64s(sorted)
+		p10 := sorted[len(sorted)/10]
+		orig := append([]float64(nil), g.Pix...)
+		flatField(g)
+		for i := range g.Pix {
+			if math.Abs(g.Pix[i]-(orig[i]-p10)) > 1e-15 {
+				t.Fatalf("%dx%d: pixel %d = %v, want %v (p10 %v)",
+					dim[0], dim[1], i, g.Pix[i], orig[i]-p10, p10)
+			}
+		}
+	}
+	// A zero-pixel image must be a no-op, not an index panic.
+	flatField(&img.Gray{})
 }
 
 func TestPipelineWithProcessVariation(t *testing.T) {

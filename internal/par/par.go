@@ -1,0 +1,71 @@
+// Package par provides the bounded worker pool the reconstruction hot
+// path fans out on. The pipeline stages it serves (per-slice denoising,
+// per-layer reslicing, per-candidate-shift mutual information, per-chip
+// runs) are all index-addressed with independent outputs, so the pool
+// exposes exactly that shape: run fn(i) for every index, write results
+// by index, and report errors in a deterministic order. Callers that
+// follow this pattern produce byte-identical output regardless of the
+// worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Count normalizes a Workers option: any value below 1 means "use every
+// core" (runtime.NumCPU()).
+func Count(requested int) int {
+	if requested < 1 {
+		return runtime.NumCPU()
+	}
+	return requested
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most Count(workers)
+// goroutines. All indices run even when one fails; the returned error is
+// the one with the lowest index, which is the same error a sequential
+// loop would have reported first. With one worker (or n == 1) it
+// degrades to a plain loop on the calling goroutine, so a Workers=1
+// configuration has no scheduling overhead at all.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Count(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	for _, req := range []int{0, -1, -100} {
+		if got := Count(req); got != runtime.NumCPU() {
+			t.Errorf("Count(%d) = %d, want NumCPU %d", req, got, runtime.NumCPU())
+		}
+	}
+	for _, req := range []int{1, 2, 17} {
+		if got := Count(req); got != req {
+			t.Errorf("Count(%d) = %d", req, got)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		const n = 257
+		hits := make([]atomic.Int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i == 7 || i == 63 {
+				return fmt.Errorf("fail at %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail at 7" {
+			t.Errorf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("n=0: %v", err)
+	}
+	ran := 0
+	if err := ForEach(8, 1, func(i int) error { ran++; return nil }); err != nil || ran != 1 {
+		t.Errorf("n=1: ran=%d err=%v", ran, err)
+	}
+}
+
+func TestForEachDeterministicOutput(t *testing.T) {
+	// Index-addressed writes make the result independent of scheduling.
+	const n = 500
+	ref := make([]int, n)
+	ForEach(1, n, func(i int) error { ref[i] = i * i; return nil })
+	got := make([]int, n)
+	ForEach(16, n, func(i int) error { got[i] = i * i; return nil })
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}

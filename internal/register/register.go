@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/img"
+	"repro/internal/par"
 )
 
 // Shift is a translation in pixels.
@@ -93,6 +94,12 @@ type Options struct {
 	// Margin excludes a border of this many pixels from the overlap
 	// region so that edge-extension artifacts do not bias the measure.
 	Margin int
+	// Workers bounds the goroutines evaluating candidate shifts inside
+	// Align. Values below 1 mean runtime.NumCPU(). The stack-level
+	// alignment stays sequential (each slice registers to its
+	// predecessor); only the per-candidate mutual-information search is
+	// fanned out, and the result is identical for any worker count.
+	Workers int
 }
 
 // DefaultOptions returns a search window suitable for the drift magnitudes
@@ -140,21 +147,31 @@ func Align(fixed, moving *img.Gray, o Options) (Shift, float64, error) {
 		return Shift{}, 0, fmt.Errorf("register: image %dx%d too small for window %dx%d",
 			fixed.W, fixed.H, o.MaxShift, o.shiftY())
 	}
+	// Evaluate every candidate shift into an index-addressed table, then
+	// scan it in the same row-major order a sequential search would use:
+	// the selected shift is identical for any worker count.
+	ny, nx := o.shiftY(), o.MaxShift
+	cols := 2*nx + 1
+	mis := make([]float64, cols*(2*ny+1))
+	err := par.ForEach(o.Workers, len(mis), func(k int) error {
+		dy, dx := k/cols-ny, k%cols-nx
+		mi, err := overlapMI(fixed, moving, dx, dy, o)
+		mis[k] = mi
+		return err
+	})
+	if err != nil {
+		return Shift{}, 0, err
+	}
 	best := Shift{}
 	bestMI := math.Inf(-1)
-	for dy := -o.shiftY(); dy <= o.shiftY(); dy++ {
-		for dx := -o.MaxShift; dx <= o.MaxShift; dx++ {
-			mi, err := overlapMI(fixed, moving, dx, dy, o)
-			if err != nil {
-				return Shift{}, 0, err
-			}
-			// Deterministic tie-break: prefer the smaller shift so a
-			// flat similarity surface yields identity.
-			if mi > bestMI+1e-12 ||
-				(math.Abs(mi-bestMI) <= 1e-12 && lessShift(Shift{dx, dy}, best)) {
-				bestMI = mi
-				best = Shift{dx, dy}
-			}
+	for k, mi := range mis {
+		s := Shift{DX: k%cols - nx, DY: k/cols - ny}
+		// Deterministic tie-break: prefer the smaller shift so a
+		// flat similarity surface yields identity.
+		if mi > bestMI+1e-12 ||
+			(math.Abs(mi-bestMI) <= 1e-12 && lessShift(s, best)) {
+			bestMI = mi
+			best = s
 		}
 	}
 	return best, bestMI, nil

@@ -229,10 +229,97 @@ func TestAlignInvertsTranslationProperty(t *testing.T) {
 	}
 }
 
+// The parallel candidate search must select the same shift and MI as the
+// sequential scan for any worker count — including on a flat similarity
+// surface where only the deterministic tie-break decides.
+func TestAlignParallelMatchesSerial(t *testing.T) {
+	base := texture(48, 48, 13)
+	rng := rand.New(rand.NewSource(21))
+	moved := base.Translate(3, -2)
+	for i, v := range moved.Pix {
+		moved.Pix[i] = 0.95*v + 0.02*rng.NormFloat64()
+	}
+	flat := img.New(48, 48)
+	cases := []struct {
+		name          string
+		fixed, moving *img.Gray
+	}{
+		{"textured", base, moved},
+		{"flat-tie-break", flat, flat.Clone()},
+	}
+	for _, tc := range cases {
+		serial := symOptions()
+		serial.Workers = 1
+		wantS, wantMI, err := Align(tc.fixed, tc.moving, serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			o := symOptions()
+			o.Workers = workers
+			gotS, gotMI, err := Align(tc.fixed, tc.moving, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotS != wantS || gotMI != wantMI {
+				t.Errorf("%s workers=%d: (%v, %v), want (%v, %v)",
+					tc.name, workers, gotS, gotMI, wantS, wantMI)
+			}
+		}
+	}
+}
+
+func TestAlignStackParallelMatchesSerial(t *testing.T) {
+	base := texture(48, 48, 17)
+	var stack []*img.Gray
+	for i := 0; i < 4; i++ {
+		stack = append(stack, base.Translate(i, -i))
+	}
+	serial := symOptions()
+	serial.Workers = 1
+	wantImgs, wantRes, err := AlignStack(stack, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := symOptions()
+	o.Workers = 8
+	gotImgs, gotRes, err := AlignStack(stack, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantRes.Shifts {
+		if gotRes.Shifts[i] != wantRes.Shifts[i] || gotRes.PairMI[i] != wantRes.PairMI[i] {
+			t.Errorf("slice %d: (%v, %v), want (%v, %v)", i,
+				gotRes.Shifts[i], gotRes.PairMI[i], wantRes.Shifts[i], wantRes.PairMI[i])
+		}
+		for j := range wantImgs[i].Pix {
+			if gotImgs[i].Pix[j] != wantImgs[i].Pix[j] {
+				t.Fatalf("slice %d pixel %d differs", i, j)
+			}
+		}
+	}
+}
+
 func BenchmarkAlign48(b *testing.B) {
 	base := texture(48, 48, 1)
 	moved := base.Translate(2, -1)
 	o := DefaultOptions()
+	o.Workers = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Align(base, moved, o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAlign48Parallel saturates the candidate-shift pool; compare
+// against BenchmarkAlign48 for the per-pair speedup.
+func BenchmarkAlign48Parallel(b *testing.B) {
+	base := texture(48, 48, 1)
+	moved := base.Translate(2, -1)
+	o := DefaultOptions()
+	o.Workers = 0 // NumCPU
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := Align(base, moved, o); err != nil {
