@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check
+.PHONY: build test vet race bench check faults-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -13,11 +13,26 @@ vet:
 
 # race runs the full suite under the race detector; the reconstruction
 # hot path fans out on a worker pool, so every change must pass this.
+# The fault-injection pipeline tests run full reconstructions, which the
+# race detector slows past the default 10-minute package budget.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
-# check is the CI gate: static analysis plus race-checked tests.
-check: vet race
+# faults-smoke proves the self-healing path end to end: a fault-injected
+# acquisition (default plan corrupts >=10% of the slices) must still
+# extract the correct topology on a classic and an OCSA chip.
+faults-smoke:
+	$(GO) run ./cmd/hifidram extract -chip C4 -faults
+	$(GO) run ./cmd/hifidram extract -chip B5 -faults
+
+# check is the CI gate: static analysis, race-checked tests, and the
+# fault-injection smoke run.
+check: vet race faults-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# fuzz exercises the fuzz targets briefly (the seed corpora always run
+# as part of `test`).
+fuzz:
+	$(GO) test ./internal/segment -fuzz FuzzDecomposeTol -fuzztime 30s

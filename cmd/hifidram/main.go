@@ -7,6 +7,9 @@
 //	hifidram extract -chip C4             run the full imaging + extraction pipeline
 //	hifidram extract -all                 run it on all six chips (fanned out in parallel)
 //	hifidram extract -chip C4 -gds out.gds   also export the extracted layout
+//	hifidram extract -chip C4 -faults     corrupt the acquisition with the default
+//	                                      fault plan and report the quality gate's
+//	                                      detection recall (-fault-seed varies the draw)
 //	hifidram planar -chip C4 -o dir       write the reconstructed planar views as PGM
 //
 // extract and planar accept -workers N to bound the reconstruction
@@ -26,6 +29,7 @@ import (
 	"repro/internal/chipgen"
 	"repro/internal/chips"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gds"
 	"repro/internal/img"
 	"repro/internal/netex"
@@ -191,6 +195,8 @@ func runExtract(args []string) error {
 	dwell := fs.Float64("dwell", 12, "SEM dwell time (us)")
 	gdsOut := fs.String("gds", "", "export the extracted (annotated) layout as GDSII to this file")
 	die := fs.Bool("die", false, "run the full die-level flow: blind ROI identification, then extract the ROI only")
+	faults := fs.Bool("faults", false, "corrupt the acquisition with the default fault plan and score the quality gate")
+	faultSeed := fs.Int64("fault-seed", 1, "fault injection seed (with -faults)")
 	workers := workersFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -225,6 +231,11 @@ func runExtract(args []string) error {
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
 		o.Workers = inner
+		if *faults {
+			p := fault.DefaultPlan()
+			p.Seed = *faultSeed
+			o.Faults = &p
+		}
 		var res *core.Result
 		var err error
 		if *die {
@@ -246,6 +257,15 @@ func runExtract(args []string) error {
 			res.Extraction.Bitlines, res.Truth.Bitlines,
 			len(res.Extraction.Transistors), res.Truth.TransistorCount,
 			100*res.Score.MeanRelErr, res.SliceCount, res.CostHours)
+		if res.Injected != nil {
+			detected := detectedFaults(res)
+			recall := 100.0
+			if n := len(res.Injected.Injected); n > 0 {
+				recall = 100 * float64(detected) / float64(n)
+			}
+			fmt.Fprintf(&rows[i], "(faults: injected %d, gate flagged %d, recall %.0f%%, align fallbacks %d)\n",
+				len(res.Injected.Injected), len(res.Repairs.Repairs), recall, res.AlignFallbacks)
+		}
 		if !*all {
 			fmt.Fprintf(&rows[i], "(element order: %v)\n", res.Extraction.Blocks)
 		}
@@ -270,6 +290,21 @@ func runExtract(args []string) error {
 		fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
 	}
 	return w.Flush()
+}
+
+// detectedFaults counts the injected slices the quality gate flagged.
+func detectedFaults(res *core.Result) int {
+	flagged := make(map[int]bool, len(res.Repairs.Repairs))
+	for _, r := range res.Repairs.Repairs {
+		flagged[r.Index] = true
+	}
+	n := 0
+	for _, inj := range res.Injected.Injected {
+		if flagged[inj.Index] {
+			n++
+		}
+	}
+	return n
 }
 
 // exportExtracted reruns the reconstruction to obtain the plan and writes

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/chipgen"
 	"repro/internal/chips"
+	"repro/internal/fault"
 	"repro/internal/measure"
 	"repro/internal/netex"
 	"repro/internal/sem"
@@ -68,7 +69,14 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: acquire: %w", err)
 	}
-	plan, residual, err := Reconstruct(acq, cropped.BoundsNM, o)
+	var injected *fault.Report
+	if o.Faults != nil {
+		injected, err = fault.Inject(acq, *o.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: inject: %w", err)
+		}
+	}
+	plan, info, err := Reconstruct(acq, cropped.BoundsNM, o)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +87,10 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 	out.Pipeline = &Result{
 		Chip: chip, Truth: die.Truth,
 		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
-		ResidualDriftPx: residual,
+		ResidualDriftPx: info.ResidualDriftPx,
+		Repairs:         info.Repairs,
+		AlignFallbacks:  info.AlignFallbacks,
+		Injected:        injected,
 		Extraction:      ext,
 		Stats:           measure.FromTransistors(ext.Transistors),
 	}

@@ -62,17 +62,17 @@ func TestReconstructParallelMatchesSerial(t *testing.T) {
 			o := fastOptions()
 			o.Denoiser = den
 			o.Workers = 1
-			wantPlan, wantRes, err := Reconstruct(acq, window, o)
+			wantPlan, wantInfo, err := Reconstruct(acq, window, o)
 			if err != nil {
 				t.Fatal(err)
 			}
 			o.Workers = 6
-			gotPlan, gotRes, err := Reconstruct(acq, window, o)
+			gotPlan, gotInfo, err := Reconstruct(acq, window, o)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if gotRes != wantRes {
-				t.Errorf("residual %v != serial %v", gotRes, wantRes)
+			if !reflect.DeepEqual(gotInfo, wantInfo) {
+				t.Errorf("recon info %+v != serial %+v", gotInfo, wantInfo)
 			}
 			if !reflect.DeepEqual(gotPlan, wantPlan) {
 				t.Errorf("parallel plan differs from serial plan")
@@ -120,11 +120,11 @@ func TestPlanFromVolumeParallelMatchesSerial(t *testing.T) {
 	o := fastOptions()
 	o.Denoiser = "none"
 	o.Workers = 1
-	slices, _, err := preprocess(acq, o)
+	pre, err := preprocess(acq, o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vol, err := volume.FromStack(slices)
+	vol, err := volume.FromStack(pre.slices)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/chipgen"
 	"repro/internal/chips"
 	"repro/internal/denoise"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/img"
 	"repro/internal/layout"
@@ -44,6 +45,14 @@ type Options struct {
 	// ground truth (see chipgen.Config).
 	JitterPct  float64
 	JitterSeed int64
+	// Faults, when non-nil, deterministically corrupts the acquisition
+	// before reconstruction (fault.Inject); the ground-truth report is
+	// surfaced on Result.Injected so the quality gate can be scored.
+	Faults *fault.Plan
+	// Quality configures the slice-quality gate that screens and
+	// repairs the stack before denoising. The zero value enables the
+	// gate with default thresholds; it stays silent on clean stacks.
+	Quality QualityOptions
 	// Workers bounds the worker pool the post-processing fans out on:
 	// per-slice denoising, the candidate-shift search inside the MI
 	// alignment, and per-layer planar reslicing + segmentation. Values
@@ -61,6 +70,13 @@ func DefaultOptions() Options {
 	semOpts.DriftSigmaPx = 0.5
 	reg := register.DefaultOptions()
 	reg.MaxShift = 4
+	// Degrade gracefully instead of trusting a garbage peak: retry with
+	// a widened window when the MI peak sits on the search boundary or
+	// below the confidence floor, and fall back to the identity shift
+	// when retries are exhausted. On clean stacks the peak is interior
+	// and confident, so these change nothing.
+	reg.MinConfidence = 0.05
+	reg.WidenRetries = 2
 	den := denoise.DefaultOptions()
 	// Gentler fidelity weight than the denoise package default: the
 	// cross sections carry 2-4 px features (contacts, fine gates) that
@@ -88,6 +104,15 @@ type Result struct {
 	CostHours  float64
 	// ResidualDriftPx is the re-alignment residual after correction.
 	ResidualDriftPx float64
+	// Repairs is the slice-quality gate's report: which slices were
+	// flagged, their classified fault kind, and the repair applied.
+	Repairs RepairReport
+	// AlignFallbacks counts stack pairs whose MI alignment degraded to
+	// the identity-shift fallback.
+	AlignFallbacks int
+	// Injected is the fault-injection ground truth; nil unless
+	// Options.Faults was set.
+	Injected *fault.Report
 	// Extraction is the reverse-engineered structure.
 	Extraction *netex.Result
 	// Stats are the per-element measurement statistics.
@@ -124,8 +149,15 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: acquire: %w", err)
 	}
+	var injected *fault.Report
+	if o.Faults != nil {
+		injected, err = fault.Inject(acq, *o.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: inject: %w", err)
+		}
+	}
 
-	plan, residual, err := Reconstruct(acq, window, o)
+	plan, info, err := Reconstruct(acq, window, o)
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +168,10 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 	res := &Result{
 		Chip: chip, Truth: region.Truth,
 		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
-		ResidualDriftPx: residual,
+		ResidualDriftPx: info.ResidualDriftPx,
+		Repairs:         info.Repairs,
+		AlignFallbacks:  info.AlignFallbacks,
+		Injected:        injected,
 		Extraction:      ext,
 		Stats:           measure.FromTransistors(ext.Transistors),
 	}
@@ -144,32 +179,45 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 	return res, nil
 }
 
+// ReconInfo reports what the reconstruction had to do to the stack
+// beyond the nominal path.
+type ReconInfo struct {
+	// ResidualDriftPx is the post-alignment drift estimate (zero when
+	// alignment did not run).
+	ResidualDriftPx float64
+	// Repairs is the slice-quality gate's report.
+	Repairs RepairReport
+	// AlignFallbacks counts pairs that degraded to the identity-shift
+	// fallback during stack alignment.
+	AlignFallbacks int
+}
+
 // Reconstruct performs the post-processing of Section IV-C plus planar
-// segmentation of Section V-A on an acquisition: denoise every slice,
-// align the stack, assemble the volume, extract per-layer planar views
-// and segment them into the rectangle plan the circuit extraction
-// consumes. The returned residual is the post-alignment drift estimate.
-func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan, float64, error) {
-	aligned, didAlign, err := preprocess(acq, o)
+// segmentation of Section V-A on an acquisition: screen and repair the
+// raw stack (slice-quality gate), denoise every slice, align the stack,
+// assemble the volume, extract per-layer planar views and segment them
+// into the rectangle plan the circuit extraction consumes.
+func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan, ReconInfo, error) {
+	pre, err := preprocess(acq, o)
 	if err != nil {
-		return nil, 0, err
+		return nil, ReconInfo{}, err
 	}
-	residual := 0.0
-	if didAlign {
-		residual, err = register.ResidualDrift(aligned, regOptions(o))
+	info := ReconInfo{Repairs: pre.repairs, AlignFallbacks: pre.alignFallbacks}
+	if pre.didAlign {
+		info.ResidualDriftPx, err = register.ResidualDrift(pre.slices, regOptions(o))
 		if err != nil {
-			return nil, 0, fmt.Errorf("core: residual: %w", err)
+			return nil, ReconInfo{}, fmt.Errorf("core: residual: %w", err)
 		}
 	}
-	vol, err := volume.FromStack(aligned)
+	vol, err := volume.FromStack(pre.slices)
 	if err != nil {
-		return nil, 0, fmt.Errorf("core: stack: %w", err)
+		return nil, ReconInfo{}, fmt.Errorf("core: stack: %w", err)
 	}
 	plan, err := PlanFromVolume(vol, window, o)
 	if err != nil {
-		return nil, 0, err
+		return nil, ReconInfo{}, err
 	}
-	return plan, residual, nil
+	return plan, info, nil
 }
 
 // denoiseSlice applies the configured denoiser to one slice. The caller
@@ -195,21 +243,40 @@ func regOptions(o Options) register.Options {
 	return reg
 }
 
-// preprocess is the denoise + align prologue shared by Reconstruct and
-// PlanarViews: per-slice TV denoising and flat-fielding fanned out over
-// Options.Workers, then sequential MI stack alignment (guarded exactly
-// like the rest of the pipeline: only when a search window is configured
-// and there is more than one slice). didAlign reports whether the
-// alignment ran.
-func preprocess(acq *sem.Acquisition, o Options) (slices []*img.Gray, didAlign bool, err error) {
+// preOut is preprocess's bundle: the processed stack plus everything the
+// robustness machinery observed along the way.
+type preOut struct {
+	slices         []*img.Gray
+	didAlign       bool
+	repairs        RepairReport
+	alignFallbacks int
+}
+
+// preprocess is the screen + denoise + align prologue shared by
+// Reconstruct and PlanarViews: the slice-quality gate screens and
+// repairs the raw stack, then per-slice TV denoising and flat-fielding
+// fan out over Options.Workers, then sequential MI stack alignment
+// (guarded exactly like the rest of the pipeline: only when a search
+// window is configured and there is more than one slice).
+func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
+	var out preOut
 	switch o.Denoiser {
 	case "chambolle", "split-bregman", "none", "":
 	default:
-		return nil, false, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
+		return out, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
 	}
-	slices = make([]*img.Gray, len(acq.Slices))
-	err = par.ForEach(o.Workers, len(acq.Slices), func(i int) error {
-		g, err := denoiseSlice(acq.Slices[i], o)
+	raw := acq.Slices
+	if !o.Quality.Disabled {
+		rep, repaired, err := qualityGate(acq, o)
+		if err != nil {
+			return out, fmt.Errorf("core: quality gate: %w", err)
+		}
+		out.repairs = rep
+		raw = repaired
+	}
+	slices := make([]*img.Gray, len(raw))
+	err := par.ForEach(o.Workers, len(raw), func(i int) error {
+		g, err := denoiseSlice(raw[i], o)
 		if err != nil {
 			return fmt.Errorf("core: denoise slice %d: %w", i, err)
 		}
@@ -218,16 +285,19 @@ func preprocess(acq *sem.Acquisition, o Options) (slices []*img.Gray, didAlign b
 		return nil
 	})
 	if err != nil {
-		return nil, false, err
+		return out, err
 	}
 	if o.Register.MaxShift > 0 && len(slices) > 1 {
-		aligned, _, err := register.AlignStack(slices, regOptions(o))
+		aligned, sres, err := register.AlignStack(slices, regOptions(o))
 		if err != nil {
-			return nil, false, fmt.Errorf("core: align: %w", err)
+			return out, fmt.Errorf("core: align: %w", err)
 		}
-		return aligned, true, nil
+		out.slices, out.didAlign = aligned, true
+		out.alignFallbacks = sres.Fallbacks()
+		return out, nil
 	}
-	return slices, false, nil
+	out.slices = slices
+	return out, nil
 }
 
 // PlanarViews denoises and aligns an acquisition, then returns the
@@ -235,11 +305,11 @@ func preprocess(acq *sem.Acquisition, o Options) (slices []*img.Gray, didAlign b
 // the images of Fig. 7d. It honours the same Options.Denoiser selection
 // and alignment guard as Reconstruct.
 func PlanarViews(acq *sem.Acquisition, o Options) (map[string]*img.Gray, error) {
-	slices, _, err := preprocess(acq, o)
+	pre, err := preprocess(acq, o)
 	if err != nil {
 		return nil, err
 	}
-	vol, err := volume.FromStack(slices)
+	vol, err := volume.FromStack(pre.slices)
 	if err != nil {
 		return nil, err
 	}

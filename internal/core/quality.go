@@ -1,0 +1,575 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/img"
+	"repro/internal/par"
+	"repro/internal/register"
+	"repro/internal/sem"
+)
+
+// QualityOptions configures the slice-quality gate that screens every
+// acquisition before denoising: per-slice outlier detection, fault
+// classification and repair by interpolation from healthy neighbors. The
+// zero value enables the gate with the default thresholds.
+//
+// Real stacks vary enormously along the milling axis — slices near the
+// stack edges are close to featureless oxide — so none of the detectors
+// may compare a slice against a whole-stack norm. Each is grounded
+// either in acquisition physics (shot-noise floor, detector ceiling,
+// exact-constant rows) or in its immediate neighbors (adjacent slices
+// are 4 nm apart and nearly identical), which keeps the gate silent on
+// clean acquisitions: an empty RepairReport and not one pixel touched.
+type QualityOptions struct {
+	// Disabled skips the gate entirely.
+	Disabled bool
+	// SatLevel is the intensity at or above which a pixel counts as
+	// saturated; zero means just below the detector ceiling.
+	SatLevel float64
+	// SatFrac flags a slice whose saturated fraction exceeds it
+	// (charging flare). A clean slice has no saturated pixels at all —
+	// nominal intensities sit ~10 noise sigmas below the ceiling — so
+	// the threshold only needs to clear numerical dust. Zero means
+	// 0.001.
+	SatFrac float64
+	// DropNoiseFactor flags a slice whose intensity standard deviation
+	// falls below this fraction of the shot-noise floor for the
+	// acquisition's dwell time (dropped slice: a frame with less
+	// variation than the beam noise cannot have been acquired). Zero
+	// means 0.7.
+	DropNoiseFactor float64
+	// BurstDY / BurstDX flag a slice whose cumulative row-profile
+	// (vertical) or column-profile (lateral) offset spikes by at least
+	// this many pixels against its local median (drift burst). Zeros
+	// mean 2.5 and 4.
+	BurstDY float64
+	BurstDX float64
+	// BurstProbePx bounds the per-pair profile-shift search. Zero
+	// means 16.
+	BurstProbePx int
+	// BurstMinCorr is the correlation a nonzero profile shift must
+	// reach to count as stage motion. A true stage jump is a pure
+	// translation (profile correlation near 1); a structural
+	// transition along the stack can also prefer a nonzero shift, but
+	// only with a mediocre correlation. Zero means 0.97.
+	BurstMinCorr float64
+	// BurstVetoCorr is the (lower) correlation at which an adjacent
+	// pair's estimate is trusted enough to *contradict* the other
+	// pair's confident vote — blocking the burst blame from landing on
+	// the healthy neighbor of an excursed slice. Zero means 0.9.
+	BurstVetoCorr float64
+	// CurtainResid / CurtainMinCol / CurtainColFrac flag a slice as
+	// curtained when more than CurtainColFrac of its columns fall
+	// below CurtainResid times the neighboring slices' column profile.
+	// Profiles are normalized by each slice's mean intensity first, so
+	// the per-slice charging offset cancels instead of masquerading as
+	// column damage in dim regions. Normalized columns whose neighbor
+	// value is below CurtainMinCol carry no signal and are skipped.
+	// Zeros mean 0.35, 0.25 and 0.15.
+	CurtainResid   float64
+	CurtainMinCol  float64
+	CurtainColFrac float64
+	// MIFloor is the catch-all: a slice whose mutual information with
+	// every healthy neighbor falls below MIFloor times the *local*
+	// median pair MI (a window of MIWindow pairs each way) is an
+	// anomaly even if no specific model matches. The natural MI along
+	// a stack is bimodal — plateaus inside repeating structure,
+	// valleys at transitions, roughly 4x apart — so the floor must sit
+	// well below the valley/plateau ratio. Zero means 0.2.
+	MIFloor float64
+	// MIWindow is the half-width, in pairs, of the local MI window.
+	// Zero means 8.
+	MIWindow int
+	// MIBins is the MI histogram resolution. Zero means 32.
+	MIBins int
+}
+
+func (q QualityOptions) withDefaults() QualityOptions {
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&q.SatLevel, sem.ClampMax-0.05)
+	def(&q.SatFrac, 0.001)
+	def(&q.DropNoiseFactor, 0.7)
+	def(&q.BurstDY, 2.5)
+	def(&q.BurstDX, 4)
+	def(&q.BurstMinCorr, 0.97)
+	def(&q.BurstVetoCorr, 0.9)
+	def(&q.CurtainResid, 0.35)
+	def(&q.CurtainMinCol, 0.25)
+	def(&q.CurtainColFrac, 0.15)
+	def(&q.MIFloor, 0.2)
+	if q.BurstProbePx == 0 {
+		q.BurstProbePx = 16
+	}
+	if q.MIWindow == 0 {
+		q.MIWindow = 8
+	}
+	if q.MIBins == 0 {
+		q.MIBins = 32
+	}
+	return q
+}
+
+// SliceRepair records one flagged slice: what the gate believes went
+// wrong and what it did about it.
+type SliceRepair struct {
+	// Index is the slice position in the stack.
+	Index int
+	// Kind is the classified fault model (fault.KindUnknown when only
+	// the MI catch-all fired).
+	Kind fault.Kind
+	// Metric is the value of the detector that fired.
+	Metric float64
+	// Action describes the repair: "interp(j,k)", "copy(j)" or "none"
+	// when no healthy neighbor existed.
+	Action string
+}
+
+// RepairReport is the slice-quality gate's outcome for one acquisition.
+type RepairReport struct {
+	// Checked is the number of slices screened.
+	Checked int
+	// Repairs lists the flagged slices in ascending index order.
+	Repairs []SliceRepair
+}
+
+// Indices returns the flagged slice indices in ascending order.
+func (r RepairReport) Indices() []int {
+	out := make([]int, len(r.Repairs))
+	for i, rep := range r.Repairs {
+		out[i] = rep.Index
+	}
+	return out
+}
+
+// sliceFeatures are the per-slice statistics every detector reads.
+type sliceFeatures struct {
+	satFrac   float64
+	constRows int
+	std       float64
+	rowMean   []float64
+	// colNorm is the column-mean profile divided by the slice's mean
+	// intensity: the per-slice charging offset cancels, so profile
+	// ratios between neighbors reflect genuine column damage.
+	colNorm []float64
+}
+
+// qualityGate screens the raw slice stack, classifies outliers against
+// the fault models and repairs them by interpolating from the nearest
+// healthy neighbors. Healthy slices pass through by pointer, so a clean
+// stack is returned bit-identical. The gate is deterministic for every
+// worker count: features are computed into index-addressed tables and
+// classification is sequential.
+func qualityGate(acq *sem.Acquisition, o Options) (RepairReport, []*img.Gray, error) {
+	slices := acq.Slices
+	n := len(slices)
+	rep := RepairReport{Checked: n}
+	if n < 3 {
+		return rep, slices, nil
+	}
+	q := o.Quality.withDefaults()
+	dwell := acq.Options.DwellUS
+	if dwell <= 0 {
+		dwell = sem.DefaultOptions().DwellUS
+	}
+	noiseFloor := sem.NoiseSigma(dwell)
+
+	feats := make([]sliceFeatures, n)
+	err := par.ForEach(o.Workers, n, func(i int) error {
+		if err := slices[i].Validate(); err != nil {
+			return fmt.Errorf("core: quality gate slice %d: %w", i, err)
+		}
+		feats[i] = features(slices[i], q.SatLevel)
+		return nil
+	})
+	if err != nil {
+		return rep, nil, err
+	}
+
+	flagged := make([]fault.Kind, n)
+	metric := make([]float64, n)
+	flag := func(i int, k fault.Kind, m float64) {
+		if flagged[i] == fault.KindNone {
+			flagged[i], metric[i] = k, m
+		}
+	}
+
+	// Detector 1: constant rows — detector dropout. Shot noise makes an
+	// exactly-constant row impossible on an acquired slice.
+	for i, f := range feats {
+		if f.constRows > 0 {
+			flag(i, fault.KindDetectorDropout, float64(f.constRows))
+		}
+	}
+	// Detector 2: saturated area — charging flare. Nominal material
+	// intensities stay far below the detector ceiling.
+	for i, f := range feats {
+		if f.satFrac >= q.SatFrac {
+			flag(i, fault.KindChargingFlare, f.satFrac)
+		}
+	}
+	// Detector 3: intensity variation below the shot-noise floor —
+	// dropped slice. Even a featureless oxide slice carries the full
+	// beam noise; a skipped frame does not.
+	for i, f := range feats {
+		if f.std < q.DropNoiseFactor*noiseFloor {
+			flag(i, fault.KindDroppedSlice, f.std)
+		}
+	}
+	// Detector 4: profile-offset outlier — drift burst. Each slice i in
+	// the *unflagged* subsequence (bridging across already-flagged
+	// slices, so a burst next to another fault is still tested against
+	// genuine neighbors) is compared locally: the profile shift from the
+	// previous healthy slice p into i, minus the shift from p to the
+	// next healthy slice s with i skipped. A burst is a one-slice
+	// excursion, so the inbound shift is large while the skip shift is
+	// near zero; a real persistent stage step moves both equally and
+	// cancels. Both axes are estimated — rows for the vertical
+	// component, normalized columns for the lateral one. A nonzero
+	// estimate only counts as motion when the shifted profiles match
+	// almost perfectly (a pure translation); structural transitions
+	// along the stack prefer nonzero shifts too, but never that cleanly.
+	var healthy []int
+	for i, k := range flagged {
+		if k == fault.KindNone {
+			healthy = append(healthy, i)
+		}
+	}
+	// displacement estimates slice i's offset along one profile axis
+	// from both adjacent pairs in the subsequence. A pair votes when
+	// its correlation clears BurstMinCorr: the inbound shift p->i reads
+	// the displacement directly, the outbound shift i->s reads its
+	// negation (the stack returns to the true position after a
+	// one-slice excursion). Two guards stop the blame from landing on
+	// the healthy neighbor of an excursed slice, both judged at the
+	// lower BurstVetoCorr bar: a near-zero estimate from the opposite
+	// pair contradicts a large vote (the slice is demonstrably in
+	// place), and an outbound-only vote is dismissed when the next
+	// slice's own return pair explains the shared shift as *its*
+	// excursion — that slice is flagged on its own turn instead.
+	axisShift := func(ax func(sliceFeatures) []float64, a, b int) (float64, float64) {
+		d, c := profileShift(ax(feats[a]), ax(feats[b]), q.BurstProbePx)
+		return float64(d), c
+	}
+	displacement := func(ax func(sliceFeatures) []float64, p, i, s, ss int) float64 {
+		vIn, cin := axisShift(ax, p, i)
+		dOut, cout := axisShift(ax, i, s)
+		vOut := -dOut
+		agree := math.Abs(vIn-vOut) <= 1
+		switch {
+		case cin >= q.BurstMinCorr:
+			if cout >= q.BurstVetoCorr && math.Abs(vOut) <= 1 && !agree {
+				return 0
+			}
+			return vIn
+		case cout >= q.BurstMinCorr:
+			if cin >= q.BurstVetoCorr && math.Abs(vIn) <= 1 && !agree {
+				return 0
+			}
+			if ss >= 0 && math.Abs(dOut) > 1 {
+				dRet, cRet := axisShift(ax, s, ss)
+				if cRet >= q.BurstVetoCorr && math.Abs(-dRet-dOut) <= 1 {
+					return 0
+				}
+			}
+			return vOut
+		}
+		return 0
+	}
+	rowsOf := func(f sliceFeatures) []float64 { return f.rowMean }
+	colsOf := func(f sliceFeatures) []float64 { return f.colNorm }
+	// A flagged slice leaves the subsequence immediately, so the test
+	// after a detected burst bridges over it instead of mistaking the
+	// burst's confident return translation for the next slice's fault.
+	for t := 1; t+1 < len(healthy); {
+		p, i, s := healthy[t-1], healthy[t], healthy[t+1]
+		ss := -1
+		if t+2 < len(healthy) {
+			ss = healthy[t+2]
+		}
+		resY := math.Abs(displacement(rowsOf, p, i, s, ss))
+		resX := math.Abs(displacement(colsOf, p, i, s, ss))
+		if resY >= q.BurstDY || resX >= q.BurstDX {
+			flag(i, fault.KindDriftBurst, math.Max(resY, resX))
+			healthy = append(healthy[:t], healthy[t+1:]...)
+			continue
+		}
+		t++
+	}
+	// Detector 5: column-mean attenuation against the nearest unflagged
+	// neighbor on each side — curtaining. The elementwise *minimum* of
+	// the neighbor profiles is the reference, so a structure legitimately
+	// ending between two slices (present on one side only) never counts
+	// as damage.
+	for i := 0; i < n; i++ {
+		if flagged[i] != fault.KindNone {
+			continue
+		}
+		ref := neighborColMin(feats, flagged, i)
+		if ref == nil {
+			continue
+		}
+		damaged, cols := 0, 0
+		for x := range ref {
+			if ref[x] < q.CurtainMinCol {
+				continue
+			}
+			cols++
+			if feats[i].colNorm[x] < q.CurtainResid*ref[x] {
+				damaged++
+			}
+		}
+		if cols == 0 {
+			continue
+		}
+		if frac := float64(damaged) / float64(cols); frac >= q.CurtainColFrac {
+			flag(i, fault.KindCurtaining, frac)
+		}
+	}
+	// Detector 6: MI catch-all — any anomaly that slipped the models.
+	// The floor is relative to the *local* median pair MI, because the
+	// natural MI level varies hugely along the stack (featureless
+	// regions share only noise).
+	type pairMI struct {
+		mi    float64
+		valid bool
+	}
+	mis := make([]pairMI, n-1)
+	err = par.ForEach(o.Workers, n-1, func(i int) error {
+		if flagged[i] != fault.KindNone || flagged[i+1] != fault.KindNone {
+			return nil
+		}
+		mi, err := register.MutualInformation(slices[i], slices[i+1], q.MIBins)
+		if err != nil {
+			return fmt.Errorf("core: quality gate pair %d: %w", i, err)
+		}
+		mis[i] = pairMI{mi: mi, valid: true}
+		return nil
+	})
+	if err != nil {
+		return rep, nil, err
+	}
+	for i := 0; i < n; i++ {
+		if flagged[i] != fault.KindNone {
+			continue
+		}
+		// Local healthy MI scale: valid pairs within MIWindow of the
+		// slice, excluding the slice's own pairs.
+		var local []float64
+		for j := i - 1 - q.MIWindow; j <= i+q.MIWindow; j++ {
+			if j < 0 || j >= n-1 || j == i-1 || j == i || !mis[j].valid {
+				continue
+			}
+			local = append(local, mis[j].mi)
+		}
+		if len(local) < 4 {
+			continue
+		}
+		sort.Float64s(local)
+		floor := q.MIFloor * local[len(local)/2]
+		low, pairs := true, 0
+		worst := math.Inf(1)
+		for _, j := range []int{i - 1, i} {
+			if j < 0 || j >= n-1 || !mis[j].valid {
+				continue
+			}
+			pairs++
+			if mis[j].mi >= floor {
+				low = false
+			}
+			if mis[j].mi < worst {
+				worst = mis[j].mi
+			}
+		}
+		if pairs > 0 && low {
+			flag(i, fault.KindUnknown, worst)
+		}
+	}
+
+	// Repair: interpolate every flagged slice from its nearest healthy
+	// neighbors; healthy slices pass through by pointer.
+	out := make([]*img.Gray, n)
+	for i := range slices {
+		if flagged[i] == fault.KindNone {
+			out[i] = slices[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if flagged[i] == fault.KindNone {
+			continue
+		}
+		j, k := i-1, i+1
+		for j >= 0 && flagged[j] != fault.KindNone {
+			j--
+		}
+		for k < n && flagged[k] != fault.KindNone {
+			k++
+		}
+		action := "none"
+		switch {
+		case j >= 0 && k < n:
+			w := float64(k-i) / float64(k-j)
+			g := img.New(slices[j].W, slices[j].H)
+			for p := range g.Pix {
+				g.Pix[p] = w*slices[j].Pix[p] + (1-w)*slices[k].Pix[p]
+			}
+			out[i] = g
+			action = fmt.Sprintf("interp(%d,%d)", j, k)
+		case j >= 0:
+			out[i] = slices[j].Clone()
+			action = fmt.Sprintf("copy(%d)", j)
+		case k < n:
+			out[i] = slices[k].Clone()
+			action = fmt.Sprintf("copy(%d)", k)
+		default:
+			// Every slice is flagged: nothing healthy to repair from.
+			out[i] = slices[i]
+		}
+		rep.Repairs = append(rep.Repairs, SliceRepair{
+			Index: i, Kind: flagged[i], Metric: metric[i], Action: action,
+		})
+	}
+	return rep, out, nil
+}
+
+// features computes the per-slice statistics in one pass over the
+// pixels plus a row/column-profile pass.
+func features(g *img.Gray, satLevel float64) sliceFeatures {
+	f := sliceFeatures{
+		rowMean: make([]float64, g.H),
+		colNorm: make([]float64, g.W),
+	}
+	sat := 0
+	for y := 0; y < g.H; y++ {
+		first := g.At(0, y)
+		constRow := true
+		var rowSum float64
+		for x := 0; x < g.W; x++ {
+			v := g.At(x, y)
+			if v >= satLevel {
+				sat++
+			}
+			if v != first {
+				constRow = false
+			}
+			rowSum += v
+			f.colNorm[x] += v
+		}
+		if constRow && g.W > 1 {
+			f.constRows++
+		}
+		f.rowMean[y] = rowSum / float64(g.W)
+	}
+	var mean float64
+	for x := range f.colNorm {
+		f.colNorm[x] /= float64(g.H)
+		mean += f.colNorm[x]
+	}
+	mean /= float64(g.W)
+	if mean > 1e-9 {
+		for x := range f.colNorm {
+			f.colNorm[x] /= mean
+		}
+	}
+	f.satFrac = float64(sat) / float64(len(g.Pix))
+	f.std = g.Statistics().Std
+	return f
+}
+
+// profileShift returns the integer shift s in [-probe, probe] that
+// maximizes the normalized correlation between profile a and profile b
+// displaced by s (b[y] matched against a[y-s]), preferring the smaller
+// magnitude on ties, along with the winning correlation. Flat profiles
+// return zero.
+func profileShift(a, b []float64, probe int) (int, float64) {
+	n := len(a)
+	if n != len(b) || n < 4 {
+		return 0, 0
+	}
+	if probe > n/2 {
+		probe = n / 2
+	}
+	best, bestCorr := 0, math.Inf(-1)
+	for _, s := range shiftOrder(probe) {
+		lo, hi := 0, n
+		if s > 0 {
+			lo = s
+		} else {
+			hi = n + s
+		}
+		if hi-lo < 4 {
+			continue
+		}
+		var ma, mb float64
+		for y := lo; y < hi; y++ {
+			ma += a[y-s]
+			mb += b[y]
+		}
+		cnt := float64(hi - lo)
+		ma, mb = ma/cnt, mb/cnt
+		var cov, va, vb float64
+		for y := lo; y < hi; y++ {
+			da, db := a[y-s]-ma, b[y]-mb
+			cov += da * db
+			va += da * da
+			vb += db * db
+		}
+		if va == 0 || vb == 0 {
+			continue
+		}
+		if corr := cov / math.Sqrt(va*vb); corr > bestCorr+1e-12 {
+			bestCorr = corr
+			best = s
+		}
+	}
+	if math.IsInf(bestCorr, -1) {
+		bestCorr = 0
+	}
+	return best, bestCorr
+}
+
+// shiftOrder yields 0, -1, 1, -2, 2, ... so that the smaller-magnitude
+// shift wins ties deterministically.
+func shiftOrder(probe int) []int {
+	out := make([]int, 0, 2*probe+1)
+	out = append(out, 0)
+	for s := 1; s <= probe; s++ {
+		out = append(out, -s, s)
+	}
+	return out
+}
+
+// neighborColMin returns the elementwise minimum of the normalized
+// column profiles of the nearest unflagged neighbor on each side of
+// slice i, so a structure legitimately ending between two slices
+// (present on one side only) never counts as damage.
+func neighborColMin(feats []sliceFeatures, flagged []fault.Kind, i int) []float64 {
+	var profiles [][]float64
+	for _, dir := range []int{-1, 1} {
+		for j := i + dir; j >= 0 && j < len(feats); j += dir {
+			if flagged[j] == fault.KindNone {
+				profiles = append(profiles, feats[j].colNorm)
+				break
+			}
+		}
+	}
+	if len(profiles) == 0 {
+		return nil
+	}
+	out := append([]float64(nil), profiles[0]...)
+	for _, p := range profiles[1:] {
+		for x := range out {
+			if p[x] < out[x] {
+				out[x] = p[x]
+			}
+		}
+	}
+	return out
+}

@@ -25,6 +25,24 @@ func New(w, h int) *Gray {
 	return &Gray{W: w, H: h, Pix: make([]float64, w*h)}
 }
 
+// Validate reports whether the image is structurally sound: positive
+// dimensions and a pixel buffer of exactly W*H entries. A zero-value
+// Gray (or one with a truncated buffer) fails, letting pipeline stages
+// reject it with an error up front instead of panicking on first access.
+func (g *Gray) Validate() error {
+	if g == nil {
+		return fmt.Errorf("img: nil image")
+	}
+	if g.W <= 0 || g.H <= 0 {
+		return fmt.Errorf("img: invalid dimensions %dx%d", g.W, g.H)
+	}
+	if len(g.Pix) != g.W*g.H {
+		return fmt.Errorf("img: pixel buffer holds %d values, want %d for %dx%d",
+			len(g.Pix), g.W*g.H, g.W, g.H)
+	}
+	return nil
+}
+
 // At returns the pixel at (x, y). Out-of-bounds access panics via the
 // slice bounds check; use AtClamp for edge-extended access.
 func (g *Gray) At(x, y int) float64 { return g.Pix[y*g.W+x] }

@@ -8,6 +8,23 @@ import (
 	"testing/quick"
 )
 
+func TestValidate(t *testing.T) {
+	if err := New(3, 2).Validate(); err != nil {
+		t.Errorf("fresh image invalid: %v", err)
+	}
+	for name, g := range map[string]*Gray{
+		"nil":           nil,
+		"zero-value":    {},
+		"negative-dims": {W: -1, H: 4},
+		"short-pix":     {W: 2, H: 2, Pix: make([]float64, 2)},
+		"long-pix":      {W: 2, H: 2, Pix: make([]float64, 9)},
+	} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: expected a validation error", name)
+		}
+	}
+}
+
 func TestNewAndAccess(t *testing.T) {
 	g := New(4, 3)
 	if g.W != 4 || g.H != 3 || len(g.Pix) != 12 {

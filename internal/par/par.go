@@ -9,7 +9,10 @@
 package par
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -23,29 +26,56 @@ func Count(requested int) int {
 	return requested
 }
 
+// PanicError is the indexed error ForEach reports for a unit of work
+// that panicked instead of returning. One poisoned index must never kill
+// the whole fan-out: the panic is confined to its index and surfaces as
+// an ordinary error alongside the results of every other index.
+type PanicError struct {
+	// Index is the work index whose fn panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: index %d panicked: %v", e.Index, e.Value)
+}
+
 // ForEach runs fn(i) for every i in [0, n) on at most Count(workers)
-// goroutines. All indices run even when one fails; the returned error is
-// the one with the lowest index, which is the same error a sequential
-// loop would have reported first. With one worker (or n == 1) it
-// degrades to a plain loop on the calling goroutine, so a Workers=1
-// configuration has no scheduling overhead at all.
+// goroutines. All indices run even when some fail, and every failure is
+// reported: the returned error joins (errors.Join) the per-index errors
+// in ascending index order, so the first line of the message is the same
+// error a sequential loop would have hit first and errors.Is/As see each
+// individual failure. A panic inside fn is recovered and converted to a
+// *PanicError for its index rather than tearing down the process. With
+// one worker (or n == 1) it degrades to a plain loop on the calling
+// goroutine, so a Workers=1 configuration has no scheduling overhead
+// beyond the panic guard.
 func ForEach(workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+			}
+		}()
+		return fn(i)
 	}
 	w := Count(workers)
 	if w > n {
 		w = n
 	}
+	errs := make([]error, n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
+			errs[i] = call(i)
 		}
-		return nil
+		return joinIndexed(errs)
 	}
-	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
@@ -57,15 +87,22 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = call(i)
 			}
 		}()
 	}
 	wg.Wait()
+	return joinIndexed(errs)
+}
+
+// joinIndexed joins the non-nil entries in index order; nil when all
+// indices succeeded.
+func joinIndexed(errs []error) error {
+	var nonNil []error
 	for _, err := range errs {
 		if err != nil {
-			return err
+			nonNil = append(nonNil, err)
 		}
 	}
-	return nil
+	return errors.Join(nonNil...)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -40,17 +41,93 @@ func TestForEachCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
-func TestForEachReturnsLowestIndexError(t *testing.T) {
+func TestForEachAggregatesAllErrorsLowestFirst(t *testing.T) {
+	fail7 := errors.New("fail at 7")
+	fail63 := errors.New("fail at 63")
 	for _, workers := range []int{1, 4} {
 		err := ForEach(workers, 100, func(i int) error {
-			if i == 7 || i == 63 {
+			switch i {
+			case 7:
+				return fail7
+			case 63:
+				return fail63
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: expected an error", workers)
+		}
+		// Both failures are reported, lowest index first, and each is
+		// reachable through errors.Is.
+		if err.Error() != "fail at 7\nfail at 63" {
+			t.Errorf("workers=%d: err = %q, want both failures in index order", workers, err)
+		}
+		if !errors.Is(err, fail7) || !errors.Is(err, fail63) {
+			t.Errorf("workers=%d: joined error loses individual failures", workers)
+		}
+	}
+}
+
+func TestForEachSingleErrorMessageUnchanged(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 3 {
 				return fmt.Errorf("fail at %d", i)
 			}
 			return nil
 		})
-		if err == nil || err.Error() != "fail at 7" {
-			t.Errorf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		if err == nil || err.Error() != "fail at 3" {
+			t.Errorf("workers=%d: err = %v, want the single failure verbatim", workers, err)
 		}
+	}
+}
+
+func TestForEachRecoversWorkerPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ran := make([]atomic.Int32, 50)
+		err := ForEach(workers, 50, func(i int) error {
+			ran[i].Add(1)
+			if i == 11 {
+				panic("poisoned slice")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic should surface as an error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err %T is not a *PanicError", workers, err)
+		}
+		if pe.Index != 11 || pe.Value != "poisoned slice" || pe.Stack == "" {
+			t.Errorf("workers=%d: PanicError = {%d %v stack:%d bytes}", workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+		// The poisoned index must not have killed the other indices.
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times after panic at 11", workers, i, ran[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEachPanicAndErrorsJoin(t *testing.T) {
+	err := ForEach(4, 30, func(i int) error {
+		if i == 5 {
+			panic(i)
+		}
+		if i == 20 {
+			return fmt.Errorf("plain failure")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 5 {
+		t.Errorf("panic at 5 lost in join: %v", err)
+	}
+	lines := strings.Split(err.Error(), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[0], "index 5 panicked") || lines[1] != "plain failure" {
+		t.Errorf("joined message %q not in index order", err)
 	}
 }
 

@@ -100,6 +100,18 @@ type Options struct {
 	// predecessor); only the per-candidate mutual-information search is
 	// fanned out, and the result is identical for any worker count.
 	Workers int
+	// MinConfidence is the MI floor (nats) below which AlignRobust does
+	// not trust the peak: a corrupted slice produces a flat similarity
+	// surface whose argmax is noise, and anchoring the stack to it drags
+	// every later slice off target. Zero disables the check.
+	MinConfidence float64
+	// WidenRetries caps how many times AlignRobust doubles the search
+	// window when the peak is untrustworthy (below MinConfidence or
+	// sitting on the window boundary, the signature of a drift burst
+	// larger than the window). After the cap the identity shift is
+	// substituted and flagged. Zero disables widening; with both
+	// MinConfidence and WidenRetries zero, AlignRobust is exactly Align.
+	WidenRetries int
 }
 
 // DefaultOptions returns a search window suitable for the drift magnitudes
@@ -125,7 +137,18 @@ func (o Options) validate() error {
 	if o.Margin < 0 {
 		return fmt.Errorf("register: negative Margin %d", o.Margin)
 	}
+	if o.MinConfidence < 0 {
+		return fmt.Errorf("register: negative MinConfidence %v", o.MinConfidence)
+	}
+	if o.WidenRetries < 0 {
+		return fmt.Errorf("register: negative WidenRetries %d", o.WidenRetries)
+	}
 	return nil
+}
+
+// robust reports whether the graceful-degradation checks are enabled.
+func (o Options) robust() bool {
+	return o.MinConfidence > 0 || o.WidenRetries > 0
 }
 
 // Align finds the integer shift of moving that maximizes mutual
@@ -201,6 +224,89 @@ func overlapMI(fixed, moving *img.Gray, dx, dy int, o Options) (float64, error) 
 	return MutualInformation(fc, mc, o.Bins)
 }
 
+// AlignResult is the outcome of a robust pairwise alignment.
+type AlignResult struct {
+	// Shift is the accepted correction; identity when Fallback is set.
+	Shift Shift
+	// MI is the mutual information at the accepted shift (at the last
+	// attempted peak when Fallback is set).
+	MI float64
+	// Widened counts the window-doubling retries that were consumed.
+	Widened int
+	// Fallback reports that no trustworthy peak was found within the
+	// retry budget and the identity shift was substituted: the caller
+	// keeps its current frame instead of anchoring to garbage.
+	Fallback bool
+}
+
+// atBoundary reports whether the peak sits on the edge of the search
+// window — the signature of a true shift at or beyond the window, where
+// the argmax is a clamp rather than a maximum.
+func atBoundary(s Shift, o Options) bool {
+	nx, ny := o.MaxShift, o.shiftY()
+	return (nx > 0 && absInt(s.DX) == nx) || (ny > 0 && absInt(s.DY) == ny)
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// maxWindow returns the largest (MaxShift, MaxShiftY) the image can
+// support under Align's minimum-overlap requirement.
+func maxWindow(g *img.Gray, margin int) (int, int) {
+	return (g.W-4)/2 - margin, (g.H-4)/2 - margin
+}
+
+// AlignRobust is Align with graceful degradation for corrupted or
+// heavily drifted slices. A peak is rejected when its MI is below
+// Options.MinConfidence or it sits on the search-window boundary; on
+// rejection the window doubles (capped by the image size) and the search
+// reruns, up to Options.WidenRetries times. When no acceptable peak is
+// found the identity shift is returned with Fallback set, so a poisoned
+// pair degrades to "no correction" instead of a garbage anchor. With
+// MinConfidence == 0 and WidenRetries == 0 it reduces exactly to Align.
+func AlignRobust(fixed, moving *img.Gray, o Options) (AlignResult, error) {
+	s, mi, err := Align(fixed, moving, o)
+	if err != nil {
+		return AlignResult{}, err
+	}
+	if !o.robust() {
+		return AlignResult{Shift: s, MI: mi}, nil
+	}
+	cur := o
+	for widened := 0; ; widened++ {
+		confident := o.MinConfidence <= 0 || mi >= o.MinConfidence
+		if confident && !atBoundary(s, cur) {
+			return AlignResult{Shift: s, MI: mi, Widened: widened}, nil
+		}
+		if widened >= o.WidenRetries {
+			return AlignResult{MI: mi, Widened: widened, Fallback: true}, nil
+		}
+		next := cur
+		next.MaxShift = 2 * cur.MaxShift
+		next.MaxShiftY = 2 * cur.shiftY()
+		if capX, capY := maxWindow(fixed, o.Margin); true {
+			if next.MaxShift > capX {
+				next.MaxShift = capX
+			}
+			if next.MaxShiftY > capY {
+				next.MaxShiftY = capY
+			}
+		}
+		if next.MaxShift <= cur.MaxShift && next.MaxShiftY <= cur.shiftY() {
+			// The image cannot support a wider window; give up now.
+			return AlignResult{MI: mi, Widened: widened, Fallback: true}, nil
+		}
+		cur = next
+		if s, mi, err = Align(fixed, moving, cur); err != nil {
+			return AlignResult{}, err
+		}
+	}
+}
+
 // StackResult describes the alignment of a slice stack.
 type StackResult struct {
 	// Shifts[i] is the correction applied to slice i to register it to
@@ -209,6 +315,22 @@ type StackResult struct {
 	// PairMI[i] is the mutual information achieved between aligned
 	// slice i and slice i-1 (PairMI[0] is zero).
 	PairMI []float64
+	// Fallback[i] reports that pair (i-1, i) had no trustworthy MI
+	// peak and slice i kept its predecessor's correction (identity
+	// pairwise shift) instead of anchoring to a garbage peak. Always
+	// false when Options.MinConfidence and WidenRetries are zero.
+	Fallback []bool
+}
+
+// Fallbacks counts the slices that fell back to the identity shift.
+func (r StackResult) Fallbacks() int {
+	n := 0
+	for _, f := range r.Fallback {
+		if f {
+			n++
+		}
+	}
+	return n
 }
 
 // AlignStack sequentially aligns each slice to its predecessor, as the
@@ -220,8 +342,9 @@ func AlignStack(slices []*img.Gray, o Options) ([]*img.Gray, StackResult, error)
 		return nil, StackResult{}, fmt.Errorf("register: empty stack")
 	}
 	res := StackResult{
-		Shifts: make([]Shift, len(slices)),
-		PairMI: make([]float64, len(slices)),
+		Shifts:   make([]Shift, len(slices)),
+		PairMI:   make([]float64, len(slices)),
+		Fallback: make([]bool, len(slices)),
 	}
 	out := make([]*img.Gray, len(slices))
 	out[0] = slices[0].Clone()
@@ -229,14 +352,16 @@ func AlignStack(slices []*img.Gray, o Options) ([]*img.Gray, StackResult, error)
 	for i := 1; i < len(slices); i++ {
 		// Pairwise on the raw slices keeps each shift within the search
 		// window even when drift accumulates across the stack; the
-		// absolute correction is the running sum.
-		s, mi, err := Align(slices[i-1], slices[i], o)
+		// absolute correction is the running sum. AlignRobust reduces
+		// exactly to Align unless MinConfidence/WidenRetries are set.
+		r, err := AlignRobust(slices[i-1], slices[i], o)
 		if err != nil {
 			return nil, StackResult{}, fmt.Errorf("register: slice %d: %w", i, err)
 		}
-		acc = acc.Add(s)
+		acc = acc.Add(r.Shift)
 		res.Shifts[i] = acc
-		res.PairMI[i] = mi
+		res.PairMI[i] = r.MI
+		res.Fallback[i] = r.Fallback
 		out[i] = slices[i].Translate(acc.DX, acc.DY)
 	}
 	return out, res, nil

@@ -300,6 +300,174 @@ func TestAlignStackParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// aperiodic builds a smooth but non-repeating test image: seeded white
+// noise blurred twice, so the MI surface has a single unambiguous peak
+// (texture's periodic wires alias shifts by multiples of the pitch).
+func aperiodic(w, h int, seed int64) *img.Gray {
+	rng := rand.New(rand.NewSource(seed))
+	g := img.New(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = rng.Float64()
+	}
+	for pass := 0; pass < 2; pass++ {
+		sm := img.New(w, h)
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				var s float64
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						s += g.AtClamp(x+dx, y+dy)
+					}
+				}
+				sm.Set(x, y, s/9)
+			}
+		}
+		g = sm
+	}
+	return g
+}
+
+// AlignRobust acceptance behaviour, covering the low-confidence floor,
+// window-edge peaks, the widened-retry recovery and fallback exhaustion.
+func TestAlignRobustTable(t *testing.T) {
+	base := aperiodic(64, 64, 41)
+	noise := aperiodic(64, 64, 97) // independent content: MI is low everywhere
+	cases := []struct {
+		name          string
+		moving        *img.Gray
+		opts          func(o *Options)
+		wantShift     Shift
+		wantFallback  bool
+		wantMinWidens int
+	}{
+		{
+			name:   "robust-disabled-reduces-to-align",
+			moving: base.Translate(2, 1),
+			opts: func(o *Options) {
+				o.MinConfidence, o.WidenRetries = 0, 0
+			},
+			wantShift: Shift{-2, -1},
+		},
+		{
+			name:   "low-confidence-falls-back-to-identity",
+			moving: noise,
+			opts: func(o *Options) {
+				o.MinConfidence = 0.5
+			},
+			wantShift:    Shift{},
+			wantFallback: true,
+		},
+		{
+			name:   "edge-peak-widens-and-recovers",
+			moving: base.Translate(6, 0),
+			opts: func(o *Options) {
+				o.MaxShift, o.MaxShiftY = 4, 4
+				o.WidenRetries = 2
+			},
+			wantShift:     Shift{-6, 0},
+			wantMinWidens: 1,
+		},
+		{
+			name:   "edge-peak-without-retries-falls-back",
+			moving: base.Translate(6, 0),
+			opts: func(o *Options) {
+				o.MaxShift, o.MaxShiftY = 4, 4
+				o.MinConfidence = 0.01 // enables robust checks, floor itself passes
+			},
+			wantShift:    Shift{},
+			wantFallback: true,
+		},
+		{
+			name:   "widen-exhausted-falls-back",
+			moving: base.Translate(20, 0),
+			opts: func(o *Options) {
+				o.MaxShift, o.MaxShiftY = 2, 2
+				o.WidenRetries = 1 // widens to 4, true shift 20 stays outside
+			},
+			wantShift:     Shift{},
+			wantFallback:  true,
+			wantMinWidens: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := symOptions()
+			tc.opts(&o)
+			got, err := AlignRobust(base, tc.moving, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Shift != tc.wantShift || got.Fallback != tc.wantFallback {
+				t.Errorf("AlignRobust = {shift %v fallback %v widened %d}, want {shift %v fallback %v}",
+					got.Shift, got.Fallback, got.Widened, tc.wantShift, tc.wantFallback)
+			}
+			if got.Widened < tc.wantMinWidens {
+				t.Errorf("Widened = %d, want >= %d", got.Widened, tc.wantMinWidens)
+			}
+		})
+	}
+}
+
+// With robust options off, AlignRobust must agree bit-for-bit with Align
+// so the default pipeline path is untouched.
+func TestAlignRobustMatchesAlignWhenDisabled(t *testing.T) {
+	base := texture(48, 48, 19)
+	moved := base.Translate(3, -1)
+	o := symOptions()
+	wantS, wantMI, err := Align(base, moved, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AlignRobust(base, moved, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shift != wantS || got.MI != wantMI || got.Fallback || got.Widened != 0 {
+		t.Errorf("AlignRobust = %+v, want Align's (%v, %v)", got, wantS, wantMI)
+	}
+}
+
+// A corrupted slice in the middle of a stack must not drag later slices
+// off their frames: its pairs fall back to identity and are flagged.
+func TestAlignStackFlagsFallbackSlices(t *testing.T) {
+	base := aperiodic(64, 64, 55)
+	stack := []*img.Gray{base, aperiodic(64, 64, 77), base.Clone()}
+	o := symOptions()
+	o.MinConfidence = 0.5
+	o.WidenRetries = 1
+	aligned, res, err := AlignStack(stack, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fallback[1] || !res.Fallback[2] {
+		t.Errorf("fallback flags = %v, want pairs around the corrupted slice flagged", res.Fallback)
+	}
+	if res.Fallbacks() != 2 {
+		t.Errorf("Fallbacks() = %d, want 2", res.Fallbacks())
+	}
+	for i, s := range res.Shifts {
+		if s != (Shift{}) {
+			t.Errorf("slice %d anchored to a garbage shift %v", i, s)
+		}
+	}
+	// Healthy slices pass through untouched.
+	for i := range aligned[2].Pix {
+		if aligned[2].Pix[i] != stack[2].Pix[i] {
+			t.Fatalf("slice 2 was modified despite identity fallback")
+		}
+	}
+}
+
+func TestRobustOptionValidation(t *testing.T) {
+	g := texture(40, 40, 1)
+	if _, err := AlignRobust(g, g, Options{MaxShift: 2, Bins: 8, MinConfidence: -1}); err == nil {
+		t.Errorf("expected MinConfidence validation error")
+	}
+	if _, err := AlignRobust(g, g, Options{MaxShift: 2, Bins: 8, WidenRetries: -1}); err == nil {
+		t.Errorf("expected WidenRetries validation error")
+	}
+}
+
 func BenchmarkAlign48(b *testing.B) {
 	base := texture(48, 48, 1)
 	moved := base.Translate(2, -1)

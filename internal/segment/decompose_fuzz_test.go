@@ -1,0 +1,71 @@
+package segment
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecomposeTol drives the rectangle decomposition with arbitrary —
+// including degenerate — masks and checks its structural invariants:
+// invalid dimensions return nil, every rectangle is in bounds and
+// non-empty, every set pixel is covered, and with zero tolerance the
+// cover is exact (no false pixel inside any rectangle).
+func FuzzDecomposeTol(f *testing.F) {
+	f.Add([]byte{}, 0, 0)                          // empty mask, zero width
+	f.Add([]byte{}, 3, 0)                          // empty mask, positive width
+	f.Add([]byte{1}, -2, 1)                        // negative width
+	f.Add([]byte{1, 0, 1}, 2, 0)                   // length not a multiple of width
+	f.Add([]byte{1}, 1, 0)                         // single pixel
+	f.Add([]byte{0, 0, 0, 0}, 2, 0)                // all clear
+	f.Add([]byte{1, 1, 1, 1}, 2, 0)                // all set
+	f.Add([]byte{1, 0, 0, 1}, 4, 0)                // single row, two runs
+	f.Add([]byte{1, 0, 1, 0}, 1, 0)                // single column
+	f.Add([]byte{1, 0, 0, 1, 1, 0, 0, 1}, 2, 0)    // checkerboard-ish
+	f.Add([]byte{1, 1, 0, 1, 1, 1, 1, 1, 1}, 3, 1) // corner-rounded block
+	f.Add(bytes.Repeat([]byte{1}, 64), 8, 16)      // tolerance above any offset
+	f.Fuzz(func(t *testing.T, data []byte, w, tol int) {
+		if len(data) > 4096 {
+			t.Skip("mask too large for the coverage check")
+		}
+		mask := make([]bool, len(data))
+		for i, b := range data {
+			mask[i] = b&1 == 1
+		}
+		if tol < 0 {
+			tol = -tol
+		}
+		tol %= 17
+		rects := DecomposeTol(mask, w, tol)
+		if w <= 0 || len(mask)%w != 0 {
+			if rects != nil {
+				t.Fatalf("invalid dims (w=%d, len=%d) returned %d rects", w, len(mask), len(rects))
+			}
+			return
+		}
+		h := len(mask) / w
+		for _, r := range rects {
+			if r[0] < 0 || r[1] < 0 || r[2] > w || r[3] > h || r[0] >= r[2] || r[1] >= r[3] {
+				t.Fatalf("rect %v out of bounds or empty in %dx%d mask", r, w, h)
+			}
+		}
+		covered := func(x, y int) bool {
+			for _, r := range rects {
+				if x >= r[0] && x < r[2] && y >= r[1] && y < r[3] {
+					return true
+				}
+			}
+			return false
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				set := mask[y*w+x]
+				if set && !covered(x, y) {
+					t.Fatalf("set pixel (%d,%d) not covered", x, y)
+				}
+				if tol == 0 && !set && covered(x, y) {
+					t.Fatalf("clear pixel (%d,%d) inside a rect with tol=0", x, y)
+				}
+			}
+		}
+	})
+}

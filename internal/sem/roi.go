@@ -52,7 +52,7 @@ func probe(v *chipgen.MatVolume, x int, o Options, seed int64) (float64, error) 
 
 func addProbeNoise(g *img.Gray, o Options, seed int64) *img.Gray {
 	out := g.Clone()
-	sigma := noiseSigma(o.DwellUS)
+	sigma := NoiseSigma(o.DwellUS)
 	// Cheap deterministic noise keyed by the seed.
 	s := uint64(seed)*2654435761 + 1
 	for i := range out.Pix {

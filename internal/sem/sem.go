@@ -43,6 +43,12 @@ type Options struct {
 	Seed int64
 }
 
+// ClampMax is the detector saturation ceiling: every acquired pixel is
+// clamped to [0, ClampMax]. Nominal material intensities stay below 1,
+// so values at the ceiling only appear under extreme charging — the
+// signature the fault injector and the slice-quality gate key on.
+const ClampMax = 1.5
+
 // DefaultOptions returns a realistic mid-quality acquisition: BSE, 3 us
 // dwell, one-voxel slices.
 func DefaultOptions() Options {
@@ -120,9 +126,12 @@ func Intensity(detector string, m chipgen.Material) float64 {
 	return 0
 }
 
-// noiseSigma converts dwell time to the additive noise level: 3 us dwell
-// yields sigma 0.05, scaling with 1/sqrt(dwell).
-func noiseSigma(dwellUS float64) float64 {
+// NoiseSigma converts dwell time to the additive noise level: 3 us dwell
+// yields sigma 0.05, scaling with 1/sqrt(dwell). Every real slice carries
+// at least this much intensity variation, which makes it the physical
+// floor the slice-quality gate tests against: a slice with *less*
+// variation than the shot noise cannot have been acquired.
+func NoiseSigma(dwellUS float64) float64 {
 	return 0.05 * math.Sqrt(3/dwellUS)
 }
 
@@ -162,7 +171,7 @@ func AcquireStack(v *chipgen.MatVolume, o Options) (*Acquisition, error) {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
-	sigma := noiseSigma(o.DwellUS)
+	sigma := NoiseSigma(o.DwellUS)
 	acq := &Acquisition{Options: o}
 	var dx, dy float64
 	for z := 0; z < v.NZ; z += o.SliceStep {
@@ -197,7 +206,7 @@ func AcquireStack(v *chipgen.MatVolume, o Options) (*Acquisition, error) {
 				g.Set(x, y, val)
 			}
 		}
-		g.Clamp(0, 1.5)
+		g.Clamp(0, ClampMax)
 		acq.Slices = append(acq.Slices, g)
 		acq.SliceZ = append(acq.SliceZ, z)
 		acq.TrueDrift = append(acq.TrueDrift, [2]float64{dx, dy})

@@ -327,7 +327,7 @@ func TestPlanDwellInvertsNoiseModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := noiseSigma(dwell); math.Abs(got-target) > 1e-12 {
+		if got := NoiseSigma(dwell); math.Abs(got-target) > 1e-12 {
 			t.Errorf("target %v: planned dwell %v yields sigma %v", target, dwell, got)
 		}
 	}

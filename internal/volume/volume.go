@@ -66,16 +66,41 @@ func clamp(i, n int) int {
 	return i
 }
 
+// SliceSizeError reports a slice whose dimensions differ from the first
+// slice of the stack handed to FromStack. It is returned (wrapped in the
+// pipeline's own context) before any volume memory is allocated, so a
+// dimension bug surfaces as a typed error instead of a mid-pipeline
+// panic.
+type SliceSizeError struct {
+	// Index is the offending slice's position in the stack.
+	Index int
+	// W, H are its dimensions; WantW, WantH those of slice 0.
+	W, H, WantW, WantH int
+}
+
+func (e *SliceSizeError) Error() string {
+	return fmt.Sprintf("volume: slice %d is %dx%d, want %dx%d",
+		e.Index, e.W, e.H, e.WantW, e.WantH)
+}
+
 // FromStack assembles a volume from a stack of equally-sized
-// cross-section images: slice k becomes the plane z = k.
+// cross-section images: slice k becomes the plane z = k. Every slice is
+// validated before construction: a nil or malformed slice is rejected
+// with an error and a dimension mismatch with a *SliceSizeError, so the
+// constructor never reaches New's invalid-dimension panic.
 func FromStack(slices []*img.Gray) (*Volume, error) {
 	if len(slices) == 0 {
 		return nil, fmt.Errorf("volume: empty stack")
 	}
+	for i, s := range slices {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("volume: slice %d: %w", i, err)
+		}
+	}
 	w, h := slices[0].W, slices[0].H
 	for i, s := range slices {
 		if s.W != w || s.H != h {
-			return nil, fmt.Errorf("volume: slice %d is %dx%d, want %dx%d", i, s.W, s.H, w, h)
+			return nil, &SliceSizeError{Index: i, W: s.W, H: s.H, WantW: w, WantH: h}
 		}
 	}
 	v := New(w, h, len(slices))

@@ -1,6 +1,7 @@
 package volume
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -68,8 +69,51 @@ func TestFromStackErrors(t *testing.T) {
 	if _, err := FromStack(nil); err == nil {
 		t.Errorf("expected empty stack error")
 	}
-	if _, err := FromStack([]*img.Gray{img.New(2, 2), img.New(3, 2)}); err == nil {
-		t.Errorf("expected mismatched slice error")
+	err := FromStack2Err(img.New(2, 2), img.New(3, 2))
+	var sse *SliceSizeError
+	if !errors.As(err, &sse) {
+		t.Fatalf("mismatched slice: err %T = %v, want *SliceSizeError", err, err)
+	}
+	if *sse != (SliceSizeError{Index: 1, W: 3, H: 2, WantW: 2, WantH: 2}) {
+		t.Errorf("SliceSizeError = %+v", *sse)
+	}
+}
+
+// FromStack2Err runs FromStack on two slices and returns only the error.
+func FromStack2Err(a, b *img.Gray) error {
+	_, err := FromStack([]*img.Gray{a, b})
+	return err
+}
+
+// A stack containing a nil or structurally invalid slice must be
+// rejected with an error before volume construction — never reach the
+// New panic or an index fault mid-pipeline.
+func TestFromStackRejectsInvalidSlices(t *testing.T) {
+	good := img.New(2, 2)
+	cases := []struct {
+		name string
+		bad  *img.Gray
+	}{
+		{"nil", nil},
+		{"zero-value", &img.Gray{}},
+		{"non-positive-dims", &img.Gray{W: -1, H: 2}},
+		{"truncated-pix", &img.Gray{W: 2, H: 2, Pix: make([]float64, 3)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("FromStack panicked: %v", r)
+				}
+			}()
+			if err := FromStack2Err(good, tc.bad); err == nil {
+				t.Errorf("expected a validation error")
+			}
+			// An invalid first slice must not panic either.
+			if err := FromStack2Err(tc.bad, good); err == nil {
+				t.Errorf("expected a validation error for slice 0")
+			}
+		})
 	}
 }
 
