@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check faults-smoke fuzz
+.PHONY: build test vet race bench check faults-smoke trace-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -25,12 +25,21 @@ faults-smoke:
 	$(GO) run ./cmd/hifidram extract -chip C4 -faults
 	$(GO) run ./cmd/hifidram extract -chip B5 -faults
 
-# check is the CI gate: static analysis, race-checked tests, and the
-# fault-injection smoke run.
-check: vet race faults-smoke
+# trace-smoke proves the observability layer end to end: a traced
+# extraction must write Chrome trace JSON that parses and contains a
+# span for every pipeline stage (tracecheck validates both).
+trace-smoke:
+	$(GO) run ./cmd/hifidram extract -chip C4 -trace /tmp/hifidram-trace.json -stats
+	$(GO) run ./cmd/hifidram tracecheck /tmp/hifidram-trace.json
 
+# check is the CI gate: static analysis, race-checked tests, and the
+# fault-injection and observability smoke runs.
+check: vet race faults-smoke trace-smoke
+
+# bench prints benchstat-compatible output and writes the reconstruction
+# benchmark results to BENCH_recon.json for machine comparison.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	BENCH_JSON=$(CURDIR)/BENCH_recon.json $(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # fuzz exercises the fuzz targets briefly (the seed corpora always run
 # as part of `test`).

@@ -6,9 +6,12 @@
 package repro
 
 import (
+	"encoding/json"
 	"io"
 	"math"
+	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/analysis"
@@ -155,6 +158,42 @@ func setupReconstruction(b *testing.B) (*sem.Acquisition, geom.Rect, core.Option
 	return acq, window, o
 }
 
+// benchRecord is one reconstruction benchmark result as written to the
+// BENCH_JSON file: enough to compare runs across commits (benchstat
+// handles the textual -bench output; the JSON feeds dashboards).
+type benchRecord struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Workers int    `json:"workers"`
+	Slices  int    `json:"slices"`
+	N       int    `json:"n"`
+}
+
+var benchRecords struct {
+	mu   sync.Mutex
+	recs []benchRecord
+}
+
+// TestMain writes the recorded reconstruction benchmark results to the
+// file named by BENCH_JSON (when set) after the run; `make bench` uses
+// this to emit BENCH_recon.json alongside the benchstat-readable stdout.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" && len(benchRecords.recs) > 0 {
+		data, err := json.MarshalIndent(benchRecords.recs, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			println("bench json:", err.Error())
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
+
 // benchReconstruction runs E5 with the given worker-pool size.
 func benchReconstruction(b *testing.B, workers int) {
 	acq, window, o := setupReconstruction(b)
@@ -169,6 +208,15 @@ func benchReconstruction(b *testing.B, workers int) {
 		}
 	}
 	b.StopTimer()
+	benchRecords.mu.Lock()
+	benchRecords.recs = append(benchRecords.recs, benchRecord{
+		Name:    b.Name(),
+		NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
+		Workers: par.Count(workers),
+		Slices:  len(acq.Slices),
+		N:       b.N,
+	})
+	benchRecords.mu.Unlock()
 	ext, err := netex.Extract(plan)
 	if err != nil {
 		b.Fatal(err)

@@ -7,19 +7,32 @@
 //	hifidram extract -chip C4             run the full imaging + extraction pipeline
 //	hifidram extract -all                 run it on all six chips (fanned out in parallel)
 //	hifidram extract -chip C4 -gds out.gds   also export the extracted layout
+//	hifidram extract -chip C4 -die        run the die-level flow: blind ROI
+//	                                      identification first, then image and
+//	                                      extract only the identified region
 //	hifidram extract -chip C4 -faults     corrupt the acquisition with the default
 //	                                      fault plan and report the quality gate's
 //	                                      detection recall (-fault-seed varies the draw)
 //	hifidram planar -chip C4 -o dir       write the reconstructed planar views as PGM
+//	hifidram tracecheck out.json          validate a trace file covers every stage
 //
 // extract and planar accept -workers N to bound the reconstruction
-// worker pool (0, the default, uses every core); the output is
-// byte-identical for any worker count.
+// worker pool (0, the default, uses every core) plus the observability
+// flags: -trace out.json writes a Chrome trace-event file (loadable in
+// Perfetto or chrome://tracing), -stats prints a per-stage wall-time
+// table to stderr, -v / -vv enable structured progress / per-slice
+// detail logs, and -pprof ADDR serves net/http/pprof and expvar. None
+// of these perturb the pipeline: the output is byte-identical for any
+// worker count, with or without observability.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"sort"
@@ -33,6 +46,7 @@ import (
 	"repro/internal/gds"
 	"repro/internal/img"
 	"repro/internal/netex"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sem"
 )
@@ -55,6 +69,8 @@ func main() {
 		err = runExtract(args)
 	case "planar":
 		err = runPlanar(args)
+	case "tracecheck":
+		err = runTraceCheck(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +82,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: hifidram {generate|gds|roi|extract|planar} [flags]")
+	fmt.Fprint(os.Stderr, `usage: hifidram <command> [flags]
+
+commands:
+  generate    summarize a chip's ground-truth SA region (-chip, -units)
+  gds         export the ground-truth layout as GDSII (-chip, -o)
+  roi         blind ROI identification on the die strip (-chip, -voxel)
+  extract     full imaging + extraction pipeline (-chip | -all, -die,
+              -faults, -fault-seed, -gds, -voxel, -dwell, -workers)
+  planar      write reconstructed planar views as PGM (-chip, -o,
+              -voxel, -workers)
+  tracecheck  validate a -trace file: parses as Chrome trace JSON and
+              covers every pipeline stage
+
+extract and planar also take the observability flags:
+  -trace FILE   write a Chrome trace-event JSON file (Perfetto-loadable)
+  -stats        print a per-stage wall-time table to stderr
+  -v / -vv      structured progress / per-slice detail logs on stderr
+  -pprof ADDR   serve net/http/pprof and expvar on ADDR
+
+run "hifidram <command> -h" for the full flag list of a command.
+`)
 }
 
 func chipFlag(fs *flag.FlagSet) *string {
@@ -75,6 +111,94 @@ func chipFlag(fs *flag.FlagSet) *string {
 
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "worker pool size for the reconstruction hot path (0 = all cores)")
+}
+
+// obsFlags are the observability flags shared by extract and planar.
+type obsFlags struct {
+	trace string
+	stats bool
+	v, vv bool
+	pprof string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{}
+	fs.StringVar(&f.trace, "trace", "", "write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
+	fs.BoolVar(&f.stats, "stats", false, "print a per-stage wall-time table to stderr when done")
+	fs.BoolVar(&f.v, "v", false, "log pipeline progress to stderr")
+	fs.BoolVar(&f.vv, "vv", false, "log per-slice detail to stderr (implies -v)")
+	fs.StringVar(&f.pprof, "pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return f
+}
+
+// build assembles the observer the flags ask for and the finish function
+// that writes the trace file and stats table once the run completes.
+// With no observability flag set it returns a nil observer — the
+// pipeline's zero-overhead path — and a no-op finish.
+func (f *obsFlags) build() (*obs.Observer, func() error) {
+	if f.trace == "" && !f.stats && !f.v && !f.vv && f.pprof == "" {
+		return nil, func() error { return nil }
+	}
+	ob := &obs.Observer{Metrics: obs.NewMetrics()}
+	ob.Metrics.PublishExpvar("hifidram")
+	if f.trace != "" || f.stats {
+		ob.Trace = obs.NewTrace()
+	}
+	if f.v || f.vv {
+		lvl := slog.LevelInfo
+		if f.vv {
+			lvl = slog.LevelDebug
+		}
+		ob.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+	if f.pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(f.pprof, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hifidram: pprof:", err)
+			}
+		}()
+	}
+	finish := func() error {
+		if f.trace != "" {
+			tf, err := os.Create(f.trace)
+			if err != nil {
+				return err
+			}
+			if err := ob.Trace.WriteChrome(tf); err != nil {
+				tf.Close()
+				return err
+			}
+			if err := tf.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s\n", f.trace)
+		}
+		if f.stats {
+			if err := obs.WriteSummary(os.Stderr, ob.Trace); err != nil {
+				return err
+			}
+			writeCounters(os.Stderr, ob.Snapshot())
+		}
+		return nil
+	}
+	return ob, finish
+}
+
+// writeCounters prints the deterministic counter section of a metric
+// snapshot, sorted by name.
+func writeCounters(w *os.File, snap *obs.Snapshot) {
+	if snap == nil || len(snap.Counters) == 0 {
+		return
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintln(w, "counters:")
+	for _, name := range names {
+		fmt.Fprintf(w, "  %-32s %d\n", name, snap.Counters[name])
+	}
 }
 
 func lookup(id string) (*chips.Chip, error) {
@@ -198,6 +322,7 @@ func runExtract(args []string) error {
 	faults := fs.Bool("faults", false, "corrupt the acquisition with the default fault plan and score the quality gate")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injection seed (with -faults)")
 	workers := workersFlag(fs)
+	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,15 +338,8 @@ func runExtract(args []string) error {
 	}
 	// Split the worker budget between the chip fan-out and each chip's
 	// own pipeline pool so -all doesn't oversubscribe the machine.
-	budget := par.Count(*workers)
-	fan := len(list)
-	if fan > budget {
-		fan = budget
-	}
-	inner := budget / fan
-	if inner < 1 {
-		inner = 1
-	}
+	fan, inner := par.SplitBudget(*workers, len(list))
+	ob, finishObs := obf.build()
 	// Per-chip rows buffer into index-addressed builders so the table
 	// prints in chip order regardless of completion order.
 	rows := make([]strings.Builder, len(list))
@@ -236,6 +354,13 @@ func runExtract(args []string) error {
 			p.Seed = *faultSeed
 			o.Faults = &p
 		}
+		// Each chip's spans nest under a per-chip span and render on
+		// their own block of trace lanes (1 pipeline lane + inner worker
+		// lanes per chip), so concurrent -all runs stay readable.
+		co := ob.WithLane(i * (inner + 2))
+		chipSpan := co.StartSpan("chip " + c.ID)
+		defer chipSpan.End()
+		o.Obs = co.WithSpan(chipSpan)
 		var res *core.Result
 		var err error
 		if *die {
@@ -283,13 +408,66 @@ func runExtract(args []string) error {
 		o := core.DefaultOptions()
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
-		o.Workers = budget
+		o.Workers = *workers
 		if err := exportExtracted(list[0], o, *gdsOut); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return finishObs()
+}
+
+// runTraceCheck validates a file written by -trace: it must parse as
+// Chrome trace-event JSON and contain a complete ("X") span for every
+// canonical pipeline stage. The trace-smoke CI target runs it against a
+// fresh extraction trace.
+func runTraceCheck(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hifidram tracecheck trace.json")
+	}
+	path := fs.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid Chrome trace JSON: %w", path, err)
+	}
+	seen := make(map[string]bool)
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			seen[e.Name] = true
+			spans++
+		}
+	}
+	var missing []string
+	for _, stage := range core.Stages() {
+		if !seen[stage] {
+			missing = append(missing, stage)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: %d spans but missing stages: %s",
+			path, spans, strings.Join(missing, ", "))
+	}
+	fmt.Printf("%s: ok — %d spans, all %d pipeline stages present\n",
+		path, spans, len(core.Stages()))
+	return nil
 }
 
 // detectedFaults counts the injected slices the quality gate flagged.
@@ -355,6 +533,7 @@ func runPlanar(args []string) error {
 	out := fs.String("o", ".", "output directory")
 	voxel := fs.Int64("voxel", 4, "voxel size (nm)")
 	workers := workersFlag(fs)
+	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,12 +557,17 @@ func runPlanar(args []string) error {
 	o.VoxelNM = *voxel
 	o.SEM.Detector = c.Detector
 	o.Workers = *workers
+	ob, finishObs := obf.build()
+	o.Obs = ob
 	acq, err := sem.AcquireStack(vol, o.SEM)
 	if err != nil {
 		return err
 	}
 	views, err := core.PlanarViews(acq, o)
 	if err != nil {
+		return err
+	}
+	if err := finishObs(); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(views))

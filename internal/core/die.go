@@ -5,9 +5,8 @@ import (
 
 	"repro/internal/chipgen"
 	"repro/internal/chips"
-	"repro/internal/fault"
 	"repro/internal/measure"
-	"repro/internal/netex"
+	"repro/internal/par"
 	"repro/internal/sem"
 )
 
@@ -31,23 +30,30 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("core: nil chip")
 	}
+	ob := o.Obs
+	ob.Info("die run start", "chip", chip.ID, "workers", par.Count(o.Workers))
 	cfg := chipgen.DefaultConfig(chip)
 	cfg.Units = o.Units
 	cfg.JitterPct = o.JitterPct
 	cfg.JitterSeed = o.JitterSeed
+	sp := ob.StartSpan(StageGenerate)
 	die, err := chipgen.GenerateDie(cfg)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: die: %w", err)
 	}
 	bounds := die.Cell.Bounds()
 	vol, err := chipgen.Voxelize(die.Cell, bounds, o.VoxelNM)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: voxelize: %w", err)
 	}
 	o.SEM.Detector = chip.Detector
 
 	// Blind ROI identification on the cheap scan.
+	sp = ob.StartSpan(StageROI)
 	roi, _, err := sem.FindROI(vol, o.SEM, 8)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: roi: %w", err)
 	}
@@ -59,30 +65,32 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 		TrueROI: die.SA,
 	}
 	out.ROIOverlap = intervalIoU(out.ROI, out.TrueROI)
+	ob.Info("roi identified", "chip", chip.ID,
+		"roi_nm", out.ROI, "overlap", out.ROIOverlap)
 
 	// Full-cost acquisition of the ROI only.
 	cropped, err := vol.CropX(roi.X0, roi.X1)
 	if err != nil {
 		return nil, fmt.Errorf("core: crop: %w", err)
 	}
+	sp = ob.StartSpan(StageAcquire)
 	acq, err := sem.AcquireStack(cropped, o.SEM)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: acquire: %w", err)
 	}
-	var injected *fault.Report
-	if o.Faults != nil {
-		injected, err = fault.Inject(acq, *o.Faults)
-		if err != nil {
-			return nil, fmt.Errorf("core: inject: %w", err)
-		}
+	ob.Info("acquired", "chip", chip.ID, "slices", len(acq.Slices), "cost_hours", acq.CostHours())
+	injected, err := injectFaults(acq, o)
+	if err != nil {
+		return nil, err
 	}
 	plan, info, err := Reconstruct(acq, cropped.BoundsNM, o)
 	if err != nil {
 		return nil, err
 	}
-	ext, err := netex.Extract(plan)
+	ext, err := extractPlan(plan, o)
 	if err != nil {
-		return nil, fmt.Errorf("core: extract: %w", err)
+		return nil, err
 	}
 	out.Pipeline = &Result{
 		Chip: chip, Truth: die.Truth,
@@ -92,9 +100,17 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 		AlignFallbacks:  info.AlignFallbacks,
 		Injected:        injected,
 		Extraction:      ext,
-		Stats:           measure.FromTransistors(ext.Transistors),
 	}
+	sp = ob.StartSpan(StageMeasure)
+	out.Pipeline.Stats = measure.FromTransistors(ext.Transistors)
+	sp.End()
+	sp = ob.StartSpan(StageScore)
 	out.Pipeline.Score = measure.CompareToTruth(ext, die.Truth)
+	sp.End()
+	out.Pipeline.Telemetry = ob.Snapshot()
+	ob.Info("die run done", "chip", chip.ID,
+		"topology", ext.Topology.String(), "correct", out.Pipeline.Score.TopologyCorrect,
+		"roi_overlap", out.ROIOverlap)
 	return out, nil
 }
 

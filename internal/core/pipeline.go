@@ -18,6 +18,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/measure"
 	"repro/internal/netex"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/register"
 	"repro/internal/sem"
@@ -61,6 +62,14 @@ type Options struct {
 	// index-addressed with no shared mutable state, and assembly happens
 	// in the sequential order.
 	Workers int
+	// Obs is the observability sink: per-stage spans (see Stages),
+	// per-worker child spans on the fan-outs, deterministic counters and
+	// progress logging, propagated into the register, denoise and fault
+	// layers unless those options carry their own. Nil disables all
+	// instrumentation. Observation never perturbs results: with Obs set
+	// or nil, for any worker count, the pipeline output is byte-
+	// identical, and the counter values themselves are deterministic.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns a configuration that survives the default noise
@@ -119,6 +128,13 @@ type Result struct {
 	Stats map[chips.Element]measure.ElementStats
 	// Score is the fidelity against ground truth.
 	Score measure.Score
+	// Telemetry is the metric snapshot taken when the run completed; nil
+	// unless Options.Obs carried a metric registry. Its counters are
+	// deterministic (equal inputs and options give equal counters for
+	// any worker count); its durations are where all timing lives. With
+	// a registry shared across runs (extract -all) the counts are
+	// cumulative across the runs finished so far.
+	Telemetry *obs.Snapshot
 }
 
 // Run executes the full pipeline for one chip.
@@ -129,12 +145,16 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 	if o.Units <= 0 || o.VoxelNM <= 0 {
 		return nil, fmt.Errorf("core: invalid options (units=%d, voxel=%d)", o.Units, o.VoxelNM)
 	}
+	ob := o.Obs
+	ob.Info("run start", "chip", chip.ID, "workers", par.Count(o.Workers))
 	cfg := chipgen.DefaultConfig(chip)
 	cfg.Units = o.Units
 	cfg.JitterPct = o.JitterPct
 	cfg.JitterSeed = o.JitterSeed
+	sp := ob.StartSpan(StageGenerate)
 	region, err := chipgen.Generate(cfg)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: generate: %w", err)
 	}
 	// Use the chip's Table I detector.
@@ -142,28 +162,29 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 
 	window := region.Cell.Bounds()
 	vol, err := chipgen.Voxelize(region.Cell, window, o.VoxelNM)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: voxelize: %w", err)
 	}
+	sp = ob.StartSpan(StageAcquire)
 	acq, err := sem.AcquireStack(vol, o.SEM)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: acquire: %w", err)
 	}
-	var injected *fault.Report
-	if o.Faults != nil {
-		injected, err = fault.Inject(acq, *o.Faults)
-		if err != nil {
-			return nil, fmt.Errorf("core: inject: %w", err)
-		}
+	ob.Info("acquired", "chip", chip.ID, "slices", len(acq.Slices), "cost_hours", acq.CostHours())
+	injected, err := injectFaults(acq, o)
+	if err != nil {
+		return nil, err
 	}
 
 	plan, info, err := Reconstruct(acq, window, o)
 	if err != nil {
 		return nil, err
 	}
-	ext, err := netex.Extract(plan)
+	ext, err := extractPlan(plan, o)
 	if err != nil {
-		return nil, fmt.Errorf("core: extract: %w", err)
+		return nil, err
 	}
 	res := &Result{
 		Chip: chip, Truth: region.Truth,
@@ -173,10 +194,44 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 		AlignFallbacks:  info.AlignFallbacks,
 		Injected:        injected,
 		Extraction:      ext,
-		Stats:           measure.FromTransistors(ext.Transistors),
 	}
+	sp = ob.StartSpan(StageMeasure)
+	res.Stats = measure.FromTransistors(ext.Transistors)
+	sp.End()
+	sp = ob.StartSpan(StageScore)
 	res.Score = measure.CompareToTruth(ext, region.Truth)
+	sp.End()
+	res.Telemetry = ob.Snapshot()
+	ob.Info("run done", "chip", chip.ID,
+		"topology", ext.Topology.String(), "correct", res.Score.TopologyCorrect,
+		"repairs", len(res.Repairs.Repairs), "align_fallbacks", res.AlignFallbacks)
 	return res, nil
+}
+
+// injectFaults runs the optional fault injection under its own stage
+// span; a nil Options.Faults is a no-op.
+func injectFaults(acq *sem.Acquisition, o Options) (*fault.Report, error) {
+	if o.Faults == nil {
+		return nil, nil
+	}
+	sp := o.Obs.StartSpan(StageInject)
+	defer sp.End()
+	injected, err := fault.InjectObserved(acq, *o.Faults, o.Obs)
+	if err != nil {
+		return nil, fmt.Errorf("core: inject: %w", err)
+	}
+	return injected, nil
+}
+
+// extractPlan runs the circuit extraction under its own stage span.
+func extractPlan(plan *netex.Plan, o Options) (*netex.Result, error) {
+	sp := o.Obs.StartSpan(StageNetex)
+	defer sp.End()
+	ext, err := netex.Extract(plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: extract: %w", err)
+	}
+	return ext, nil
 }
 
 // ReconInfo reports what the reconstruction had to do to the stack
@@ -204,12 +259,16 @@ func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan
 	}
 	info := ReconInfo{Repairs: pre.repairs, AlignFallbacks: pre.alignFallbacks}
 	if pre.didAlign {
+		sp := o.Obs.StartSpan("align/residual")
 		info.ResidualDriftPx, err = register.ResidualDrift(pre.slices, regOptions(o))
+		sp.End()
 		if err != nil {
 			return nil, ReconInfo{}, fmt.Errorf("core: residual: %w", err)
 		}
 	}
+	sp := o.Obs.StartSpan(StageAssemble)
 	vol, err := volume.FromStack(pre.slices)
+	sp.End()
 	if err != nil {
 		return nil, ReconInfo{}, fmt.Errorf("core: stack: %w", err)
 	}
@@ -223,22 +282,30 @@ func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan
 // denoiseSlice applies the configured denoiser to one slice. The caller
 // has already rejected unknown denoiser names.
 func denoiseSlice(s *img.Gray, o Options) (*img.Gray, error) {
+	den := o.Denoise
+	if den.Obs == nil {
+		den.Obs = o.Obs
+	}
 	switch o.Denoiser {
 	case "split-bregman":
-		return denoise.SplitBregman(s, o.Denoise)
+		return denoise.SplitBregman(s, den)
 	case "none", "":
 		return s.Clone(), nil
 	default: // "chambolle"
-		return denoise.Chambolle(s, o.Denoise)
+		return denoise.Chambolle(s, den)
 	}
 }
 
-// regOptions propagates the pipeline worker budget into the alignment
-// options when the caller has not set one there explicitly.
+// regOptions propagates the pipeline worker budget and observability
+// sink into the alignment options when the caller has not set them there
+// explicitly.
 func regOptions(o Options) register.Options {
 	reg := o.Register
 	if reg.Workers == 0 {
 		reg.Workers = o.Workers
+	}
+	if reg.Obs == nil {
+		reg.Obs = o.Obs
 	}
 	return reg
 }
@@ -265,17 +332,23 @@ func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
 	default:
 		return out, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
 	}
+	ob := o.Obs
 	raw := acq.Slices
 	if !o.Quality.Disabled {
+		sp := ob.StartSpan(StageQualityGate)
 		rep, repaired, err := qualityGate(acq, o)
+		sp.End()
 		if err != nil {
 			return out, fmt.Errorf("core: quality gate: %w", err)
 		}
 		out.repairs = rep
 		raw = repaired
+		if n := len(rep.Repairs); n > 0 {
+			ob.Info("quality gate", "checked", rep.Checked, "repaired", n)
+		}
 	}
 	slices := make([]*img.Gray, len(raw))
-	err := par.ForEach(o.Workers, len(raw), func(i int) error {
+	err := ob.ForEach(StageDenoise, o.Workers, len(raw), func(i int) error {
 		g, err := denoiseSlice(raw[i], o)
 		if err != nil {
 			return fmt.Errorf("core: denoise slice %d: %w", i, err)
@@ -288,12 +361,17 @@ func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
 		return out, err
 	}
 	if o.Register.MaxShift > 0 && len(slices) > 1 {
+		sp := ob.StartSpan(StageAlign)
 		aligned, sres, err := register.AlignStack(slices, regOptions(o))
+		sp.End()
 		if err != nil {
 			return out, fmt.Errorf("core: align: %w", err)
 		}
 		out.slices, out.didAlign = aligned, true
 		out.alignFallbacks = sres.Fallbacks()
+		if out.alignFallbacks > 0 {
+			ob.Info("alignment degraded", "fallbacks", out.alignFallbacks)
+		}
 		return out, nil
 	}
 	out.slices = slices
@@ -315,7 +393,7 @@ func PlanarViews(acq *sem.Acquisition, o Options) (map[string]*img.Gray, error) 
 	}
 	layers := bandedLayers()
 	views := make([]*img.Gray, len(layers))
-	err = par.ForEach(o.Workers, len(layers), func(i int) error {
+	err = o.Obs.ForEach(StageReslice, o.Workers, len(layers), func(i int) error {
 		band, _ := chipgen.Band(layers[i])
 		view, err := vol.PlanarAverage(band.Y0+1, band.Y1-1)
 		if err != nil {
@@ -379,20 +457,30 @@ func flatField(g *img.Gray) {
 // PlanFromVolume reslices the reconstructed volume into one planar view
 // per fabrication layer, segments each view, and converts the recovered
 // rectangles to nanometer coordinates. sliceStep relates volume Z rows to
-// voxel Z positions.
+// voxel Z positions. The two phases (reslice, then segment) each fan out
+// over the layers under their own stage span; phase order and the
+// per-layer index addressing keep the plan byte-identical to a
+// sequential build for any worker count.
 func PlanFromVolume(vol *volume.Volume, window geom.Rect, o Options) (*netex.Plan, error) {
 	layers := bandedLayers()
-	// Each layer's extraction is independent; the rectangles are
-	// collected per layer index and assembled into the plan in layout
-	// order afterwards, so the plan is byte-identical to a sequential
-	// build for any worker count.
-	perLayer := make([][]geom.Rect, len(layers))
-	err := par.ForEach(o.Workers, len(layers), func(i int) error {
-		rects, err := extractLayer(vol, layers[i], window, o)
+	views := make([]*img.Gray, len(layers))
+	err := o.Obs.ForEach(StageReslice, o.Workers, len(layers), func(i int) error {
+		view, err := resliceLayer(vol, layers[i])
 		if err != nil {
 			return err
 		}
-		perLayer[i] = rects
+		views[i] = view
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Each layer's segmentation is independent; the rectangles are
+	// collected per layer index and assembled into the plan in layout
+	// order afterwards.
+	perLayer := make([][]geom.Rect, len(layers))
+	err = o.Obs.ForEach(StageSegment, o.Workers, len(layers), func(i int) error {
+		perLayer[i] = segmentLayer(views[i], window, o)
 		return nil
 	})
 	if err != nil {
@@ -407,12 +495,12 @@ func PlanFromVolume(vol *volume.Volume, window geom.Rect, o Options) (*netex.Pla
 	return plan, nil
 }
 
-// extractLayer reslices one fabrication layer's depth band into a planar
-// view, segments it, and returns the recovered rectangles in nanometer
-// coordinates. It returns no rectangles for a band with no structure.
-func extractLayer(vol *volume.Volume, layer layout.Layer, window geom.Rect, o Options) ([]geom.Rect, error) {
+// resliceLayer averages one fabrication layer's depth band into a planar
+// view and removes its residual per-pixel noise: the cross-section
+// denoising ran per slice, so the planar view still needs an
+// edge-preserving median before thresholding.
+func resliceLayer(vol *volume.Volume, layer layout.Layer) (*img.Gray, error) {
 	band, _ := chipgen.Band(layer)
-	zScale := o.VoxelNM * int64(o.SEM.SliceStep)
 	// Average over the band interior: residual slice misalignment
 	// only bleeds into the band's edge rows.
 	y0, y1 := band.Y0, band.Y1
@@ -423,10 +511,14 @@ func extractLayer(vol *volume.Volume, layer layout.Layer, window geom.Rect, o Op
 	if err != nil {
 		return nil, fmt.Errorf("core: planar view of %s: %w", layer, err)
 	}
-	// The cross-section denoising ran per slice; the planar views
-	// still carry residual per-pixel noise, removed here with an
-	// edge-preserving median before thresholding.
-	view := img.MedianFilter(raw, 1)
+	return img.MedianFilter(raw, 1), nil
+}
+
+// segmentLayer thresholds one resliced planar view and returns the
+// recovered rectangles in nanometer coordinates. It returns no
+// rectangles for a band with no structure.
+func segmentLayer(view *img.Gray, window geom.Rect, o Options) []geom.Rect {
+	zScale := o.VoxelNM * int64(o.SEM.SliceStep)
 	// Otsu splits the background on sparse layers (contacts and
 	// vias cover ~1% of the area), so the mid-range threshold
 	// competes with it and the better class separation wins. A band
@@ -440,7 +532,7 @@ func extractLayer(vol *volume.Volume, layer layout.Layer, window geom.Rect, o Op
 		}
 	}
 	if sep < 0.15 {
-		return nil, nil
+		return nil
 	}
 	mask := segmentMask(view, thr)
 	var out []geom.Rect
@@ -452,5 +544,5 @@ func extractLayer(vol *volume.Volume, layer layout.Layer, window geom.Rect, o Op
 			window.Min.Y+int64(r[3])*zScale,
 		))
 	}
-	return out, nil
+	return out
 }

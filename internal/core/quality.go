@@ -195,9 +195,14 @@ func qualityGate(acq *sem.Acquisition, o Options) (RepairReport, []*img.Gray, er
 
 	flagged := make([]fault.Kind, n)
 	metric := make([]float64, n)
+	// Classification is sequential and first-detector-wins, so the
+	// per-kind detection counters are deterministic for every worker
+	// count (only the feature/MI tables above fan out).
 	flag := func(i int, k fault.Kind, m float64) {
 		if flagged[i] == fault.KindNone {
 			flagged[i], metric[i] = k, m
+			o.Obs.Count("quality.detect."+k.String(), 1)
+			o.Obs.Debug("quality gate flagged", "slice", i, "kind", k.String(), "metric", m)
 		}
 	}
 
@@ -351,6 +356,7 @@ func qualityGate(acq *sem.Acquisition, o Options) (RepairReport, []*img.Gray, er
 			return fmt.Errorf("core: quality gate pair %d: %w", i, err)
 		}
 		mis[i] = pairMI{mi: mi, valid: true}
+		o.Obs.Count("quality.mi_evals", 1)
 		return nil
 	})
 	if err != nil {
@@ -435,7 +441,9 @@ func qualityGate(acq *sem.Acquisition, o Options) (RepairReport, []*img.Gray, er
 		rep.Repairs = append(rep.Repairs, SliceRepair{
 			Index: i, Kind: flagged[i], Metric: metric[i], Action: action,
 		})
+		o.Obs.Debug("quality gate repaired", "slice", i, "kind", flagged[i].String(), "action", action)
 	}
+	o.Obs.Count("quality.repaired", int64(len(rep.Repairs)))
 	return rep, out, nil
 }
 

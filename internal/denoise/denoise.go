@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"repro/internal/img"
+	"repro/internal/obs"
 )
 
 // Options configures a TV denoising run.
@@ -28,6 +29,11 @@ type Options struct {
 	// Tol stops iterating early when the mean absolute update falls
 	// below this threshold. Zero disables early stopping.
 	Tol float64
+	// Obs receives the "denoise.slices" and "denoise.iterations"
+	// counters (iterations actually performed, which early stopping
+	// makes smaller than the bound). Nil disables instrumentation; the
+	// denoised image is identical either way.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns parameters that work well for SEM slices
@@ -62,7 +68,9 @@ func Chambolle(f *img.Gray, o Options) (*img.Gray, error) {
 	const tau = 0.125
 	invLambda := 1.0 / o.Lambda
 
+	iters := 0
 	for it := 0; it < o.Iterations; it++ {
+		iters++
 		// u = f - div(p)/lambda
 		divergence(px, py, w, h, div)
 		var change float64
@@ -98,6 +106,8 @@ func Chambolle(f *img.Gray, o Options) (*img.Gray, error) {
 	for i := range u {
 		out.Pix[i] = f.Pix[i] + div[i]*invLambda
 	}
+	o.Obs.Count("denoise.slices", 1)
+	o.Obs.Count("denoise.iterations", int64(iters))
 	return out, nil
 }
 
@@ -147,6 +157,7 @@ func SplitBregman(f *img.Gray, o Options) (*img.Gray, error) {
 	// tied to mu per the usual heuristic gamma = 2*mu.
 	mu := o.Lambda
 	gamma := 2 * o.Lambda
+	iters := 0
 
 	at := func(arr []float64, x, y int) float64 {
 		if x < 0 {
@@ -163,6 +174,7 @@ func SplitBregman(f *img.Gray, o Options) (*img.Gray, error) {
 	}
 
 	for it := 0; it < o.Iterations; it++ {
+		iters++
 		// Gauss-Seidel sweep for u.
 		var change float64
 		denom := mu + 4*gamma
@@ -201,6 +213,8 @@ func SplitBregman(f *img.Gray, o Options) (*img.Gray, error) {
 	}
 	out := img.New(w, h)
 	copy(out.Pix, u)
+	o.Obs.Count("denoise.slices", 1)
+	o.Obs.Count("denoise.iterations", int64(iters))
 	return out, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/sem"
 )
 
@@ -176,6 +177,14 @@ const (
 // than four slices are rejected: repair-by-interpolation needs healthy
 // neighbors to exist.
 func Inject(acq *sem.Acquisition, p Plan) (*Report, error) {
+	return InjectObserved(acq, p, nil)
+}
+
+// InjectObserved is Inject reporting into an observability sink: one
+// "fault.injected.<kind>" counter per model (deterministic — the draw
+// depends only on the plan seed and the stack length) plus debug logs
+// of every corrupted slice. A nil observer makes it exactly Inject.
+func InjectObserved(acq *sem.Acquisition, p Plan, ob *obs.Observer) (*Report, error) {
 	if acq == nil {
 		return nil, fmt.Errorf("fault: nil acquisition")
 	}
@@ -217,14 +226,20 @@ func Inject(acq *sem.Acquisition, p Plan) (*Report, error) {
 		{KindDriftBurst, p.BurstRate, corruptBurst},
 	}
 	for _, m := range models {
-		for _, i := range take(m.rate) {
+		idx := take(m.rate)
+		for _, i := range idx {
 			acq.Slices[i] = m.corrupt(acq.Slices[i], rng)
 			rep.Injected = append(rep.Injected, Injection{Index: i, Kind: m.kind})
+			ob.Debug("fault injected", "slice", i, "kind", m.kind.String())
+		}
+		if len(idx) > 0 {
+			ob.Count("fault.injected."+m.kind.String(), int64(len(idx)))
 		}
 	}
 	sort.Slice(rep.Injected, func(a, b int) bool {
 		return rep.Injected[a].Index < rep.Injected[b].Index
 	})
+	ob.Info("fault injection", "slices", n, "injected", len(rep.Injected), "seed", p.Seed)
 	return rep, nil
 }
 

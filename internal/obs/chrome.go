@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// Perfetto and chrome://tracing load): "X" complete events carry a name,
+// a microsecond timestamp/duration and a pid/tid pair; "M" metadata
+// events name the tid lanes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the JSON-object flavor of the format; the traceEvents key
+// is what loaders look for.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome exports the trace as Chrome trace-event JSON. Every span
+// becomes one complete ("X") event whose tid is the span's lane, so the
+// sequential pipeline stages render on lane 0 and each pool worker's
+// spans render on their own lane; timestamps are microseconds since the
+// trace epoch. Unended spans are exported with zero duration.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+4)}
+	lanes := map[int]bool{}
+	for _, s := range spans {
+		lanes[s.lane] = true
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			TS:   float64(s.start.Sub(t.epoch).Nanoseconds()) / 1e3,
+			Dur:  float64(s.dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.lane,
+		}
+		if s.parent != nil {
+			ev.Args = map[string]any{"parent": s.parent.name}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	laneIDs := make([]int, 0, len(lanes))
+	for lane := range lanes {
+		laneIDs = append(laneIDs, lane)
+	}
+	sort.Ints(laneIDs)
+	for _, lane := range laneIDs {
+		name := "pipeline"
+		if lane != 0 {
+			name = "workers"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: lane,
+			Args: map[string]any{"name": name},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

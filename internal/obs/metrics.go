@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// Metrics is a concurrency-safe registry of counters, gauges and
+// duration distributions. Counters hold deterministic quantities —
+// values that depend only on the input and the options, never on
+// scheduling — so equal runs produce equal counter snapshots for any
+// worker count; durations are where all timing (and therefore all
+// nondeterminism) lives.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	durs     map[string]DurStats
+}
+
+// DurStats summarizes a duration distribution in nanoseconds.
+type DurStats struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MinNS int64 `json:"min_ns"`
+	MaxNS int64 `json:"max_ns"`
+}
+
+// Mean returns the mean observation.
+func (d DurStats) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return time.Duration(d.SumNS / d.Count)
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		durs:     make(map[string]DurStats),
+	}
+}
+
+// Add adds delta to the named counter.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Set sets the named gauge (last write wins).
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// Observe folds d into the named duration distribution.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	ns := d.Nanoseconds()
+	m.mu.Lock()
+	s := m.durs[name]
+	if s.Count == 0 || ns < s.MinNS {
+		s.MinNS = ns
+	}
+	if s.Count == 0 || ns > s.MaxNS {
+		s.MaxNS = ns
+	}
+	s.Count++
+	s.SumNS += ns
+	m.durs[name] = s
+	m.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of the registry — the structured
+// Telemetry record the pipeline attaches to its Result.
+type Snapshot struct {
+	// Counters are the deterministic work counts (MI evaluations, gate
+	// detections by kind, denoise iterations, ...): equal inputs and
+	// options produce equal Counters for any worker count.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges are last-write-wins point values.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
+	// Durations hold all timing (worker busy/idle, queue wait); they are
+	// scheduling-dependent and excluded from the determinism contract.
+	Durations map[string]DurStats `json:"durations,omitempty"`
+}
+
+// Snapshot returns a copy of the current registry state.
+func (m *Metrics) Snapshot() *Snapshot {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{
+		Counters:  make(map[string]int64, len(m.counters)),
+		Gauges:    make(map[string]float64, len(m.gauges)),
+		Durations: make(map[string]DurStats, len(m.durs)),
+	}
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
+	}
+	for k, v := range m.durs {
+		s.Durations[k] = v
+	}
+	return s
+}
+
+// PublishExpvar exposes the registry under the given expvar name (served
+// on /debug/vars by the expvar HTTP handler, e.g. under the -pprof
+// address). Publishing the same name twice is a no-op rather than the
+// expvar.Publish duplicate panic, so repeated runs in one process are
+// safe; the variable always reads the registry it was first bound to.
+func (m *Metrics) PublishExpvar(name string) {
+	if m == nil {
+		return
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}
+
+// expvarMu serializes the Get/Publish pair: expvar itself panics on a
+// duplicate Publish, so the existence check and the registration must be
+// atomic.
+var expvarMu sync.Mutex

@@ -26,6 +26,44 @@ func Count(requested int) int {
 	return requested
 }
 
+// SplitBudget splits a worker budget between a fan-out over tasks and
+// each task's own inner pool, so nested parallelism never oversubscribes
+// the machine: fan = min(tasks, Count(workers)) tasks run concurrently,
+// each entitled to inner = Count(workers)/fan (never below 1) workers of
+// its own. A non-positive task count returns fan 0 with the whole budget
+// as inner, so callers can divide by fan only after checking they have
+// work — the split itself never divides by zero.
+func SplitBudget(workers, tasks int) (fan, inner int) {
+	budget := Count(workers)
+	if tasks <= 0 {
+		return 0, budget
+	}
+	fan = tasks
+	if fan > budget {
+		fan = budget
+	}
+	inner = budget / fan
+	if inner < 1 {
+		inner = 1
+	}
+	return fan, inner
+}
+
+// Hooks observes a ForEach fan-out without participating in it: the
+// callbacks only see indices and worker numbers, never results, so a
+// hooked run produces byte-identical output to an unhooked one. The
+// zero value disables all hooks with no overhead beyond a nil check.
+type Hooks struct {
+	// Worker is invoked once per worker before it takes its first index
+	// (worker in [0, Count(workers))); the serial path invokes it for
+	// worker 0 on the calling goroutine. The returned task hook, if
+	// non-nil, is called before each unit fn(i) runs on that worker and
+	// its returned func after the unit finishes (including after a
+	// recovered panic); the returned finish func, if non-nil, runs when
+	// the worker has no more work.
+	Worker func(worker int) (task func(i int) func(), finish func())
+}
+
 // PanicError is the indexed error ForEach reports for a unit of work
 // that panicked instead of returning. One poisoned index must never kill
 // the whole fan-out: the panic is confined to its index and surfaces as
@@ -54,6 +92,14 @@ func (e *PanicError) Error() string {
 // goroutine, so a Workers=1 configuration has no scheduling overhead
 // beyond the panic guard.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachHooked(workers, n, Hooks{}, fn)
+}
+
+// ForEachHooked is ForEach with per-worker observation hooks (see
+// Hooks). The hooks change nothing about scheduling, error aggregation
+// or determinism; they exist so an observability layer can attribute
+// wall time to workers without the pool depending on it.
+func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -70,26 +116,54 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		w = n
 	}
 	errs := make([]error, n)
-	if w == 1 {
-		for i := 0; i < n; i++ {
-			errs[i] = call(i)
+	runWorker := func(g int, take func() (int, bool)) {
+		var task func(i int) func()
+		var finish func()
+		if h.Worker != nil {
+			task, finish = h.Worker(g)
 		}
+		for {
+			i, ok := take()
+			if !ok {
+				break
+			}
+			if task != nil {
+				done := task(i)
+				errs[i] = call(i)
+				if done != nil {
+					done()
+				}
+			} else {
+				errs[i] = call(i)
+			}
+		}
+		if finish != nil {
+			finish()
+		}
+	}
+	if w == 1 {
+		i := 0
+		runWorker(0, func() (int, bool) {
+			if i >= n {
+				return 0, false
+			}
+			i++
+			return i - 1, true
+		})
 		return joinIndexed(errs)
 	}
 	var next atomic.Int64
+	take := func() (int, bool) {
+		i := int(next.Add(1)) - 1
+		return i, i < n
+	}
 	var wg sync.WaitGroup
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				errs[i] = call(i)
-			}
-		}()
+			runWorker(g, take)
+		}(g)
 	}
 	wg.Wait()
 	return joinIndexed(errs)

@@ -154,3 +154,117 @@ func TestForEachDeterministicOutput(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitBudget(t *testing.T) {
+	cases := []struct {
+		workers, tasks     int
+		wantFan, wantInner int
+	}{
+		{8, 2, 2, 4},
+		{8, 3, 3, 2},
+		{8, 8, 8, 1},
+		{4, 6, 4, 1},
+		{1, 6, 1, 1},
+		{5, 2, 2, 2},
+	}
+	for _, c := range cases {
+		fan, inner := SplitBudget(c.workers, c.tasks)
+		if fan != c.wantFan || inner != c.wantInner {
+			t.Errorf("SplitBudget(%d, %d) = (%d, %d), want (%d, %d)",
+				c.workers, c.tasks, fan, inner, c.wantFan, c.wantInner)
+		}
+	}
+	// Zero tasks must not divide by zero: the whole budget comes back as
+	// inner with a zero fan-out.
+	fan, inner := SplitBudget(6, 0)
+	if fan != 0 || inner != 6 {
+		t.Errorf("SplitBudget(6, 0) = (%d, %d), want (0, 6)", fan, inner)
+	}
+	fan, inner = SplitBudget(6, -3)
+	if fan != 0 || inner != 6 {
+		t.Errorf("SplitBudget(6, -3) = (%d, %d), want (0, 6)", fan, inner)
+	}
+	// The default budget (workers <= 0) normalizes through Count.
+	fan, inner = SplitBudget(0, 1)
+	if fan != 1 || inner != runtime.NumCPU() {
+		t.Errorf("SplitBudget(0, 1) = (%d, %d), want (1, NumCPU)", fan, inner)
+	}
+}
+
+func TestForEachHookedObservesEveryWorkerAndUnit(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var workerCalls, finishCalls atomic.Int32
+		var unitStarts, unitEnds atomic.Int32
+		const n = 40
+		h := Hooks{Worker: func(w int) (func(int) func(), func()) {
+			workerCalls.Add(1)
+			if w < 0 || w >= workers {
+				t.Errorf("worker id %d outside [0, %d)", w, workers)
+			}
+			task := func(int) func() {
+				unitStarts.Add(1)
+				return func() { unitEnds.Add(1) }
+			}
+			finish := func() { finishCalls.Add(1) }
+			return task, finish
+		}}
+		hits := make([]atomic.Int32, n)
+		err := ForEachHooked(workers, n, h, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+		if got := workerCalls.Load(); got != int32(workers) {
+			t.Errorf("workers=%d: Worker hook called %d times", workers, got)
+		}
+		if got := finishCalls.Load(); got != int32(workers) {
+			t.Errorf("workers=%d: finish hook called %d times", workers, got)
+		}
+		if unitStarts.Load() != n || unitEnds.Load() != n {
+			t.Errorf("workers=%d: unit hooks %d/%d, want %d/%d",
+				workers, unitStarts.Load(), unitEnds.Load(), n, n)
+		}
+	}
+}
+
+func TestForEachHookedUnitEndRunsAfterPanic(t *testing.T) {
+	var ends atomic.Int32
+	h := Hooks{Worker: func(int) (func(int) func(), func()) {
+		return func(int) func() { return func() { ends.Add(1) } }, nil
+	}}
+	err := ForEachHooked(2, 10, h, func(i int) error {
+		if i == 4 {
+			panic("boom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 4 {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	if ends.Load() != 10 {
+		t.Errorf("unit end hook ran %d times, want 10 (including the panicked unit)", ends.Load())
+	}
+}
+
+func TestForEachHookedNilHooksMatchForEach(t *testing.T) {
+	const n = 100
+	ref := make([]int, n)
+	ForEach(4, n, func(i int) error { ref[i] = 3 * i; return nil })
+	got := make([]int, n)
+	if err := ForEachHooked(4, n, Hooks{}, func(i int) error { got[i] = 3 * i; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("index %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}

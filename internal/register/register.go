@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/img"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -112,6 +113,11 @@ type Options struct {
 	// substituted and flagged. Zero disables widening; with both
 	// MinConfidence and WidenRetries zero, AlignRobust is exactly Align.
 	WidenRetries int
+	// Obs receives alignment telemetry: the "register.mi_evals",
+	// "register.widen_retries" and "register.align_fallbacks" counters
+	// and debug logs for degraded pairs. Nil disables instrumentation;
+	// the alignment result is identical either way.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns a search window suitable for the drift magnitudes
@@ -185,6 +191,7 @@ func Align(fixed, moving *img.Gray, o Options) (Shift, float64, error) {
 	if err != nil {
 		return Shift{}, 0, err
 	}
+	o.Obs.Count("register.mi_evals", int64(len(mis)))
 	best := Shift{}
 	bestMI := math.Inf(-1)
 	for k, mi := range mis {
@@ -277,13 +284,18 @@ func AlignRobust(fixed, moving *img.Gray, o Options) (AlignResult, error) {
 		return AlignResult{Shift: s, MI: mi}, nil
 	}
 	cur := o
+	fallback := func(widened int) (AlignResult, error) {
+		o.Obs.Count("register.align_fallbacks", 1)
+		o.Obs.Debug("align fallback", "mi", mi, "widened", widened)
+		return AlignResult{MI: mi, Widened: widened, Fallback: true}, nil
+	}
 	for widened := 0; ; widened++ {
 		confident := o.MinConfidence <= 0 || mi >= o.MinConfidence
 		if confident && !atBoundary(s, cur) {
 			return AlignResult{Shift: s, MI: mi, Widened: widened}, nil
 		}
 		if widened >= o.WidenRetries {
-			return AlignResult{MI: mi, Widened: widened, Fallback: true}, nil
+			return fallback(widened)
 		}
 		next := cur
 		next.MaxShift = 2 * cur.MaxShift
@@ -298,9 +310,11 @@ func AlignRobust(fixed, moving *img.Gray, o Options) (AlignResult, error) {
 		}
 		if next.MaxShift <= cur.MaxShift && next.MaxShiftY <= cur.shiftY() {
 			// The image cannot support a wider window; give up now.
-			return AlignResult{MI: mi, Widened: widened, Fallback: true}, nil
+			return fallback(widened)
 		}
 		cur = next
+		o.Obs.Count("register.widen_retries", 1)
+		o.Obs.Debug("align widen", "max_shift", cur.MaxShift, "max_shift_y", cur.MaxShiftY, "mi", mi)
 		if s, mi, err = Align(fixed, moving, cur); err != nil {
 			return AlignResult{}, err
 		}
