@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check faults-smoke trace-smoke fuzz
+.PHONY: build test vet race bench check faults-smoke trace-smoke crash-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -32,9 +32,18 @@ trace-smoke:
 	$(GO) run ./cmd/hifidram extract -chip C4 -trace /tmp/hifidram-trace.json -stats
 	$(GO) run ./cmd/hifidram tracecheck /tmp/hifidram-trace.json
 
+# crash-smoke proves checkpoint/resume end to end against a real crash:
+# a run is SIGKILLed mid-pipeline, one surviving checkpoint is torn in
+# half to fake an interrupted write, and the resumed run must detect the
+# damage (ckpt verify / recompute), finish from the surviving boundaries
+# and produce output identical to an uninterrupted run. See the recipe
+# for the step-by-step assertions.
+crash-smoke:
+	./scripts/crash_smoke.sh
+
 # check is the CI gate: static analysis, race-checked tests, and the
-# fault-injection and observability smoke runs.
-check: vet race faults-smoke trace-smoke
+# fault-injection, observability and crash-recovery smoke runs.
+check: vet race faults-smoke trace-smoke crash-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.

@@ -14,6 +14,7 @@
 //	                                      fault plan and report the quality gate's
 //	                                      detection recall (-fault-seed varies the draw)
 //	hifidram planar -chip C4 -o dir       write the reconstructed planar views as PGM
+//	hifidram ckpt -dir ckpts              verify a checkpoint store's checksums
 //	hifidram tracecheck out.json          validate a trace file covers every stage
 //
 // extract and planar accept -workers N to bound the reconstruction
@@ -24,23 +25,42 @@
 // detail logs, and -pprof ADDR serves net/http/pprof and expvar. None
 // of these perturb the pipeline: the output is byte-identical for any
 // worker count, with or without observability.
+//
+// Both also accept the crash-safety flags: -ckpt-dir DIR persists every
+// completed stage boundary as an atomic, checksummed checkpoint and
+// -resume loads verified ones back (corrupt or stale entries are
+// recomputed, never served), so an interrupted run continues from the
+// last completed stage with byte-identical output. extract additionally
+// takes -timeout (per-chip per-attempt deadline) and -retries
+// (transient-failure retry budget); with -all each chip runs supervised
+// and isolated — one failure never aborts the rest — with per-chip
+// status lines after the table. SIGINT/SIGTERM cancel cooperatively:
+// the run stops at the next unit of work, flushes checkpoints and
+// trace, and exits 130.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/chipgen"
 	"repro/internal/chips"
+	"repro/internal/ckpt"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/gds"
@@ -49,6 +69,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sem"
+	"repro/internal/supervise"
 )
 
 func main() {
@@ -56,6 +77,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// SIGINT/SIGTERM cancel the command context: every pipeline stage
+	// checks it between units of work, so an interrupted run stops at
+	// the next slice/candidate/layer boundary, flushes its checkpoints
+	// and trace (both written as the run goes / in deferred finishers),
+	// and exits cleanly instead of dying mid-write. A second signal
+	// kills the process the default way (stop() restores the default
+	// disposition once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -66,9 +96,11 @@ func main() {
 	case "roi":
 		err = runROI(args)
 	case "extract":
-		err = runExtract(args)
+		err = runExtract(ctx, args)
 	case "planar":
-		err = runPlanar(args)
+		err = runPlanar(ctx, args)
+	case "ckpt":
+		err = runCkpt(args)
 	case "tracecheck":
 		err = runTraceCheck(args)
 	default:
@@ -77,6 +109,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hifidram:", err)
+		if errors.Is(err, context.Canceled) {
+			// Conventional "terminated by SIGINT" exit status.
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -92,6 +128,8 @@ commands:
               -faults, -fault-seed, -gds, -voxel, -dwell, -workers)
   planar      write reconstructed planar views as PGM (-chip, -o,
               -voxel, -workers)
+  ckpt        verify a checkpoint store: scan -dir, check every entry's
+              checksum, report corrupt/stray files (nonzero exit on any)
   tracecheck  validate a -trace file: parses as Chrome trace JSON and
               covers every pipeline stage
 
@@ -100,6 +138,16 @@ extract and planar also take the observability flags:
   -stats        print a per-stage wall-time table to stderr
   -v / -vv      structured progress / per-slice detail logs on stderr
   -pprof ADDR   serve net/http/pprof and expvar on ADDR
+
+and the crash-safety flags:
+  -ckpt-dir DIR checkpoint completed stages into DIR (atomic, checksummed)
+  -resume       load verified checkpoints from -ckpt-dir instead of
+                recomputing; corrupt or stale entries are recomputed
+  -timeout D    per-chip per-attempt deadline (extract; e.g. 10m)
+  -retries N    retry attempts for transiently failing chips (extract)
+
+SIGINT/SIGTERM cancel the run at the next unit of work, flush
+checkpoints and trace, and exit with status 130.
 
 run "hifidram <command> -h" for the full flag list of a command.
 `)
@@ -160,15 +208,10 @@ func (f *obsFlags) build() (*obs.Observer, func() error) {
 	}
 	finish := func() error {
 		if f.trace != "" {
-			tf, err := os.Create(f.trace)
+			err := ckpt.WriteFileAtomic(f.trace, func(w io.Writer) error {
+				return ob.Trace.WriteChrome(w)
+			})
 			if err != nil {
-				return err
-			}
-			if err := ob.Trace.WriteChrome(tf); err != nil {
-				tf.Close()
-				return err
-			}
-			if err := tf.Close(); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "trace written to %s\n", f.trace)
@@ -263,12 +306,7 @@ func runGDS(args []string) error {
 	if path == "" {
 		path = c.ID + ".gds"
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := lib.Write(f); err != nil {
+	if err := ckpt.WriteFileAtomic(path, lib.Write); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s: %d boundaries on %d layers\n", path, len(s.Boundaries), 7)
@@ -311,7 +349,7 @@ func runROI(args []string) error {
 	return nil
 }
 
-func runExtract(args []string) error {
+func runExtract(ctx context.Context, args []string) (retErr error) {
 	fs := flag.NewFlagSet("extract", flag.ExitOnError)
 	id := chipFlag(fs)
 	all := fs.Bool("all", false, "run on all six chips")
@@ -321,9 +359,17 @@ func runExtract(args []string) error {
 	die := fs.Bool("die", false, "run the full die-level flow: blind ROI identification, then extract the ROI only")
 	faults := fs.Bool("faults", false, "corrupt the acquisition with the default fault plan and score the quality gate")
 	faultSeed := fs.Int64("fault-seed", 1, "fault injection seed (with -faults)")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint completed pipeline stages into this directory (atomic, checksummed)")
+	resume := fs.Bool("resume", false, "load verified checkpoints from -ckpt-dir instead of recomputing; corrupt or missing ones are recomputed")
+	timeout := fs.Duration("timeout", 0, "per-chip per-attempt deadline (0 = none)")
+	retries := fs.Int("retries", 0, "retry attempts for chips failing with transient (retryable) errors")
 	workers := workersFlag(fs)
 	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	store, err := openStore(*ckptDir, *resume)
+	if err != nil {
 		return err
 	}
 	var list []*chips.Chip
@@ -340,15 +386,32 @@ func runExtract(args []string) error {
 	// own pipeline pool so -all doesn't oversubscribe the machine.
 	fan, inner := par.SplitBudget(*workers, len(list))
 	ob, finishObs := obf.build()
+	// The trace flushes in a deferred finisher so an interrupted or
+	// failed campaign still writes what it observed.
+	defer func() {
+		if err := finishObs(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	// Per-chip rows buffer into index-addressed builders so the table
-	// prints in chip order regardless of completion order.
+	// prints in chip order regardless of completion order. The supervisor
+	// isolates each chip: a panic, error or blown deadline in one never
+	// aborts the others, and every chip's outcome lands in its status.
 	rows := make([]strings.Builder, len(list))
-	err := par.ForEach(fan, len(list), func(i int) error {
+	names := make([]string, len(list))
+	for i, c := range list {
+		names[i] = c.ID
+	}
+	statuses, runErr := supervise.Run(ctx, names, func(ctx context.Context, i int) error {
+		// A retried attempt rebuilds its row from scratch.
+		rows[i].Reset()
 		c := list[i]
 		o := core.DefaultOptions()
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
 		o.Workers = inner
+		o.Ckpt = store
+		o.Resume = *resume
 		if *faults {
 			p := fault.DefaultPlan()
 			p.Seed = *faultSeed
@@ -365,17 +428,18 @@ func runExtract(args []string) error {
 		var err error
 		if *die {
 			var dres *core.DieResult
-			dres, err = core.RunOnDie(c, o)
+			dres, err = core.RunOnDieCtx(ctx, c, o)
 			if err == nil {
 				fmt.Fprintf(&rows[i], "(ROI found %v vs true %v, IoU %.2f)\n",
 					dres.ROI, dres.TrueROI, dres.ROIOverlap)
 				res = dres.Pipeline
 			}
 		} else {
-			res, err = core.Run(c, o)
+			res, err = core.RunCtx(ctx, c, o)
 		}
 		if err != nil {
-			return fmt.Errorf("%s: %w", c.ID, err)
+			// The supervisor prefixes the chip ID into the campaign error.
+			return err
 		}
 		fmt.Fprintf(&rows[i], "%s\t%v\t%v\t%d/%d\t%d/%d\t%.1f%%\t%d\t%.1fh\n",
 			c.ID, res.Extraction.Topology, res.Score.TopologyCorrect,
@@ -395,21 +459,23 @@ func runExtract(args []string) error {
 			fmt.Fprintf(&rows[i], "(element order: %v)\n", res.Extraction.Blocks)
 		}
 		return nil
+	}, supervise.Options{
+		Timeout: *timeout, Retries: *retries, Workers: fan,
+		JitterSeed: 1, Obs: ob,
 	})
-	if err != nil {
-		return err
-	}
+	// The table and per-chip statuses always print: a partial campaign's
+	// successes are results, not collateral of the failures.
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "chip\ttopology found\tcorrect\tbitlines\ttransistors\tmean dim err\tslices\tsim cost")
 	for i := range rows {
 		fmt.Fprint(w, rows[i].String())
 	}
-	if *gdsOut != "" && !*all {
+	if *gdsOut != "" && !*all && runErr == nil {
 		o := core.DefaultOptions()
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
 		o.Workers = *workers
-		if err := exportExtracted(list[0], o, *gdsOut); err != nil {
+		if err := exportExtracted(ctx, list[0], o, *gdsOut); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
@@ -417,7 +483,44 @@ func runExtract(args []string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	return finishObs()
+	if *all || runErr != nil {
+		printStatuses(os.Stdout, statuses)
+	}
+	return runErr
+}
+
+// openStore opens the checkpoint store named by -ckpt-dir, enforcing
+// that -resume has a store to load from.
+func openStore(dir string, resume bool) (*ckpt.Store, error) {
+	if dir == "" {
+		if resume {
+			return nil, fmt.Errorf("-resume requires -ckpt-dir")
+		}
+		return nil, nil
+	}
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint store: %w", err)
+	}
+	return store, nil
+}
+
+// printStatuses renders the supervisor's per-chip report: one line per
+// chip with attempts, wall time and outcome.
+func printStatuses(w io.Writer, statuses []supervise.Status) {
+	fmt.Fprintln(w, "status:")
+	for _, st := range statuses {
+		switch {
+		case st.Err == nil:
+			fmt.Fprintf(w, "  %-4s ok      (%d attempt(s), %v)\n",
+				st.Name, st.Attempts, st.Duration.Round(time.Millisecond))
+		case st.Attempts == 0:
+			fmt.Fprintf(w, "  %-4s skipped (%v)\n", st.Name, st.Err)
+		default:
+			fmt.Fprintf(w, "  %-4s FAILED  (%d attempt(s), %v): %v\n",
+				st.Name, st.Attempts, st.Duration.Round(time.Millisecond), st.Err)
+		}
+	}
 }
 
 // runTraceCheck validates a file written by -trace: it must parse as
@@ -488,7 +591,7 @@ func detectedFaults(res *core.Result) int {
 // exportExtracted reruns the reconstruction to obtain the plan and writes
 // the annotated extracted layout as GDSII — the artifact the paper
 // releases.
-func exportExtracted(c *chips.Chip, o core.Options, path string) error {
+func exportExtracted(ctx context.Context, c *chips.Chip, o core.Options, path string) error {
 	region, err := chipgen.Generate(chipgen.DefaultConfig(c))
 	if err != nil {
 		return err
@@ -499,11 +602,11 @@ func exportExtracted(c *chips.Chip, o core.Options, path string) error {
 		return err
 	}
 	o.SEM.Detector = c.Detector
-	acq, err := sem.AcquireStack(vol, o.SEM)
+	acq, err := sem.AcquireStackCtx(ctx, vol, o.SEM)
 	if err != nil {
 		return err
 	}
-	plan, _, err := core.Reconstruct(acq, window, o)
+	plan, _, err := core.ReconstructCtx(ctx, acq, window, o)
 	if err != nil {
 		return err
 	}
@@ -517,27 +620,28 @@ func exportExtracted(c *chips.Chip, o core.Options, path string) error {
 	}
 	lib := gds.NewLibrary("HIFIDRAM_EXTRACTED_" + c.ID)
 	lib.Structs = []gds.Structure{s}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return lib.Write(f)
+	return ckpt.WriteFileAtomic(path, lib.Write)
 }
 
 // runPlanar reconstructs the volume and writes one PGM per fabrication
 // layer — the planar views of Fig. 7d.
-func runPlanar(args []string) error {
+func runPlanar(ctx context.Context, args []string) (retErr error) {
 	fs := flag.NewFlagSet("planar", flag.ExitOnError)
 	id := chipFlag(fs)
 	out := fs.String("o", ".", "output directory")
 	voxel := fs.Int64("voxel", 4, "voxel size (nm)")
+	ckptDir := fs.String("ckpt-dir", "", "checkpoint completed pipeline stages into this directory (atomic, checksummed)")
+	resume := fs.Bool("resume", false, "load verified checkpoints from -ckpt-dir instead of recomputing; corrupt or missing ones are recomputed")
 	workers := workersFlag(fs)
 	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	c, err := lookup(*id)
+	if err != nil {
+		return err
+	}
+	store, err := openStore(*ckptDir, *resume)
 	if err != nil {
 		return err
 	}
@@ -557,17 +661,26 @@ func runPlanar(args []string) error {
 	o.VoxelNM = *voxel
 	o.SEM.Detector = c.Detector
 	o.Workers = *workers
+	o.Ckpt = store
+	o.Resume = *resume
+	// The planar acquisition is fully reproduced by the options (same
+	// generate/voxelize/acquire path as extract), so the chip ID is a
+	// sound checkpoint unit here — a prior extract run of the same chip
+	// at the same options shares its aligned-stack checkpoint.
+	o.CkptUnit = c.ID
 	ob, finishObs := obf.build()
+	defer func() {
+		if err := finishObs(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
 	o.Obs = ob
-	acq, err := sem.AcquireStack(vol, o.SEM)
+	acq, err := sem.AcquireStackCtx(ctx, vol, o.SEM)
 	if err != nil {
 		return err
 	}
-	views, err := core.PlanarViews(acq, o)
+	views, err := core.PlanarViewsCtx(ctx, acq, o)
 	if err != nil {
-		return err
-	}
-	if err := finishObs(); err != nil {
 		return err
 	}
 	names := make([]string, 0, len(views))
@@ -578,19 +691,61 @@ func runPlanar(args []string) error {
 	for _, layerName := range names {
 		view := views[layerName]
 		path := filepath.Join(*out, fmt.Sprintf("%s_%s.pgm", c.ID, layerName))
-		f, err := os.Create(path)
+		view.Normalize()
+		err := ckpt.WriteFileAtomic(path, func(w io.Writer) error {
+			return img.WritePGM(w, view)
+		})
 		if err != nil {
 			return err
 		}
-		view.Normalize()
-		if err := img.WritePGM(f, view); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
 		fmt.Println("wrote", path)
+	}
+	return nil
+}
+
+// runCkpt verifies a checkpoint store: every entry is read back through
+// the full checksum/format validation and reported. Exits nonzero when
+// anything is corrupt, so the crash-smoke harness can assert store
+// health.
+func runCkpt(args []string) error {
+	fs := flag.NewFlagSet("ckpt", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint store directory (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("usage: hifidram ckpt -dir DIR")
+	}
+	store, err := ckpt.Open(*dir)
+	if err != nil {
+		return err
+	}
+	entries, err := store.Scan()
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "key\tbytes\tstate")
+	var corrupt int
+	for _, e := range entries {
+		state := "ok"
+		if e.Err != nil {
+			state = "CORRUPT: " + e.Err.Error()
+			corrupt++
+		}
+		name := e.Key.String()
+		if (e.Key == ckpt.Key{}) {
+			// Header too damaged to recover the key; fall back to the path.
+			name = e.Path
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\n", name, e.Bytes, state)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("%d checkpoint(s), %d corrupt\n", len(entries), corrupt)
+	if corrupt > 0 {
+		return fmt.Errorf("%d corrupt checkpoint(s) in %s", corrupt, *dir)
 	}
 	return nil
 }

@@ -1,0 +1,393 @@
+// Package ckpt is the crash-safe on-disk artifact store the extraction
+// pipeline checkpoints stage boundaries into, so a killed run resumes
+// from the last completed stage instead of re-imaging from scratch.
+//
+// The store is built around two invariants. First, no reader can ever
+// observe a torn artifact: every write goes to a temp file in the target
+// directory, is fsynced, and is published with an atomic rename — the
+// same discipline the CLI's WriteFileAtomic applies to user-facing
+// outputs. Second, no reader can ever trust a wrong artifact: every file
+// carries a header with a magic string, a format version, the full
+// canonical key and a SHA-256 of the payload, and Get verifies all four
+// before returning a byte. Any anomaly — truncation, bit rot, a stale
+// format version, a file renamed under a different key — degrades to a
+// cache miss (reported as StateCorrupt so callers can count it), never
+// to corrupt data: the caller recomputes and overwrites.
+//
+// Keys are content-addressed on the producing configuration: the caller
+// derives the Fingerprint component from a canonical encoding of
+// everything that influences the artifact bytes (chip ID and the result-
+// affecting Options fields, plus a schema version), so an option change
+// naturally misses the old entries instead of resurrecting them.
+package ckpt
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+const (
+	// magic identifies a checkpoint file; it is the first thing Get
+	// checks so foreign files in the store directory are simply misses.
+	magic = "HFDC"
+	// FormatVersion is the on-disk header layout version. Bumping it
+	// invalidates every existing checkpoint (stale versions read as
+	// corrupt), which is exactly the behavior a layout change needs.
+	FormatVersion = 1
+)
+
+// Key addresses one artifact: the unit of work (chip ID), the
+// fingerprint of the configuration that produced it, and the pipeline
+// stage the artifact belongs to.
+type Key struct {
+	// Unit identifies the work unit, normally the chip ID (the die-level
+	// flow appends "/die" so its artifacts never collide with the
+	// region-level flow's).
+	Unit string
+	// Fingerprint is the configuration hash (see Fingerprint).
+	Fingerprint string
+	// Stage is the stage-boundary name ("acquire", "aligned", ...).
+	Stage string
+}
+
+// String renders the canonical key form embedded in the file header.
+func (k Key) String() string {
+	return k.Unit + "/" + k.Fingerprint + "/" + k.Stage
+}
+
+// valid rejects keys whose components are empty or would escape the
+// store directory when used as path elements.
+func (k Key) valid() error {
+	for _, part := range []string{k.Unit, k.Fingerprint, k.Stage} {
+		if part == "" {
+			return fmt.Errorf("ckpt: empty key component in %q", k.String())
+		}
+		for _, elem := range strings.Split(part, "/") {
+			if elem == "" || elem == "." || elem == ".." || strings.ContainsAny(elem, `\`) {
+				return fmt.Errorf("ckpt: unsafe key component %q", part)
+			}
+		}
+	}
+	return nil
+}
+
+// State classifies a Get outcome so callers can count resumes and
+// corruption separately.
+type State int
+
+const (
+	// StateMiss: no checkpoint exists for the key.
+	StateMiss State = iota
+	// StateHit: the checkpoint verified and was returned.
+	StateHit
+	// StateCorrupt: a file exists but failed verification (torn write,
+	// truncation, checksum mismatch, stale version or key mismatch). The
+	// payload is withheld; the caller must recompute.
+	StateCorrupt
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHit:
+		return "hit"
+	case StateCorrupt:
+		return "corrupt"
+	default:
+		return "miss"
+	}
+}
+
+// Store is a checkpoint directory. The zero value is unusable; Open it.
+// A nil *Store is inert: Get always misses and Put discards, so callers
+// thread an optional store without guards.
+type Store struct {
+	dir string
+}
+
+// Open creates (if needed) and returns the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("ckpt: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory ("" for nil).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// path maps a key to its file: <dir>/<unit>/<fingerprint>/<stage>.ckpt.
+// Stage names become file names, so `find -name '<stage>.ckpt'` targets
+// one boundary across every unit — the crash-smoke harness relies on it.
+func (s *Store) path(k Key) string {
+	return filepath.Join(s.dir, filepath.FromSlash(k.Unit), k.Fingerprint, k.Stage+".ckpt")
+}
+
+// Put atomically writes payload under k, overwriting any existing entry.
+// On return the entry is durably on disk (temp file + fsync + rename): a
+// crash at any instant leaves either the old entry, the new entry, or a
+// stray temp file that readers ignore — never a torn visible artifact.
+func (s *Store) Put(k Key, payload []byte) error {
+	if s == nil {
+		return nil
+	}
+	if err := k.valid(); err != nil {
+		return err
+	}
+	path := s.path(k)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("ckpt: put %s: %w", k, err)
+	}
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		return writeEntry(w, k, payload)
+	})
+	if err != nil {
+		return fmt.Errorf("ckpt: put %s: %w", k, err)
+	}
+	return nil
+}
+
+// Get returns the verified payload for k. StateMiss means nothing is
+// stored; StateCorrupt means a file exists but failed any verification
+// step — the payload is withheld in both cases and the caller recomputes.
+func (s *Store) Get(k Key) ([]byte, State) {
+	if s == nil {
+		return nil, StateMiss
+	}
+	if k.valid() != nil {
+		return nil, StateMiss
+	}
+	data, err := os.ReadFile(s.path(k))
+	if os.IsNotExist(err) {
+		return nil, StateMiss
+	}
+	if err != nil {
+		return nil, StateCorrupt
+	}
+	payload, err := verifyEntry(data, &k)
+	if err != nil {
+		return nil, StateCorrupt
+	}
+	return payload, StateHit
+}
+
+// Delete removes the entry for k (no-op when absent).
+func (s *Store) Delete(k Key) error {
+	if s == nil {
+		return nil
+	}
+	if err := k.valid(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(k)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("ckpt: delete %s: %w", k, err)
+	}
+	return nil
+}
+
+// Entry describes one file found by Scan.
+type Entry struct {
+	// Key is the canonical key recovered from the header (zero when the
+	// header itself is unreadable).
+	Key Key
+	// Path is the file's location on disk.
+	Path string
+	// Bytes is the file size.
+	Bytes int64
+	// Err is nil for a verified entry and the verification failure
+	// otherwise.
+	Err error
+}
+
+// Scan walks the store, verifies every *.ckpt file, and returns the
+// entries sorted by path — the `hifidram ckpt` subcommand's view. Stray
+// temp files from interrupted writes are skipped, not reported.
+func (s *Store) Scan() ([]Entry, error) {
+	if s == nil {
+		return nil, nil
+	}
+	var out []Entry
+	err := filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || !strings.HasSuffix(path, ".ckpt") {
+			return nil
+		}
+		e := Entry{Path: path, Bytes: info.Size()}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			e.Err = err
+		} else {
+			_, e.Err = verifyEntry(data, &e.Key)
+		}
+		out = append(out, e)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: scan: %w", err)
+	}
+	return out, nil
+}
+
+// writeEntry serializes the header + payload:
+//
+//	magic (4) | version u32 | keyLen u32 | key | payloadLen u64 |
+//	sha256(payload) (32) | payload
+//
+// All integers little-endian.
+func writeEntry(w io.Writer, k Key, payload []byte) error {
+	key := []byte(k.String())
+	hdr := make([]byte, 0, 4+4+4+len(key)+8+sha256.Size)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, FormatVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(key)))
+	hdr = append(hdr, key...)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	hdr = append(hdr, sum[:]...)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// verifyEntry checks every invariant of the on-disk format and returns
+// the payload. want, when it arrives non-zero, must match the embedded
+// key; when it arrives zero (Scan) the embedded key is written back so
+// the caller learns what the file claims to be.
+func verifyEntry(data []byte, want *Key) ([]byte, error) {
+	r := data
+	take := func(n int) ([]byte, error) {
+		if len(r) < n {
+			return nil, fmt.Errorf("ckpt: truncated entry")
+		}
+		b := r[:n]
+		r = r[n:]
+		return b, nil
+	}
+	m, err := take(4)
+	if err != nil || string(m) != magic {
+		return nil, fmt.Errorf("ckpt: bad magic")
+	}
+	vb, err := take(4)
+	if err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint32(vb); v != FormatVersion {
+		return nil, fmt.Errorf("ckpt: stale format version %d (want %d)", v, FormatVersion)
+	}
+	klb, err := take(4)
+	if err != nil {
+		return nil, err
+	}
+	kb, err := take(int(binary.LittleEndian.Uint32(klb)))
+	if err != nil {
+		return nil, err
+	}
+	embedded, err := parseKey(string(kb))
+	if err != nil {
+		return nil, err
+	}
+	if *want != (Key{}) && embedded != *want {
+		return nil, fmt.Errorf("ckpt: key mismatch: file claims %q, want %q", embedded, *want)
+	}
+	*want = embedded
+	plb, err := take(8)
+	if err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint64(plb)
+	sum, err := take(sha256.Size)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r)) != plen {
+		return nil, fmt.Errorf("ckpt: payload is %d bytes, header claims %d", len(r), plen)
+	}
+	if got := sha256.Sum256(r); !bytes.Equal(got[:], sum) {
+		return nil, fmt.Errorf("ckpt: payload checksum mismatch")
+	}
+	return r, nil
+}
+
+// parseKey inverts Key.String: the last two components are fingerprint
+// and stage, everything before is the (possibly slash-bearing) unit.
+func parseKey(s string) (Key, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) < 3 {
+		return Key{}, fmt.Errorf("ckpt: malformed key %q", s)
+	}
+	k := Key{
+		Unit:        strings.Join(parts[:len(parts)-2], "/"),
+		Fingerprint: parts[len(parts)-2],
+		Stage:       parts[len(parts)-1],
+	}
+	return k, k.valid()
+}
+
+// WriteFileAtomic writes path so that no observer — concurrent reader or
+// post-crash restart — can see a partial file: the content goes to a
+// temp file in the destination directory, is fsynced, and replaces path
+// with a single rename. On any error the temp file is removed and path
+// is untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// Fingerprint canonicalizes v as JSON (struct fields in declaration
+// order, map keys sorted — encoding/json's deterministic form) and
+// returns the first 16 hex characters of its SHA-256. Callers pass a
+// value containing exactly the inputs that determine the artifact bytes;
+// anything scheduling- or observability-related must be zeroed first so
+// equal work shares checkpoints across worker counts.
+func Fingerprint(v any) (string, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("ckpt: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])[:16], nil
+}

@@ -1,0 +1,328 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey(stage string) Key {
+	return Key{Unit: "C4", Fingerprint: "deadbeef00112233", Stage: stage}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("the aligned stack, serialized")
+	k := testKey("aligned")
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, state := s.Get(k)
+	if state != StateHit {
+		t.Fatalf("state = %v, want hit", state)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q", got)
+	}
+	// A different stage, fingerprint or unit misses.
+	for _, k := range []Key{
+		{Unit: "C4", Fingerprint: "deadbeef00112233", Stage: "plan"},
+		{Unit: "C4", Fingerprint: "feedface00000000", Stage: "aligned"},
+		{Unit: "B5", Fingerprint: "deadbeef00112233", Stage: "aligned"},
+	} {
+		if _, state := s.Get(k); state != StateMiss {
+			t.Errorf("Get(%v) = %v, want miss", k, state)
+		}
+	}
+}
+
+func TestNilStoreIsInert(t *testing.T) {
+	var s *Store
+	if err := s.Put(testKey("x"), []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, state := s.Get(testKey("x")); state != StateMiss {
+		t.Fatal("nil store did not miss")
+	}
+	if entries, err := s.Scan(); err != nil || entries != nil {
+		t.Fatal("nil store scan not empty")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	k := testKey("acquire")
+	if err := s.Put(k, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, state := s.Get(k)
+	if state != StateHit || string(got) != "v2" {
+		t.Fatalf("got %q/%v after overwrite", got, state)
+	}
+}
+
+func TestKeyValidationRejectsTraversal(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	for _, k := range []Key{
+		{Unit: "../evil", Fingerprint: "f", Stage: "s"},
+		{Unit: "", Fingerprint: "f", Stage: "s"},
+		{Unit: "u", Fingerprint: "..", Stage: "s"},
+		{Unit: "u", Fingerprint: "f", Stage: ""},
+		{Unit: "u//x", Fingerprint: "f", Stage: "s"},
+	} {
+		if err := s.Put(k, []byte("p")); err == nil {
+			t.Errorf("Put accepted unsafe key %+v", k)
+		}
+	}
+}
+
+// corruption is one way the crash/corruption harness damages a
+// checkpoint file in place.
+type corruption struct {
+	name string
+	mut  func(t *testing.T, path string, data []byte)
+}
+
+func overwrite(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptions simulates the outcomes of kills and disk faults at every
+// layer: torn writes (truncation at arbitrary points), bit rot in header
+// and payload, stale format versions, and files renamed under a key they
+// do not belong to.
+var corruptions = []corruption{
+	{"truncate-mid-payload", func(t *testing.T, path string, data []byte) {
+		overwrite(t, path, data[:len(data)-7])
+	}},
+	{"truncate-mid-header", func(t *testing.T, path string, data []byte) {
+		overwrite(t, path, data[:9])
+	}},
+	{"truncate-empty", func(t *testing.T, path string, data []byte) {
+		overwrite(t, path, nil)
+	}},
+	{"flip-payload-byte", func(t *testing.T, path string, data []byte) {
+		d := append([]byte(nil), data...)
+		d[len(d)-3] ^= 0x40
+		overwrite(t, path, d)
+	}},
+	{"flip-checksum-byte", func(t *testing.T, path string, data []byte) {
+		d := append([]byte(nil), data...)
+		// The checksum sits in the 32 bytes before the payload; the
+		// payload here is long enough that offset len-40 is inside it
+		// only if the payload is >40 bytes, so flip relative to header:
+		// magic(4)+ver(4)+klen(4)+key+plen(8) then 32 checksum bytes.
+		klen := int(binary.LittleEndian.Uint32(d[8:12]))
+		d[4+4+4+klen+8] ^= 0x01
+		overwrite(t, path, d)
+	}},
+	{"stale-version", func(t *testing.T, path string, data []byte) {
+		d := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(d[4:8], FormatVersion+1)
+		overwrite(t, path, d)
+	}},
+	{"bad-magic", func(t *testing.T, path string, data []byte) {
+		d := append([]byte(nil), data...)
+		copy(d, "JUNK")
+		overwrite(t, path, d)
+	}},
+	{"garbage", func(t *testing.T, path string, data []byte) {
+		overwrite(t, path, []byte("not a checkpoint at all"))
+	}},
+}
+
+func TestCorruptionNeverServed(t *testing.T) {
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			s, _ := Open(t.TempDir())
+			k := testKey("plan")
+			payload := bytes.Repeat([]byte("segmentation rectangles "), 8)
+			if err := s.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			path := s.path(k)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.mut(t, path, data)
+			got, state := s.Get(k)
+			if state != StateCorrupt {
+				t.Fatalf("state = %v, want corrupt", state)
+			}
+			if got != nil {
+				t.Fatalf("corrupt entry served payload %q", got)
+			}
+			// Recompute-and-overwrite heals the entry.
+			if err := s.Put(k, payload); err != nil {
+				t.Fatal(err)
+			}
+			if got, state := s.Get(k); state != StateHit || !bytes.Equal(got, payload) {
+				t.Fatalf("after heal: %v/%q", state, got)
+			}
+		})
+	}
+}
+
+func TestKeyMismatchDetected(t *testing.T) {
+	// A verified file copied under another key's path must be rejected:
+	// the embedded canonical key is part of the verification.
+	s, _ := Open(t.TempDir())
+	ka, kb := testKey("aligned"), testKey("plan")
+	if err := s.Put(ka, []byte("aligned stack")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(ka))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(s.path(kb)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	overwrite(t, s.path(kb), data)
+	if _, state := s.Get(kb); state != StateCorrupt {
+		t.Fatalf("renamed checkpoint served under the wrong key (state %v)", state)
+	}
+}
+
+func TestRandomTruncationFuzz(t *testing.T) {
+	// A kill can land mid-write at any byte offset. Whatever survives,
+	// Get must answer corrupt (or miss for an empty store), never serve
+	// bytes that differ from the original payload.
+	s, _ := Open(t.TempDir())
+	k := testKey("netex")
+	payload := make([]byte, 4096)
+	rng := rand.New(rand.NewSource(42))
+	rng.Read(payload)
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(s.path(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		cut := rng.Intn(len(full))
+		overwrite(t, s.path(k), full[:cut])
+		got, state := s.Get(k)
+		if state == StateHit {
+			t.Fatalf("trial %d: truncation at %d verified as a hit", trial, cut)
+		}
+		if got != nil {
+			t.Fatalf("trial %d: corrupt entry returned payload", trial)
+		}
+	}
+}
+
+func TestScanReportsHealthAndStrayTemps(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	good := testKey("acquire")
+	bad := testKey("aligned")
+	if err := s.Put(good, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, []byte("will be torn")); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.path(bad))
+	overwrite(t, s.path(bad), data[:5])
+	// A stray temp file from an interrupted WriteFileAtomic is ignored.
+	stray := filepath.Join(filepath.Dir(s.path(good)), "acquire.ckpt.tmp123")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("scan found %d entries, want 2: %+v", len(entries), entries)
+	}
+	byStage := map[string]Entry{}
+	for _, e := range entries {
+		byStage[filepath.Base(e.Path)] = e
+	}
+	if e := byStage["acquire.ckpt"]; e.Err != nil || e.Key != good {
+		t.Errorf("good entry misreported: %+v", e)
+	}
+	if e := byStage["aligned.ckpt"]; e.Err == nil {
+		t.Errorf("torn entry reported healthy: %+v", e)
+	}
+}
+
+func TestWriteFileAtomicPublishesAllOrNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.gds")
+	if err := os.WriteFile(path, []byte("old artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A failing writer leaves the old content untouched and no temp
+	// droppings behind.
+	boom := fmt.Errorf("disk full")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("half-written "))
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old artifact" {
+		t.Fatalf("failed write disturbed the target: %q", got)
+	}
+	names, _ := os.ReadDir(dir)
+	if len(names) != 1 {
+		t.Fatalf("temp droppings left behind: %v", names)
+	}
+	// A succeeding writer replaces the content atomically.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new artifact"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "new artifact" {
+		t.Fatalf("atomic write content: %q", got)
+	}
+}
+
+func TestFingerprintStableAndSelective(t *testing.T) {
+	type opts struct {
+		Chip  string
+		Dwell float64
+		Seed  int64
+	}
+	a, err := Fingerprint(opts{"C4", 12, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Fingerprint(opts{"C4", 12, 1})
+	if a != b {
+		t.Fatalf("equal inputs fingerprint differently: %s vs %s", a, b)
+	}
+	if len(a) != 16 || strings.ToLower(a) != a {
+		t.Fatalf("fingerprint form: %q", a)
+	}
+	for _, other := range []opts{{"B5", 12, 1}, {"C4", 3, 1}, {"C4", 12, 2}} {
+		c, _ := Fingerprint(other)
+		if c == a {
+			t.Errorf("distinct input %+v collided with %+v", other, opts{"C4", 12, 1})
+		}
+	}
+}

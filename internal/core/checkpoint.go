@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/ckpt"
+	"repro/internal/fault"
+	"repro/internal/img"
+	"repro/internal/netex"
+	"repro/internal/obs"
+	"repro/internal/sem"
+)
+
+// ckptSchema versions the gob artifact encoding on top of the store's
+// own on-disk format version. It is folded into the key fingerprint, so
+// bumping it (after changing an artifact struct) silently retires every
+// old checkpoint instead of mis-decoding it.
+const ckptSchema = 1
+
+// Checkpointed stage-boundary names, in pipeline order. "views" is
+// produced only by PlanarViews; the others by Run/RunOnDie. Kill a run
+// between any two and resume recomputes only from the last completed
+// boundary.
+const (
+	CkptAcquire = "acquire"
+	CkptAligned = "aligned"
+	CkptPlan    = "plan"
+	CkptNetex   = "netex"
+	CkptViews   = "views"
+)
+
+// CkptStages returns the checkpoint boundaries of a standard Run, in
+// execution order — the table the resume-determinism tests and the
+// crash harness iterate over.
+func CkptStages() []string {
+	return []string{CkptAcquire, CkptAligned, CkptPlan, CkptNetex}
+}
+
+// acquireArtifact checkpoints the acquisition boundary: the raw stack
+// after optional fault injection, plus the injection ground truth the
+// Result surfaces.
+type acquireArtifact struct {
+	Acq      *sem.Acquisition
+	Injected *fault.Report
+}
+
+// alignedArtifact checkpoints the end of preprocessing: the screened,
+// denoised, aligned stack and everything the robustness machinery
+// observed producing it.
+type alignedArtifact struct {
+	Slices          []*img.Gray
+	DidAlign        bool
+	Repairs         RepairReport
+	AlignFallbacks  int
+	ResidualDriftPx float64
+}
+
+// planArtifact checkpoints the segmentation boundary: the per-layer
+// rectangle plan plus the reconstruction report it rode in on.
+type planArtifact struct {
+	Plan *netex.Plan
+	Info ReconInfo
+}
+
+// netexArtifact checkpoints the extraction boundary: everything Run
+// needs to rebuild its Result without touching the imaging stages
+// (measurement and scoring are cheap and always recomputed).
+type netexArtifact struct {
+	Ext        *netex.Result
+	Info       ReconInfo
+	Injected   *fault.Report
+	SliceCount int
+	CostHours  float64
+}
+
+// viewsArtifact checkpoints PlanarViews' per-layer images.
+type viewsArtifact struct {
+	Views map[string]*img.Gray
+}
+
+// ckptRef is the resolved checkpoint binding for one run: the store,
+// the unit/fingerprint key prefix, and whether loading is enabled. A
+// nil *ckptRef disables checkpointing entirely (the no-store path costs
+// one nil check per boundary).
+type ckptRef struct {
+	store  *ckpt.Store
+	unit   string
+	fp     string
+	resume bool
+	obs    *obs.Observer
+}
+
+// fpOptions is the fingerprint input: the schema version plus a
+// sanitized Options copy. Everything that cannot influence the artifact
+// bytes — worker counts, observability sinks, the checkpoint wiring
+// itself — is zeroed, so a resumed run hits the same keys at any worker
+// count and with any tracing flags.
+type fpOptions struct {
+	Schema int
+	Opts   Options
+}
+
+// newCkptRef binds o's store to a unit, or returns nil when
+// checkpointing is off. The unit must uniquely identify the pipeline
+// input under the fingerprinted options (Run uses the chip ID; see
+// Options.CkptUnit for the standalone-Reconstruct contract).
+func newCkptRef(unit string, o Options) (*ckptRef, error) {
+	if o.Ckpt == nil || unit == "" {
+		return nil, nil
+	}
+	clean := o
+	clean.Workers = 0
+	clean.Obs = nil
+	clean.Ckpt = nil
+	clean.Resume = false
+	clean.CkptUnit = ""
+	clean.Denoise.Obs = nil
+	clean.Register.Obs = nil
+	fp, err := ckpt.Fingerprint(fpOptions{Schema: ckptSchema, Opts: clean})
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint fingerprint: %w", err)
+	}
+	return &ckptRef{store: o.Ckpt, unit: unit, fp: fp, resume: o.Resume, obs: o.Obs}, nil
+}
+
+func (c *ckptRef) key(stage string) ckpt.Key {
+	return ckpt.Key{Unit: c.unit, Fingerprint: c.fp, Stage: stage}
+}
+
+// load decodes the checkpoint for stage into v and reports whether the
+// stage can be skipped. Loading happens only under Resume; any
+// anomaly — missing file, torn write, checksum mismatch, stale version,
+// undecodable payload — counts into the telemetry ("ckpt.miss" or
+// "ckpt.corrupt") and returns false so the caller recomputes. A corrupt
+// entry is therefore never served, only replaced by the save that
+// follows the recompute.
+func (c *ckptRef) load(stage string, v any) bool {
+	if c == nil || !c.resume {
+		return false
+	}
+	payload, state := c.store.Get(c.key(stage))
+	switch state {
+	case ckpt.StateMiss:
+		c.obs.Count("ckpt.miss", 1)
+		return false
+	case ckpt.StateCorrupt:
+		c.obs.Count("ckpt.corrupt", 1)
+		c.obs.Info("checkpoint corrupt, recomputing", "unit", c.unit, "stage", stage)
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		// The checksum passed but the gob payload does not decode into
+		// the artifact struct — schema drift the fingerprint failed to
+		// capture. Treat exactly like corruption: count and recompute.
+		c.obs.Count("ckpt.corrupt", 1)
+		c.obs.Info("checkpoint undecodable, recomputing", "unit", c.unit, "stage", stage, "err", err)
+		return false
+	}
+	c.obs.Count("ckpt.hit", 1)
+	c.obs.Count("ckpt.resumed."+stage, 1)
+	c.obs.Info("resumed from checkpoint", "unit", c.unit, "stage", stage)
+	return true
+}
+
+// save writes the stage artifact. Persistence is best-effort: a full
+// disk or revoked permission degrades the run to non-resumable but must
+// not fail it, so errors are counted and logged, never returned.
+func (c *ckptRef) save(stage string, v any) {
+	if c == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		c.obs.Count("ckpt.write_errors", 1)
+		c.obs.Info("checkpoint encode failed", "unit", c.unit, "stage", stage, "err", err)
+		return
+	}
+	if err := c.store.Put(c.key(stage), buf.Bytes()); err != nil {
+		c.obs.Count("ckpt.write_errors", 1)
+		c.obs.Info("checkpoint write failed", "unit", c.unit, "stage", stage, "err", err)
+		return
+	}
+	c.obs.Count("ckpt.writes", 1)
+	c.obs.Debug("checkpoint written", "unit", c.unit, "stage", stage, "bytes", buf.Len())
+}

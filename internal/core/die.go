@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chipgen"
 	"repro/internal/chips"
-	"repro/internal/measure"
+	"repro/internal/fault"
 	"repro/internal/par"
 	"repro/internal/sem"
 )
@@ -27,8 +28,19 @@ type DieResult struct {
 // and MATs are present, the SA region's location is unknown to the
 // pipeline, and only the blindly identified ROI is imaged at full cost.
 func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
+	return RunOnDieCtx(context.Background(), chip, o)
+}
+
+// RunOnDieCtx is RunOnDie with cooperative cancellation and
+// checkpoint/resume. Die runs key their checkpoints under
+// "<chip>/die" so a die-level resume never collides with a plain Run
+// of the same chip at the same options.
+func RunOnDieCtx(ctx context.Context, chip *chips.Chip, o Options) (*DieResult, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("core: nil chip")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: die run: %w", err)
 	}
 	ob := o.Obs
 	ob.Info("die run start", "chip", chip.ID, "workers", par.Count(o.Workers))
@@ -68,23 +80,52 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 	ob.Info("roi identified", "chip", chip.ID,
 		"roi_nm", out.ROI, "overlap", out.ROIOverlap)
 
+	// Die-level ROI discovery and the blind crop are cheap and
+	// deterministic, so they run every time; only the full-cost
+	// acquisition and everything after it checkpoint, keyed under
+	// "<chip>/die" so die runs never collide with plain Runs.
+	if o.CkptUnit == "" {
+		o.CkptUnit = chip.ID + "/die"
+	}
+	ck, err := newCkptRef(o.CkptUnit, o)
+	if err != nil {
+		return nil, err
+	}
+	var na netexArtifact
+	if ck.load(CkptNetex, &na) {
+		out.Pipeline = finishResult(chip, die.Truth, na.Ext, na.Info, na.Injected,
+			na.SliceCount, na.CostHours, o)
+		ob.Info("die run done", "chip", chip.ID,
+			"topology", na.Ext.Topology.String(), "correct", out.Pipeline.Score.TopologyCorrect,
+			"roi_overlap", out.ROIOverlap)
+		return out, nil
+	}
+
 	// Full-cost acquisition of the ROI only.
 	cropped, err := vol.CropX(roi.X0, roi.X1)
 	if err != nil {
 		return nil, fmt.Errorf("core: crop: %w", err)
 	}
-	sp = ob.StartSpan(StageAcquire)
-	acq, err := sem.AcquireStack(cropped, o.SEM)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: acquire: %w", err)
+	var acq *sem.Acquisition
+	var injected *fault.Report
+	var aa acquireArtifact
+	if ck.load(CkptAcquire, &aa) {
+		acq, injected = aa.Acq, aa.Injected
+	} else {
+		sp = ob.StartSpan(StageAcquire)
+		acq, err = sem.AcquireStackCtx(ctx, cropped, o.SEM)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: acquire: %w", err)
+		}
+		ob.Info("acquired", "chip", chip.ID, "slices", len(acq.Slices), "cost_hours", acq.CostHours())
+		injected, err = injectFaults(acq, o)
+		if err != nil {
+			return nil, err
+		}
+		ck.save(CkptAcquire, acquireArtifact{Acq: acq, Injected: injected})
 	}
-	ob.Info("acquired", "chip", chip.ID, "slices", len(acq.Slices), "cost_hours", acq.CostHours())
-	injected, err := injectFaults(acq, o)
-	if err != nil {
-		return nil, err
-	}
-	plan, info, err := Reconstruct(acq, cropped.BoundsNM, o)
+	plan, info, err := reconstructCkpt(ctx, acq, cropped.BoundsNM, o, ck)
 	if err != nil {
 		return nil, err
 	}
@@ -92,22 +133,12 @@ func RunOnDie(chip *chips.Chip, o Options) (*DieResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out.Pipeline = &Result{
-		Chip: chip, Truth: die.Truth,
+	ck.save(CkptNetex, netexArtifact{
+		Ext: ext, Info: info, Injected: injected,
 		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
-		ResidualDriftPx: info.ResidualDriftPx,
-		Repairs:         info.Repairs,
-		AlignFallbacks:  info.AlignFallbacks,
-		Injected:        injected,
-		Extraction:      ext,
-	}
-	sp = ob.StartSpan(StageMeasure)
-	out.Pipeline.Stats = measure.FromTransistors(ext.Transistors)
-	sp.End()
-	sp = ob.StartSpan(StageScore)
-	out.Pipeline.Score = measure.CompareToTruth(ext, die.Truth)
-	sp.End()
-	out.Pipeline.Telemetry = ob.Snapshot()
+	})
+	out.Pipeline = finishResult(chip, die.Truth, ext, info, injected,
+		len(acq.Slices), acq.CostHours(), o)
 	ob.Info("die run done", "chip", chip.ID,
 		"topology", ext.Topology.String(), "correct", out.Pipeline.Score.TopologyCorrect,
 		"roi_overlap", out.ROIOverlap)

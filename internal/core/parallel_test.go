@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -120,7 +121,7 @@ func TestPlanFromVolumeParallelMatchesSerial(t *testing.T) {
 	o := fastOptions()
 	o.Denoiser = "none"
 	o.Workers = 1
-	pre, err := preprocess(acq, o)
+	pre, err := preprocessCtx(context.Background(), acq, o)
 	if err != nil {
 		t.Fatal(err)
 	}

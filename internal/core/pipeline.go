@@ -5,12 +5,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 
 	"repro/internal/chipgen"
 	"repro/internal/chips"
+	"repro/internal/ckpt"
 	"repro/internal/denoise"
 	"repro/internal/fault"
 	"repro/internal/geom"
@@ -70,6 +72,28 @@ type Options struct {
 	// or nil, for any worker count, the pipeline output is byte-
 	// identical, and the counter values themselves are deterministic.
 	Obs *obs.Observer
+	// Ckpt, when non-nil, persists stage-boundary artifacts (acquire,
+	// aligned, plan, netex, views) into the store so an interrupted run
+	// can resume. Keys derive from CkptUnit plus a fingerprint of the
+	// result-affecting options — worker counts and observability sinks
+	// are excluded, so any worker count shares the same checkpoints.
+	// Writes are atomic and checksummed; persistence failures degrade
+	// the run to non-resumable but never fail it.
+	Ckpt *ckpt.Store
+	// Resume enables loading from Ckpt: a verified checkpoint skips its
+	// stage and yields byte-identical output to recomputing; a missing,
+	// torn or checksum-mismatched one is counted ("ckpt.miss" /
+	// "ckpt.corrupt") and transparently recomputed. With Resume false
+	// the run only writes checkpoints, never trusts existing ones.
+	Resume bool
+	// CkptUnit keys this run's checkpoints. RunCtx defaults it to the
+	// chip ID and RunOnDieCtx to "<chip>/die", which uniquely identify
+	// the pipeline input under the fingerprinted options. Callers
+	// invoking ReconstructCtx or PlanarViewsCtx directly must set a
+	// unit that uniquely identifies the acquisition themselves; when
+	// empty, checkpointing is disabled for safety (an acquisition the
+	// options cannot reproduce must not share keys with one they can).
+	CkptUnit string
 }
 
 // DefaultOptions returns a configuration that survives the default noise
@@ -139,11 +163,27 @@ type Result struct {
 
 // Run executes the full pipeline for one chip.
 func Run(chip *chips.Chip, o Options) (*Result, error) {
+	return RunCtx(context.Background(), chip, o)
+}
+
+// RunCtx is Run with cooperative cancellation and checkpoint/resume.
+// Every stage checks the context between its units of work (slices,
+// candidate shifts, layers), so cancellation — a deadline, SIGINT — is
+// honored promptly and the error unwraps to ctx.Err(). With Options.Ckpt
+// set, completed stage boundaries persist to the store as the run goes,
+// and with Options.Resume a later invocation with equal options skips
+// every stage whose verified checkpoint exists, producing a Result
+// byte-identical (Telemetry aside, which reflects the work actually
+// performed) to an uninterrupted run.
+func RunCtx(ctx context.Context, chip *chips.Chip, o Options) (*Result, error) {
 	if chip == nil {
 		return nil, fmt.Errorf("core: nil chip")
 	}
 	if o.Units <= 0 || o.VoxelNM <= 0 {
 		return nil, fmt.Errorf("core: invalid options (units=%d, voxel=%d)", o.Units, o.VoxelNM)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
 	}
 	ob := o.Obs
 	ob.Info("run start", "chip", chip.ID, "workers", par.Count(o.Workers))
@@ -166,19 +206,45 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: voxelize: %w", err)
 	}
-	sp = ob.StartSpan(StageAcquire)
-	acq, err := sem.AcquireStack(vol, o.SEM)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: acquire: %w", err)
+	// Ground truth generation stays outside the checkpoint scheme: it is
+	// cheap, deterministic, and its Truth is needed for scoring either
+	// way. The fingerprint is taken after the detector is resolved so it
+	// covers every acquisition-affecting option.
+	if o.CkptUnit == "" {
+		o.CkptUnit = chip.ID
 	}
-	ob.Info("acquired", "chip", chip.ID, "slices", len(acq.Slices), "cost_hours", acq.CostHours())
-	injected, err := injectFaults(acq, o)
+	ck, err := newCkptRef(o.CkptUnit, o)
 	if err != nil {
 		return nil, err
 	}
+	// Fast path: a run killed after the extraction boundary resumes
+	// without touching a single imaging stage.
+	var na netexArtifact
+	if ck.load(CkptNetex, &na) {
+		return finishResult(chip, region.Truth, na.Ext, na.Info, na.Injected,
+			na.SliceCount, na.CostHours, o), nil
+	}
+	var acq *sem.Acquisition
+	var injected *fault.Report
+	var aa acquireArtifact
+	if ck.load(CkptAcquire, &aa) {
+		acq, injected = aa.Acq, aa.Injected
+	} else {
+		sp = ob.StartSpan(StageAcquire)
+		acq, err = sem.AcquireStackCtx(ctx, vol, o.SEM)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: acquire: %w", err)
+		}
+		ob.Info("acquired", "chip", chip.ID, "slices", len(acq.Slices), "cost_hours", acq.CostHours())
+		injected, err = injectFaults(acq, o)
+		if err != nil {
+			return nil, err
+		}
+		ck.save(CkptAcquire, acquireArtifact{Acq: acq, Injected: injected})
+	}
 
-	plan, info, err := Reconstruct(acq, window, o)
+	plan, info, err := reconstructCkpt(ctx, acq, window, o, ck)
 	if err != nil {
 		return nil, err
 	}
@@ -186,26 +252,41 @@ func Run(chip *chips.Chip, o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{
-		Chip: chip, Truth: region.Truth,
+	ck.save(CkptNetex, netexArtifact{
+		Ext: ext, Info: info, Injected: injected,
 		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
+	})
+	return finishResult(chip, region.Truth, ext, info, injected,
+		len(acq.Slices), acq.CostHours(), o), nil
+}
+
+// finishResult runs the always-recomputed tail of the pipeline —
+// measurement and fidelity scoring, both cheap and deterministic — and
+// assembles the Result. Shared by the fresh and fully-resumed paths so
+// both produce identical structures.
+func finishResult(chip *chips.Chip, truth chipgen.GroundTruth, ext *netex.Result,
+	info ReconInfo, injected *fault.Report, sliceCount int, costHours float64, o Options) *Result {
+	ob := o.Obs
+	res := &Result{
+		Chip: chip, Truth: truth,
+		SliceCount: sliceCount, CostHours: costHours,
 		ResidualDriftPx: info.ResidualDriftPx,
 		Repairs:         info.Repairs,
 		AlignFallbacks:  info.AlignFallbacks,
 		Injected:        injected,
 		Extraction:      ext,
 	}
-	sp = ob.StartSpan(StageMeasure)
+	sp := ob.StartSpan(StageMeasure)
 	res.Stats = measure.FromTransistors(ext.Transistors)
 	sp.End()
 	sp = ob.StartSpan(StageScore)
-	res.Score = measure.CompareToTruth(ext, region.Truth)
+	res.Score = measure.CompareToTruth(ext, truth)
 	sp.End()
 	res.Telemetry = ob.Snapshot()
 	ob.Info("run done", "chip", chip.ID,
 		"topology", ext.Topology.String(), "correct", res.Score.TopologyCorrect,
 		"repairs", len(res.Repairs.Repairs), "align_fallbacks", res.AlignFallbacks)
-	return res, nil
+	return res
 }
 
 // injectFaults runs the optional fault injection under its own stage
@@ -253,46 +334,89 @@ type ReconInfo struct {
 // assemble the volume, extract per-layer planar views and segment them
 // into the rectangle plan the circuit extraction consumes.
 func Reconstruct(acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan, ReconInfo, error) {
-	pre, err := preprocess(acq, o)
+	return ReconstructCtx(context.Background(), acq, window, o)
+}
+
+// ReconstructCtx is Reconstruct with cooperative cancellation and, when
+// Options.Ckpt and Options.CkptUnit are both set, checkpointing of the
+// aligned-stack and segmentation boundaries (see Options.CkptUnit for
+// the keying contract standalone callers must uphold).
+func ReconstructCtx(ctx context.Context, acq *sem.Acquisition, window geom.Rect, o Options) (*netex.Plan, ReconInfo, error) {
+	ck, err := newCkptRef(o.CkptUnit, o)
 	if err != nil {
 		return nil, ReconInfo{}, err
 	}
-	info := ReconInfo{Repairs: pre.repairs, AlignFallbacks: pre.alignFallbacks}
-	if pre.didAlign {
-		sp := o.Obs.StartSpan("align/residual")
-		info.ResidualDriftPx, err = register.ResidualDrift(pre.slices, regOptions(o))
-		sp.End()
-		if err != nil {
-			return nil, ReconInfo{}, fmt.Errorf("core: residual: %w", err)
+	return reconstructCkpt(ctx, acq, window, o, ck)
+}
+
+// reconstructCkpt is the checkpoint-aware reconstruction core: it tries
+// the segmentation boundary first (skipping all preprocessing), then the
+// aligned-stack boundary (skipping the quality gate, denoising and
+// alignment), and recomputes from the acquisition only when neither
+// verifies.
+func reconstructCkpt(ctx context.Context, acq *sem.Acquisition, window geom.Rect, o Options, ck *ckptRef) (*netex.Plan, ReconInfo, error) {
+	var pa planArtifact
+	if ck.load(CkptPlan, &pa) {
+		return pa.Plan, pa.Info, nil
+	}
+	var info ReconInfo
+	var slices []*img.Gray
+	var la alignedArtifact
+	if ck.load(CkptAligned, &la) {
+		slices = la.Slices
+		info = ReconInfo{
+			ResidualDriftPx: la.ResidualDriftPx,
+			Repairs:         la.Repairs,
+			AlignFallbacks:  la.AlignFallbacks,
 		}
+	} else {
+		pre, err := preprocessCtx(ctx, acq, o)
+		if err != nil {
+			return nil, ReconInfo{}, err
+		}
+		info = ReconInfo{Repairs: pre.repairs, AlignFallbacks: pre.alignFallbacks}
+		if pre.didAlign {
+			sp := o.Obs.StartSpan("align/residual")
+			info.ResidualDriftPx, err = register.ResidualDriftCtx(ctx, pre.slices, regOptions(o))
+			sp.End()
+			if err != nil {
+				return nil, ReconInfo{}, fmt.Errorf("core: residual: %w", err)
+			}
+		}
+		slices = pre.slices
+		ck.save(CkptAligned, alignedArtifact{
+			Slices: slices, DidAlign: pre.didAlign, Repairs: pre.repairs,
+			AlignFallbacks: pre.alignFallbacks, ResidualDriftPx: info.ResidualDriftPx,
+		})
 	}
 	sp := o.Obs.StartSpan(StageAssemble)
-	vol, err := volume.FromStack(pre.slices)
+	vol, err := volume.FromStack(slices)
 	sp.End()
 	if err != nil {
 		return nil, ReconInfo{}, fmt.Errorf("core: stack: %w", err)
 	}
-	plan, err := PlanFromVolume(vol, window, o)
+	plan, err := PlanFromVolumeCtx(ctx, vol, window, o)
 	if err != nil {
 		return nil, ReconInfo{}, err
 	}
+	ck.save(CkptPlan, planArtifact{Plan: plan, Info: info})
 	return plan, info, nil
 }
 
 // denoiseSlice applies the configured denoiser to one slice. The caller
 // has already rejected unknown denoiser names.
-func denoiseSlice(s *img.Gray, o Options) (*img.Gray, error) {
+func denoiseSlice(ctx context.Context, s *img.Gray, o Options) (*img.Gray, error) {
 	den := o.Denoise
 	if den.Obs == nil {
 		den.Obs = o.Obs
 	}
 	switch o.Denoiser {
 	case "split-bregman":
-		return denoise.SplitBregman(s, den)
+		return denoise.SplitBregmanCtx(ctx, s, den)
 	case "none", "":
 		return s.Clone(), nil
 	default: // "chambolle"
-		return denoise.Chambolle(s, den)
+		return denoise.ChambolleCtx(ctx, s, den)
 	}
 }
 
@@ -319,13 +443,15 @@ type preOut struct {
 	alignFallbacks int
 }
 
-// preprocess is the screen + denoise + align prologue shared by
+// preprocessCtx is the screen + denoise + align prologue shared by
 // Reconstruct and PlanarViews: the slice-quality gate screens and
 // repairs the raw stack, then per-slice TV denoising and flat-fielding
 // fan out over Options.Workers, then sequential MI stack alignment
 // (guarded exactly like the rest of the pipeline: only when a search
-// window is configured and there is more than one slice).
-func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
+// window is configured and there is more than one slice). ctx is
+// checked between slices in the fan-out and between pairs in the
+// alignment.
+func preprocessCtx(ctx context.Context, acq *sem.Acquisition, o Options) (preOut, error) {
 	var out preOut
 	switch o.Denoiser {
 	case "chambolle", "split-bregman", "none", "":
@@ -348,8 +474,8 @@ func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
 		}
 	}
 	slices := make([]*img.Gray, len(raw))
-	err := ob.ForEach(StageDenoise, o.Workers, len(raw), func(i int) error {
-		g, err := denoiseSlice(raw[i], o)
+	err := ob.ForEachCtx(ctx, StageDenoise, o.Workers, len(raw), func(ctx context.Context, i int) error {
+		g, err := denoiseSlice(ctx, raw[i], o)
 		if err != nil {
 			return fmt.Errorf("core: denoise slice %d: %w", i, err)
 		}
@@ -362,7 +488,7 @@ func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
 	}
 	if o.Register.MaxShift > 0 && len(slices) > 1 {
 		sp := ob.StartSpan(StageAlign)
-		aligned, sres, err := register.AlignStack(slices, regOptions(o))
+		aligned, sres, err := register.AlignStackCtx(ctx, slices, regOptions(o))
 		sp.End()
 		if err != nil {
 			return out, fmt.Errorf("core: align: %w", err)
@@ -383,17 +509,41 @@ func preprocess(acq *sem.Acquisition, o Options) (preOut, error) {
 // the images of Fig. 7d. It honours the same Options.Denoiser selection
 // and alignment guard as Reconstruct.
 func PlanarViews(acq *sem.Acquisition, o Options) (map[string]*img.Gray, error) {
-	pre, err := preprocess(acq, o)
+	return PlanarViewsCtx(context.Background(), acq, o)
+}
+
+// PlanarViewsCtx is PlanarViews with cooperative cancellation and, when
+// Options.Ckpt and Options.CkptUnit are both set, checkpointing of the
+// finished view set under the "views" stage (the aligned-stack
+// checkpoint written by a prior Run of the same unit is also honoured,
+// skipping preprocessing entirely).
+func PlanarViewsCtx(ctx context.Context, acq *sem.Acquisition, o Options) (map[string]*img.Gray, error) {
+	ck, err := newCkptRef(o.CkptUnit, o)
 	if err != nil {
 		return nil, err
 	}
-	vol, err := volume.FromStack(pre.slices)
+	var va viewsArtifact
+	if ck.load(CkptViews, &va) {
+		return va.Views, nil
+	}
+	var slices []*img.Gray
+	var la alignedArtifact
+	if ck.load(CkptAligned, &la) {
+		slices = la.Slices
+	} else {
+		pre, err := preprocessCtx(ctx, acq, o)
+		if err != nil {
+			return nil, err
+		}
+		slices = pre.slices
+	}
+	vol, err := volume.FromStack(slices)
 	if err != nil {
 		return nil, err
 	}
 	layers := bandedLayers()
 	views := make([]*img.Gray, len(layers))
-	err = o.Obs.ForEach(StageReslice, o.Workers, len(layers), func(i int) error {
+	err = o.Obs.ForEachCtx(ctx, StageReslice, o.Workers, len(layers), func(_ context.Context, i int) error {
 		band, _ := chipgen.Band(layers[i])
 		view, err := vol.PlanarAverage(band.Y0+1, band.Y1-1)
 		if err != nil {
@@ -409,6 +559,7 @@ func PlanarViews(acq *sem.Acquisition, o Options) (map[string]*img.Gray, error) 
 	for i, layer := range layers {
 		out[layer.String()] = views[i]
 	}
+	ck.save(CkptViews, viewsArtifact{Views: out})
 	return out, nil
 }
 
@@ -462,9 +613,15 @@ func flatField(g *img.Gray) {
 // per-layer index addressing keep the plan byte-identical to a
 // sequential build for any worker count.
 func PlanFromVolume(vol *volume.Volume, window geom.Rect, o Options) (*netex.Plan, error) {
+	return PlanFromVolumeCtx(context.Background(), vol, window, o)
+}
+
+// PlanFromVolumeCtx is PlanFromVolume with cooperative cancellation
+// between layers in both fan-outs.
+func PlanFromVolumeCtx(ctx context.Context, vol *volume.Volume, window geom.Rect, o Options) (*netex.Plan, error) {
 	layers := bandedLayers()
 	views := make([]*img.Gray, len(layers))
-	err := o.Obs.ForEach(StageReslice, o.Workers, len(layers), func(i int) error {
+	err := o.Obs.ForEachCtx(ctx, StageReslice, o.Workers, len(layers), func(_ context.Context, i int) error {
 		view, err := resliceLayer(vol, layers[i])
 		if err != nil {
 			return err
@@ -479,7 +636,7 @@ func PlanFromVolume(vol *volume.Volume, window geom.Rect, o Options) (*netex.Pla
 	// collected per layer index and assembled into the plan in layout
 	// order afterwards.
 	perLayer := make([][]geom.Rect, len(layers))
-	err = o.Obs.ForEach(StageSegment, o.Workers, len(layers), func(i int) error {
+	err = o.Obs.ForEachCtx(ctx, StageSegment, o.Workers, len(layers), func(_ context.Context, i int) error {
 		perLayer[i] = segmentLayer(views[i], window, o)
 		return nil
 	})

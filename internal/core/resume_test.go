@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chips"
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+)
+
+// resumeOptions is a deliberately cheap configuration: resume tests run
+// the pipeline many times over (baseline, populate, one resume per
+// boundary per worker count) and only assert determinism, never
+// extraction quality.
+func resumeOptions() Options {
+	o := fastOptions()
+	o.Units = 1
+	o.Denoise.Iterations = 8
+	return o
+}
+
+// copyUpTo populates a fresh store with only the checkpoints of src
+// whose stage is at or before boundary in CkptStages() order — the
+// on-disk state of a run killed right after persisting that boundary.
+func copyUpTo(t *testing.T, src *ckpt.Store, boundary string) *ckpt.Store {
+	t.Helper()
+	keep := map[string]bool{}
+	for _, st := range CkptStages() {
+		keep[st] = true
+		if st == boundary {
+			break
+		}
+	}
+	dst, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := src.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := 0
+	for _, e := range entries {
+		if e.Err != nil {
+			t.Fatalf("scan of populated store: %s: %v", e.Path, e.Err)
+		}
+		if !keep[e.Key.Stage] {
+			continue
+		}
+		payload, state := src.Get(e.Key)
+		if state != ckpt.StateHit {
+			t.Fatalf("populated store: %v state %v", e.Key, state)
+		}
+		if err := dst.Put(e.Key, payload); err != nil {
+			t.Fatal(err)
+		}
+		copied++
+	}
+	if copied == 0 {
+		t.Fatalf("no checkpoints copied for boundary %q", boundary)
+	}
+	return dst
+}
+
+// TestResumeDeterministicAtEveryBoundary is the acceptance test for the
+// checkpoint scheme: for every stage boundary, a run "killed" right
+// after that boundary was persisted and then resumed — at several
+// worker counts, including ones differing from the count that wrote the
+// checkpoints — produces a Result identical to an uninterrupted run,
+// down to the gob encoding of the extraction.
+func TestResumeDeterministicAtEveryBoundary(t *testing.T) {
+	chip := chips.ByID("B4")
+	base := resumeOptions()
+
+	want, err := Run(chip, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantExt bytes.Buffer
+	if err := gob.NewEncoder(&wantExt).Encode(want.Extraction); err != nil {
+		t.Fatal(err)
+	}
+
+	// Populate a full checkpoint set at one worker count...
+	populated, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := base
+	po.Workers = 4
+	po.Ckpt = populated
+	if _, err := Run(chip, po); err != nil {
+		t.Fatal(err)
+	}
+
+	// ...then resume from every truncation of it, at worker counts the
+	// writer did not use.
+	for _, boundary := range CkptStages() {
+		for _, workers := range []int{1, 3} {
+			t.Run(fmt.Sprintf("%s/workers=%d", boundary, workers), func(t *testing.T) {
+				ro := base
+				ro.Workers = workers
+				ro.Ckpt = copyUpTo(t, populated, boundary)
+				ro.Resume = true
+				got, err := Run(chip, ro)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(stripTelemetry(got), stripTelemetry(want)) {
+					t.Errorf("resume after %q differs from uninterrupted run", boundary)
+				}
+				var gotExt bytes.Buffer
+				if err := gob.NewEncoder(&gotExt).Encode(got.Extraction); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(gotExt.Bytes(), wantExt.Bytes()) {
+					t.Errorf("resume after %q: extraction gob bytes differ", boundary)
+				}
+			})
+		}
+	}
+}
+
+// TestResumeCorruptCheckpointRecomputed asserts the crash-safety
+// contract end to end: a checksum-corrupted checkpoint is never served —
+// the run counts it, recomputes the stage, produces an unchanged
+// Result, and heals the store.
+func TestResumeCorruptCheckpointRecomputed(t *testing.T) {
+	chip := chips.ByID("B4")
+	base := resumeOptions()
+	want, err := Run(chip, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := base
+	po.Ckpt = store
+	if _, err := Run(chip, po); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte in the netex checkpoint — the first one a
+	// resume consults.
+	var netexPath string
+	entries, err := store.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Key.Stage == CkptNetex {
+			netexPath = e.Path
+		}
+	}
+	if netexPath == "" {
+		t.Fatal("no netex checkpoint written")
+	}
+	raw, err := os.ReadFile(netexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(netexPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := base
+	ro.Ckpt = store
+	ro.Resume = true
+	ro.Obs = &obs.Observer{Metrics: obs.NewMetrics()}
+	got, err := Run(chip, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Telemetry == nil {
+		t.Fatal("no telemetry snapshot")
+	}
+	if n := got.Telemetry.Counters["ckpt.corrupt"]; n < 1 {
+		t.Errorf("ckpt.corrupt = %d, want >= 1", n)
+	}
+	if !reflect.DeepEqual(stripTelemetry(got), stripTelemetry(want)) {
+		t.Errorf("result after corrupt-checkpoint recompute differs from clean run")
+	}
+	// The recompute's save must have healed the entry.
+	for _, e := range entries {
+		if e.Key.Stage != CkptNetex {
+			continue
+		}
+		if _, state := store.Get(e.Key); state != ckpt.StateHit {
+			t.Errorf("netex checkpoint not healed after recompute: state %v", state)
+		}
+	}
+}
+
+// TestResumeIgnoresForeignFingerprint asserts the keying contract: a
+// checkpoint written under different result-affecting options must
+// never be loaded, even with Resume set — the fingerprint separates the
+// keyspaces and the run recomputes from scratch.
+func TestResumeIgnoresForeignFingerprint(t *testing.T) {
+	chip := chips.ByID("B4")
+	store, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := resumeOptions()
+	po.Ckpt = store
+	if _, err := Run(chip, po); err != nil {
+		t.Fatal(err)
+	}
+
+	// Different dwell time → different acquisition → different keys.
+	ro := resumeOptions()
+	ro.SEM.DwellUS = po.SEM.DwellUS * 2
+	ro.Ckpt = store
+	ro.Resume = true
+	ro.Obs = &obs.Observer{Metrics: obs.NewMetrics()}
+	got, err := Run(chip, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := got.Telemetry.Counters["ckpt.hit"]; n != 0 {
+		t.Errorf("run with different options hit %d foreign checkpoints", n)
+	}
+	if n := got.Telemetry.Counters["ckpt.miss"]; n < 1 {
+		t.Errorf("expected misses on foreign fingerprint, got %d", n)
+	}
+}
+
+// TestRunCtxCancelled asserts prompt cooperative cancellation: a
+// pre-cancelled context fails fast and the error unwraps to the
+// context's own error.
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCtx(ctx, chips.ByID("B4"), resumeOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxCancelMidRun cancels shortly after the run starts — while
+// acquisition or the denoise fan-out is in flight, both far longer than
+// the cancel delay — and asserts the run aborts with the context error
+// instead of completing.
+func TestRunCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := resumeOptions()
+	o.Workers = 2
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := RunCtx(ctx, chips.ByID("B4"), o)
+	if err == nil {
+		t.Fatal("cancelled run completed")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStandaloneReconstructNoUnitNoCheckpoints asserts the safety rule
+// for direct ReconstructCtx callers: without CkptUnit the store is
+// never touched, because the options alone cannot reproduce an
+// arbitrary acquisition.
+func TestStandaloneReconstructNoUnitNoCheckpoints(t *testing.T) {
+	acq, window := testAcquisition(t)
+	dir := t.TempDir()
+	store, err := ckpt.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOptions()
+	o.Denoiser = "none"
+	o.Ckpt = store
+	o.Resume = true
+	if _, _, err := ReconstructCtx(context.Background(), acq, window, o); err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, ".ckpt") {
+			files = append(files, path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Errorf("standalone Reconstruct without CkptUnit wrote checkpoints: %v", files)
+	}
+}
+
+// TestPlanarViewsResume asserts the views boundary round-trips: a
+// second PlanarViews call resumes from the first one's checkpoint and
+// returns identical images.
+func TestPlanarViewsResume(t *testing.T) {
+	acq, _ := testAcquisition(t)
+	store, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := fastOptions()
+	o.Denoiser = "none"
+	o.Ckpt = store
+	o.CkptUnit = "test/planar"
+	want, err := PlanarViews(acq, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Resume = true
+	o.Obs = &obs.Observer{Metrics: obs.NewMetrics()}
+	got, err := PlanarViews(acq, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed planar views differ")
+	}
+	if n := o.Obs.Snapshot().Counters["ckpt.resumed."+CkptViews]; n != 1 {
+		t.Errorf("ckpt.resumed.views = %d, want 1", n)
+	}
+}

@@ -12,6 +12,7 @@
 package denoise
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,6 +57,14 @@ func (o Options) validate() error {
 // returns a new image. The dual step size is fixed at 1/8, the proven
 // convergence bound for the 4-neighbor discrete gradient.
 func Chambolle(f *img.Gray, o Options) (*img.Gray, error) {
+	return ChambolleCtx(context.Background(), f, o)
+}
+
+// ChambolleCtx is Chambolle with cooperative cancellation: the context
+// is checked once per outer iteration (the natural preemption point —
+// tens of milliseconds on pipeline-sized slices), and a cancelled run
+// returns ctx.Err() instead of a half-converged image.
+func ChambolleCtx(ctx context.Context, f *img.Gray, o Options) (*img.Gray, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -70,6 +79,9 @@ func Chambolle(f *img.Gray, o Options) (*img.Gray, error) {
 
 	iters := 0
 	for it := 0; it < o.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
 		// u = f - div(p)/lambda
 		divergence(px, py, w, h, div)
@@ -142,6 +154,12 @@ func divergence(px, py []float64, w, h int, dst []float64) {
 // the quadratic subproblem, soft-thresholding of the auxiliary gradient
 // variables (shrinkage), and a Bregman update.
 func SplitBregman(f *img.Gray, o Options) (*img.Gray, error) {
+	return SplitBregmanCtx(context.Background(), f, o)
+}
+
+// SplitBregmanCtx is SplitBregman with cooperative cancellation, checked
+// once per outer iteration like ChambolleCtx.
+func SplitBregmanCtx(ctx context.Context, f *img.Gray, o Options) (*img.Gray, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
@@ -174,6 +192,9 @@ func SplitBregman(f *img.Gray, o Options) (*img.Gray, error) {
 	}
 
 	for it := 0; it < o.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iters++
 		// Gauss-Seidel sweep for u.
 		var change float64

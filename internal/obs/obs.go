@@ -15,6 +15,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -143,8 +144,17 @@ func (o *Observer) active() bool {
 // The hooks only observe: fn's scheduling, inputs and outputs are
 // untouched, so the fan-out's results stay byte-identical.
 func (o *Observer) ForEach(stage string, workers, n int, fn func(i int) error) error {
+	return o.ForEachCtx(context.Background(), stage, workers, n,
+		func(_ context.Context, i int) error { return fn(i) })
+}
+
+// ForEachCtx is ForEach with the fan-out's context threaded through to
+// fn (see par.ForEachCtx): workers check it between indices, so a
+// caller deadline or SIGINT stops the stage at the next unit boundary.
+// The observation contract is unchanged — hooks only watch.
+func (o *Observer) ForEachCtx(ctx context.Context, stage string, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if !o.active() {
-		return par.ForEach(workers, n, fn)
+		return par.ForEachCtx(ctx, par.Config{Workers: workers}, n, fn)
 	}
 	sp := o.StartSpan(stage)
 	defer sp.End()
@@ -167,7 +177,7 @@ func (o *Observer) ForEach(stage string, workers, n int, fn func(i int) error) e
 		}
 		return task, finish
 	}}
-	return par.ForEachHooked(workers, n, hooks, fn)
+	return par.ForEachCtx(ctx, par.Config{Workers: workers, Hooks: hooks}, n, fn)
 }
 
 // Trace collects a tree of timed spans. Safe for concurrent use: spans

@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -81,6 +82,25 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("par: index %d panicked: %v", e.Index, e.Value)
 }
 
+// Config bundles the fan-out knobs ForEachCtx accepts beyond the index
+// range: the worker budget, the optional fail-fast policy, and the
+// observation hooks. The zero value is the collect-all default every
+// pipeline stage uses.
+type Config struct {
+	// Workers bounds the pool (values below 1 mean runtime.NumCPU()).
+	Workers int
+	// FailFast cancels the context passed to fn as soon as any index
+	// returns a non-nil error, so queued indices are skipped and
+	// in-flight ones can unwind early. The returned error joins only
+	// the errors of the indices that actually ran — which indices those
+	// are is scheduling-dependent, so fail-fast trades the collect-all
+	// mode's deterministic error report for latency. Off by default:
+	// every index runs even when some fail, exactly as before.
+	FailFast bool
+	// Hooks are the per-worker observation callbacks (see Hooks).
+	Hooks Hooks
+}
+
 // ForEach runs fn(i) for every i in [0, n) on at most Count(workers)
 // goroutines. All indices run even when some fail, and every failure is
 // reported: the returned error joins (errors.Join) the per-index errors
@@ -100,8 +120,30 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // or determinism; they exist so an observability layer can attribute
 // wall time to workers without the pool depending on it.
 func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), Config{Workers: workers, Hooks: h}, n,
+		func(_ context.Context, i int) error { return fn(i) })
+}
+
+// ForEachCtx is the context-aware core of the pool: fn receives the
+// fan-out's context and runs for every index not yet cancelled. Workers
+// check the context between indices, so cancellation (a caller deadline,
+// SIGINT, or a FailFast sibling error) stops the fan-out at the next
+// index boundary without waiting for the queue to drain; indices that
+// never ran contribute no error. When the caller's ctx is done the
+// returned error joins ctx.Err() with the per-index errors collected so
+// far, so errors.Is(err, context.Canceled/DeadlineExceeded) sees the
+// cancellation. Everything else matches ForEach: per-index errors join
+// in ascending index order, panics confine to their index as
+// *PanicError, and a single-worker fan-out degrades to a plain loop.
+func ForEachCtx(ctx context.Context, cfg Config, n int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	inner := ctx
+	var cancelFailFast context.CancelFunc
+	if cfg.FailFast {
+		inner, cancelFailFast = context.WithCancel(ctx)
+		defer cancelFailFast()
 	}
 	call := func(i int) (err error) {
 		defer func() {
@@ -109,12 +151,13 @@ func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 				err = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
 			}
 		}()
-		return fn(i)
+		return fn(inner, i)
 	}
-	w := Count(workers)
+	w := Count(cfg.Workers)
 	if w > n {
 		w = n
 	}
+	h := cfg.Hooks
 	errs := make([]error, n)
 	runWorker := func(g int, take func() (int, bool)) {
 		var task func(i int) func()
@@ -122,7 +165,7 @@ func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 		if h.Worker != nil {
 			task, finish = h.Worker(g)
 		}
-		for {
+		for inner.Err() == nil {
 			i, ok := take()
 			if !ok {
 				break
@@ -135,6 +178,9 @@ func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 				}
 			} else {
 				errs[i] = call(i)
+			}
+			if errs[i] != nil && cancelFailFast != nil {
+				cancelFailFast()
 			}
 		}
 		if finish != nil {
@@ -150,7 +196,7 @@ func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 			i++
 			return i - 1, true
 		})
-		return joinIndexed(errs)
+		return finishCtx(ctx, errs)
 	}
 	var next atomic.Int64
 	take := func() (int, bool) {
@@ -166,7 +212,18 @@ func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 		}(g)
 	}
 	wg.Wait()
-	return joinIndexed(errs)
+	return finishCtx(ctx, errs)
+}
+
+// finishCtx joins the per-index errors, prepending the caller context's
+// error when the fan-out was cancelled from outside so callers can
+// errors.Is against it directly.
+func finishCtx(ctx context.Context, errs []error) error {
+	err := joinIndexed(errs)
+	if cerr := ctx.Err(); cerr != nil {
+		return errors.Join(cerr, err)
+	}
+	return err
 }
 
 // joinIndexed joins the non-nil entries in index order; nil when all

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -265,6 +266,108 @@ func TestForEachHookedNilHooksMatchForEach(t *testing.T) {
 	for i := range ref {
 		if ref[i] != got[i] {
 			t.Fatalf("index %d: %d != %d", i, got[i], ref[i])
+		}
+	}
+}
+
+func TestForEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEachCtx(ctx, Config{Workers: 4}, 100, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d indices ran under a pre-cancelled context", ran.Load())
+	}
+}
+
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEachCtx(ctx, Config{Workers: workers}, 1000, func(_ context.Context, i int) error {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Workers stop at the next index boundary: with w workers at most
+		// w indices can already be in flight when cancel lands.
+		if n := ran.Load(); n > 10+int32(workers) {
+			t.Errorf("workers=%d: %d indices ran after cancellation at 10", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxFailFastSkipsQueuedWork(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		boom := errors.New("boom")
+		err := ForEachCtx(context.Background(), Config{Workers: workers, FailFast: true}, 1000,
+			func(_ context.Context, i int) error {
+				ran.Add(1)
+				if i == 0 {
+					return boom
+				}
+				return nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v, want boom", workers, err)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: fail-fast self-cancellation leaked into the error: %v", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: fail-fast ran all %d indices", workers, n)
+		}
+	}
+}
+
+func TestForEachCtxFailFastCancelsInFlightContext(t *testing.T) {
+	release := make(chan struct{})
+	err := ForEachCtx(context.Background(), Config{Workers: 2, FailFast: true}, 2,
+		func(ctx context.Context, i int) error {
+			if i == 1 {
+				<-release
+				return errors.New("boom")
+			}
+			// Index 0 blocks until the sibling's error cancels its ctx.
+			close(release)
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachCtxCollectAllDefaultUnchanged(t *testing.T) {
+	// Without FailFast every index runs even when some fail, matching
+	// ForEach exactly.
+	var ran atomic.Int32
+	err := ForEachCtx(context.Background(), Config{Workers: 4}, 50,
+		func(_ context.Context, i int) error {
+			ran.Add(1)
+			if i%10 == 0 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+	if ran.Load() != 50 {
+		t.Fatalf("only %d/50 indices ran in collect-all mode", ran.Load())
+	}
+	for _, i := range []int{0, 10, 20, 30, 40} {
+		if !strings.Contains(err.Error(), fmt.Sprintf("fail %d", i)) {
+			t.Errorf("error missing index %d: %v", i, err)
 		}
 	}
 }

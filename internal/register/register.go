@@ -11,6 +11,7 @@
 package register
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -163,6 +164,13 @@ func (o Options) robust() bool {
 // Applying the returned shift to moving (img.Gray.Translate) brings it
 // into registration with fixed.
 func Align(fixed, moving *img.Gray, o Options) (Shift, float64, error) {
+	return AlignCtx(context.Background(), fixed, moving, o)
+}
+
+// AlignCtx is Align with cooperative cancellation: the candidate-shift
+// fan-out checks the context between candidates (via par.ForEachCtx), so
+// a cancelled search aborts within one MI evaluation.
+func AlignCtx(ctx context.Context, fixed, moving *img.Gray, o Options) (Shift, float64, error) {
 	if err := o.validate(); err != nil {
 		return Shift{}, 0, err
 	}
@@ -182,7 +190,7 @@ func Align(fixed, moving *img.Gray, o Options) (Shift, float64, error) {
 	ny, nx := o.shiftY(), o.MaxShift
 	cols := 2*nx + 1
 	mis := make([]float64, cols*(2*ny+1))
-	err := par.ForEach(o.Workers, len(mis), func(k int) error {
+	err := par.ForEachCtx(ctx, par.Config{Workers: o.Workers}, len(mis), func(_ context.Context, k int) error {
 		dy, dx := k/cols-ny, k%cols-nx
 		mi, err := overlapMI(fixed, moving, dx, dy, o)
 		mis[k] = mi
@@ -276,7 +284,13 @@ func maxWindow(g *img.Gray, margin int) (int, int) {
 // pair degrades to "no correction" instead of a garbage anchor. With
 // MinConfidence == 0 and WidenRetries == 0 it reduces exactly to Align.
 func AlignRobust(fixed, moving *img.Gray, o Options) (AlignResult, error) {
-	s, mi, err := Align(fixed, moving, o)
+	return AlignRobustCtx(context.Background(), fixed, moving, o)
+}
+
+// AlignRobustCtx is AlignRobust with cooperative cancellation threaded
+// into every widening retry's candidate search.
+func AlignRobustCtx(ctx context.Context, fixed, moving *img.Gray, o Options) (AlignResult, error) {
+	s, mi, err := AlignCtx(ctx, fixed, moving, o)
 	if err != nil {
 		return AlignResult{}, err
 	}
@@ -315,7 +329,7 @@ func AlignRobust(fixed, moving *img.Gray, o Options) (AlignResult, error) {
 		cur = next
 		o.Obs.Count("register.widen_retries", 1)
 		o.Obs.Debug("align widen", "max_shift", cur.MaxShift, "max_shift_y", cur.MaxShiftY, "mi", mi)
-		if s, mi, err = Align(fixed, moving, cur); err != nil {
+		if s, mi, err = AlignCtx(ctx, fixed, moving, cur); err != nil {
 			return AlignResult{}, err
 		}
 	}
@@ -352,6 +366,12 @@ func (r StackResult) Fallbacks() int {
 // one"), accumulating the per-pair shifts into absolute corrections, and
 // returns the aligned copies alongside the shift report.
 func AlignStack(slices []*img.Gray, o Options) ([]*img.Gray, StackResult, error) {
+	return AlignStackCtx(context.Background(), slices, o)
+}
+
+// AlignStackCtx is AlignStack with cooperative cancellation between
+// slice pairs (and, through AlignRobustCtx, between MI candidates).
+func AlignStackCtx(ctx context.Context, slices []*img.Gray, o Options) ([]*img.Gray, StackResult, error) {
 	if len(slices) == 0 {
 		return nil, StackResult{}, fmt.Errorf("register: empty stack")
 	}
@@ -368,7 +388,7 @@ func AlignStack(slices []*img.Gray, o Options) ([]*img.Gray, StackResult, error)
 		// window even when drift accumulates across the stack; the
 		// absolute correction is the running sum. AlignRobust reduces
 		// exactly to Align unless MinConfidence/WidenRetries are set.
-		r, err := AlignRobust(slices[i-1], slices[i], o)
+		r, err := AlignRobustCtx(ctx, slices[i-1], slices[i], o)
 		if err != nil {
 			return nil, StackResult{}, fmt.Errorf("register: slice %d: %w", i, err)
 		}
@@ -385,12 +405,18 @@ func AlignStack(slices []*img.Gray, o Options) ([]*img.Gray, StackResult, error)
 // stack as the mean magnitude of the per-pair shifts that a re-alignment
 // would still apply. A well-aligned stack reports a value near zero.
 func ResidualDrift(slices []*img.Gray, o Options) (float64, error) {
+	return ResidualDriftCtx(context.Background(), slices, o)
+}
+
+// ResidualDriftCtx is ResidualDrift with cooperative cancellation
+// between slice pairs.
+func ResidualDriftCtx(ctx context.Context, slices []*img.Gray, o Options) (float64, error) {
 	if len(slices) < 2 {
 		return 0, nil
 	}
 	var sum float64
 	for i := 1; i < len(slices); i++ {
-		s, _, err := Align(slices[i-1], slices[i], o)
+		s, _, err := AlignCtx(ctx, slices[i-1], slices[i], o)
 		if err != nil {
 			return 0, err
 		}

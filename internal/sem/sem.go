@@ -9,6 +9,7 @@
 package sem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -167,6 +168,14 @@ type Acquisition struct {
 // AcquireStack mills through the volume along Z, imaging every SliceStep
 // voxels with the configured artifacts.
 func AcquireStack(v *chipgen.MatVolume, o Options) (*Acquisition, error) {
+	return AcquireStackCtx(context.Background(), v, o)
+}
+
+// AcquireStackCtx is AcquireStack with cooperative cancellation between
+// slices: acquisition is the pipeline's longest stage (the paper's real
+// campaigns run >24 h), so a cancelled run must stop at the next FIB cut
+// rather than mill the remaining volume.
+func AcquireStackCtx(ctx context.Context, v *chipgen.MatVolume, o Options) (*Acquisition, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
@@ -175,6 +184,9 @@ func AcquireStack(v *chipgen.MatVolume, o Options) (*Acquisition, error) {
 	acq := &Acquisition{Options: o}
 	var dx, dy float64
 	for z := 0; z < v.NZ; z += o.SliceStep {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ideal, err := RenderCrossSection(v, z, o.Detector)
 		if err != nil {
 			return nil, err

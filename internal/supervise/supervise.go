@@ -1,0 +1,207 @@
+// Package supervise is the crash-safe run supervisor for multi-unit
+// campaigns (extract -all): it fans a unit function out over a worker
+// pool with per-unit isolation — a panic or error in one unit never
+// aborts the others — per-attempt deadlines, and bounded retry with
+// exponential backoff and deterministic jitter.
+//
+// The retry taxonomy is explicit. An error is retried only when the
+// unit function marked it retryable (MarkRetryable) — the signature of
+// transient conditions like a checkpoint store briefly unwritable.
+// Everything else is terminal for its unit: deterministic pipeline
+// errors would fail identically on every attempt, a per-attempt
+// deadline would be exceeded again by the same computation, and a panic
+// is a bug to surface, not to mask by rerunning. Cancellation of the
+// supervisor's own context is terminal for the whole campaign: in-flight
+// units stop at their next cooperative check and queued units are never
+// started.
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Options configures a supervised campaign.
+type Options struct {
+	// Timeout bounds each attempt of each unit; 0 means no deadline.
+	// An attempt that exceeds it fails with context.DeadlineExceeded,
+	// which is terminal (the same computation would time out again).
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a retryable
+	// failure (so Retries=2 means at most 3 attempts).
+	Retries int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it. Zero defaults to time.Second.
+	Backoff time.Duration
+	// JitterSeed drives the deterministic jitter (±25% of the delay)
+	// added to each backoff so colliding units decorrelate
+	// reproducibly.
+	JitterSeed int64
+	// Workers bounds the unit fan-out (see par.Count).
+	Workers int
+	// Obs receives retry/failure counters and progress logs; nil
+	// disables instrumentation.
+	Obs *obs.Observer
+}
+
+// Status is the supervisor's per-unit report.
+type Status struct {
+	// Name identifies the unit (e.g. the chip ID).
+	Name string
+	// Attempts is how many times the unit function ran (>= 1 unless the
+	// campaign was cancelled before the unit started).
+	Attempts int
+	// Err is the unit's final error: nil on success, the last attempt's
+	// error otherwise (a *par.PanicError if the attempt panicked).
+	Err error
+	// Duration is the wall time spent on the unit across all attempts,
+	// backoff sleeps included.
+	Duration time.Duration
+}
+
+// retryableError marks an error as worth another attempt.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// MarkRetryable wraps err so the supervisor will retry the unit (up to
+// Options.Retries). A nil err stays nil.
+func MarkRetryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) was marked
+// with MarkRetryable.
+func IsRetryable(err error) bool {
+	var r *retryableError
+	return errors.As(err, &r)
+}
+
+// Run executes fn once per unit name under the supervision contract and
+// returns the per-unit statuses in input order plus the campaign error:
+// nil when every unit succeeded, otherwise an errors.Join of the failed
+// units' errors in input order (prefixed with the supervisor context's
+// own error when the campaign was cancelled). The statuses are always
+// complete — a campaign error never hides the units that succeeded.
+func Run(ctx context.Context, names []string, fn func(ctx context.Context, i int) error, o Options) ([]Status, error) {
+	if o.Backoff <= 0 {
+		o.Backoff = time.Second
+	}
+	statuses := make([]Status, len(names))
+	for i, name := range names {
+		statuses[i] = Status{Name: name}
+	}
+	// The fan-out itself never returns unit errors: each unit's outcome
+	// lands in its Status, so one failure cannot abort the others. Only
+	// a cancelled context stops the pool early.
+	_ = par.ForEachCtx(ctx, par.Config{Workers: o.Workers}, len(names), func(ctx context.Context, i int) error {
+		statuses[i] = runUnit(ctx, names[i], i, fn, o)
+		return nil
+	})
+	errs := make([]error, 0, len(names)+1)
+	if err := ctx.Err(); err != nil {
+		errs = append(errs, err)
+		// Units the cancelled pool never started still need an honest
+		// status.
+		for i := range statuses {
+			if statuses[i].Attempts == 0 && statuses[i].Err == nil {
+				statuses[i].Err = fmt.Errorf("not started: %w", err)
+			}
+		}
+	}
+	for i := range statuses {
+		if statuses[i].Err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", statuses[i].Name, statuses[i].Err))
+		}
+	}
+	return statuses, errors.Join(errs...)
+}
+
+// runUnit drives one unit through its attempt/backoff loop. The status
+// is a named return so the deferred Duration stamp survives every exit
+// path.
+func runUnit(ctx context.Context, name string, i int, fn func(ctx context.Context, i int) error, o Options) (st Status) {
+	st = Status{Name: name}
+	start := time.Now()
+	defer func() { st.Duration = time.Since(start) }()
+	// Jitter is seeded per unit, not shared: the sequence each unit
+	// draws is independent of scheduling order and worker count.
+	rng := rand.New(rand.NewSource(o.JitterSeed + int64(i)*7919))
+	for {
+		st.Attempts++
+		err := attempt(ctx, i, fn, o.Timeout)
+		st.Err = err
+		if err == nil {
+			return st
+		}
+		if ctx.Err() != nil {
+			// The campaign is shutting down; whatever the attempt
+			// reported, do not retry into a cancelled context.
+			return st
+		}
+		var p *par.PanicError
+		switch {
+		case errors.As(err, &p):
+			o.Obs.Count("supervise.panics", 1)
+			o.Obs.Info("unit panicked", "unit", name, "attempt", st.Attempts, "err", err)
+			return st
+		case errors.Is(err, context.DeadlineExceeded):
+			o.Obs.Count("supervise.timeouts", 1)
+			o.Obs.Info("unit deadline exceeded", "unit", name, "attempt", st.Attempts, "timeout", o.Timeout)
+			return st
+		case !IsRetryable(err) || st.Attempts > o.Retries:
+			return st
+		}
+		delay := backoff(o.Backoff, st.Attempts, rng)
+		o.Obs.Count("supervise.retries", 1)
+		o.Obs.Info("retrying unit", "unit", name, "attempt", st.Attempts, "delay", delay, "err", err)
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return st
+		}
+	}
+}
+
+// attempt runs fn once under the per-attempt deadline, converting a
+// panic into a *par.PanicError instead of tearing down the pool.
+func attempt(ctx context.Context, i int, fn func(ctx context.Context, i int) error, timeout time.Duration) (err error) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &par.PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	err = fn(actx, i)
+	// A deterministic pipeline surfaces a blown deadline as whatever
+	// stage error wrapped ctx.Err(); normalize so the caller's taxonomy
+	// check is uniform.
+	if err != nil && actx.Err() == context.DeadlineExceeded && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%w: %w", context.DeadlineExceeded, err)
+	}
+	return err
+}
+
+// backoff returns the exponential delay for the given completed attempt
+// count with ±25% deterministic jitter.
+func backoff(base time.Duration, attempts int, rng *rand.Rand) time.Duration {
+	d := base << (attempts - 1)
+	jitter := 0.75 + rng.Float64()/2
+	return time.Duration(float64(d) * jitter)
+}

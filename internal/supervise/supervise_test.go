@@ -1,0 +1,305 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// fastBackoff keeps retry sleeps out of the test wall clock.
+func fastBackoff() Options {
+	return Options{Backoff: time.Microsecond, Workers: 2}
+}
+
+func TestAllUnitsSucceed(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	var ran atomic.Int32
+	sts, err := Run(context.Background(), names, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}, fastBackoff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Errorf("ran %d units, want 3", got)
+	}
+	for i, st := range sts {
+		if st.Name != names[i] || st.Attempts != 1 || st.Err != nil {
+			t.Errorf("status[%d] = %+v", i, st)
+		}
+	}
+}
+
+// One failing unit must not abort the others, and the campaign error
+// must name exactly the failed unit.
+func TestFailureIsolated(t *testing.T) {
+	boom := errors.New("boom")
+	sts, err := Run(context.Background(), []string{"a", "b", "c"}, func(ctx context.Context, i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	}, fastBackoff())
+	if !errors.Is(err, boom) {
+		t.Fatalf("campaign err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "b:") {
+		t.Errorf("campaign err does not name the failed unit: %v", err)
+	}
+	if sts[0].Err != nil || sts[2].Err != nil {
+		t.Errorf("healthy units carry errors: %+v", sts)
+	}
+	if !errors.Is(sts[1].Err, boom) {
+		t.Errorf("failed unit status: %+v", sts[1])
+	}
+}
+
+// A panicking unit is confined to its status as a *par.PanicError; the
+// process and the sibling units survive.
+func TestPanicIsolated(t *testing.T) {
+	sts, err := Run(context.Background(), []string{"a", "b"}, func(ctx context.Context, i int) error {
+		if i == 0 {
+			panic("poisoned unit")
+		}
+		return nil
+	}, fastBackoff())
+	if err == nil {
+		t.Fatal("campaign error is nil despite panic")
+	}
+	var p *par.PanicError
+	if !errors.As(sts[0].Err, &p) {
+		t.Fatalf("status[0].Err = %v, want *par.PanicError", sts[0].Err)
+	}
+	if p.Stack == "" {
+		t.Error("panic stack not captured")
+	}
+	if sts[0].Attempts != 1 {
+		t.Errorf("panicked unit retried: %d attempts", sts[0].Attempts)
+	}
+	if sts[1].Err != nil {
+		t.Errorf("sibling unit affected: %v", sts[1].Err)
+	}
+}
+
+// Retryable errors are retried up to Options.Retries with counted
+// attempts; success on a later attempt clears the unit's error.
+func TestRetryableRetriedUntilSuccess(t *testing.T) {
+	var calls atomic.Int32
+	o := fastBackoff()
+	o.Retries = 3
+	o.Obs = &obs.Observer{Metrics: obs.NewMetrics()}
+	sts, err := Run(context.Background(), []string{"flaky"}, func(ctx context.Context, i int) error {
+		if calls.Add(1) < 3 {
+			return MarkRetryable(errors.New("transient"))
+		}
+		return nil
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts[0].Attempts != 3 || sts[0].Err != nil {
+		t.Errorf("status = %+v, want 3 attempts and success", sts[0])
+	}
+	if n := o.Obs.Snapshot().Counters["supervise.retries"]; n != 2 {
+		t.Errorf("supervise.retries = %d, want 2", n)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	o := fastBackoff()
+	o.Retries = 2
+	var calls atomic.Int32
+	sts, err := Run(context.Background(), []string{"down"}, func(ctx context.Context, i int) error {
+		calls.Add(1)
+		return MarkRetryable(errors.New("still broken"))
+	}, o)
+	if err == nil {
+		t.Fatal("exhausted retries reported success")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("ran %d attempts, want 3 (1 + 2 retries)", got)
+	}
+	if sts[0].Attempts != 3 {
+		t.Errorf("status attempts = %d, want 3", sts[0].Attempts)
+	}
+}
+
+// Unmarked errors are terminal: one attempt, no backoff.
+func TestTerminalErrorNotRetried(t *testing.T) {
+	o := fastBackoff()
+	o.Retries = 5
+	var calls atomic.Int32
+	_, err := Run(context.Background(), []string{"det"}, func(ctx context.Context, i int) error {
+		calls.Add(1)
+		return errors.New("deterministic failure")
+	}, o)
+	if err == nil {
+		t.Fatal("want campaign error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("terminal error retried: %d attempts", got)
+	}
+}
+
+// The per-attempt deadline cancels the unit's context and surfaces as a
+// terminal context.DeadlineExceeded even when the unit wraps it.
+func TestPerAttemptTimeout(t *testing.T) {
+	o := fastBackoff()
+	o.Timeout = 10 * time.Millisecond
+	o.Retries = 3
+	var calls atomic.Int32
+	sts, err := Run(context.Background(), []string{"slow"}, func(ctx context.Context, i int) error {
+		calls.Add(1)
+		<-ctx.Done()
+		return fmt.Errorf("stage aborted: %w", ctx.Err())
+	}, o)
+	if err == nil {
+		t.Fatal("want campaign error")
+	}
+	if !errors.Is(sts[0].Err, context.DeadlineExceeded) {
+		t.Errorf("status err = %v, want DeadlineExceeded", sts[0].Err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("timed-out unit retried: %d attempts", got)
+	}
+}
+
+// Cancelling the supervisor context stops the campaign: in-flight units
+// see their context cancelled, queued units never start but still get
+// an honest "not started" status, and the campaign error leads with the
+// context's error.
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	names := make([]string, 50)
+	for i := range names {
+		names[i] = fmt.Sprintf("u%02d", i)
+	}
+	o := Options{Workers: 2, Backoff: time.Microsecond}
+	started := make(chan struct{}, 1)
+	sts, err := Run(ctx, names, func(ctx context.Context, i int) error {
+		select {
+		case started <- struct{}{}:
+			cancel()
+		default:
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	}, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("campaign err = %v, want context.Canceled", err)
+	}
+	var notStarted int
+	for _, st := range sts {
+		if st.Attempts == 0 {
+			notStarted++
+			if st.Err == nil || !strings.Contains(st.Err.Error(), "not started") {
+				t.Errorf("queued unit %s has status %v", st.Name, st.Err)
+			}
+		}
+	}
+	if notStarted == 0 {
+		t.Error("expected some units to never start after cancellation")
+	}
+}
+
+// A retry loop in progress gives up promptly when the campaign is
+// cancelled instead of sleeping through its backoff.
+func TestCancellationStopsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := Options{Workers: 1, Retries: 1000, Backoff: time.Hour, JitterSeed: 1}
+	done := make(chan struct{})
+	var sts []Status
+	go func() {
+		sts, _ = Run(ctx, []string{"flaky"}, func(ctx context.Context, i int) error {
+			return MarkRetryable(errors.New("transient"))
+		}, o)
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervisor kept sleeping through backoff after cancellation")
+	}
+	if sts[0].Attempts == 0 {
+		t.Error("unit never attempted")
+	}
+}
+
+// Jitter is deterministic: equal seeds give equal backoff sequences,
+// different seeds diverge.
+func TestBackoffJitterDeterministic(t *testing.T) {
+	seq := func(seed int64) []time.Duration {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]time.Duration, 5)
+		for a := 1; a <= 5; a++ {
+			out[a-1] = backoff(time.Second, a, rng)
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v != %v", i, a[i], b[i])
+		}
+		lo := time.Duration(float64(time.Second<<i) * 0.75)
+		hi := time.Duration(float64(time.Second<<i) * 1.25)
+		if a[i] < lo || a[i] > hi {
+			t.Errorf("backoff %d = %v outside [%v, %v]", i, a[i], lo, hi)
+		}
+	}
+	c := seq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+// Status.Duration reports the unit's real wall time (regression: a
+// mis-scoped defer used to leave it zero on every path).
+func TestStatusDurationStamped(t *testing.T) {
+	sts, err := Run(context.Background(), []string{"timed"}, func(ctx context.Context, i int) error {
+		time.Sleep(5 * time.Millisecond)
+		return nil
+	}, fastBackoff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts[0].Duration < 5*time.Millisecond {
+		t.Errorf("Duration = %v, want >= 5ms", sts[0].Duration)
+	}
+}
+
+func TestMarkRetryable(t *testing.T) {
+	if MarkRetryable(nil) != nil {
+		t.Error("MarkRetryable(nil) != nil")
+	}
+	base := errors.New("x")
+	wrapped := fmt.Errorf("outer: %w", MarkRetryable(base))
+	if !IsRetryable(wrapped) {
+		t.Error("retryable mark lost through wrapping")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("base error lost through marking")
+	}
+	if IsRetryable(base) {
+		t.Error("unmarked error reported retryable")
+	}
+}
