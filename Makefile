@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench check faults-smoke trace-smoke crash-smoke fuzz
+.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -41,14 +41,29 @@ trace-smoke:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
-# check is the CI gate: static analysis, race-checked tests, and the
-# fault-injection, observability and crash-recovery smoke runs.
-check: vet race faults-smoke trace-smoke crash-smoke
+# alloc-check pins the allocation-free MI kernel: steady-state candidate
+# evaluation must stay at zero heap allocations per candidate.
+alloc-check:
+	$(GO) test ./internal/register -run 'AllocFree' -count=1
+
+# check is the CI gate: static analysis, the allocation regression
+# tests, race-checked tests, and the fault-injection, observability and
+# crash-recovery smoke runs.
+check: vet alloc-check race faults-smoke trace-smoke crash-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.
 bench:
 	BENCH_JSON=$(CURDIR)/BENCH_recon.json $(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# benchcmp compares two BENCH_recon.json files (old vs new) and prints a
+# per-benchmark speedup table. Typical flow:
+#   git stash && make bench && mv BENCH_recon.json BENCH_recon.json.old
+#   git stash pop && make bench && make benchcmp
+OLD ?= BENCH_recon.json.old
+NEW ?= BENCH_recon.json
+benchcmp:
+	$(GO) run ./cmd/benchcmp $(OLD) $(NEW)
 
 # fuzz exercises the fuzz targets briefly (the seed corpora always run
 # as part of `test`).

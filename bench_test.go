@@ -27,6 +27,7 @@ import (
 	"repro/internal/netex"
 	"repro/internal/papers"
 	"repro/internal/par"
+	"repro/internal/register"
 	"repro/internal/report"
 	"repro/internal/sa"
 	"repro/internal/sem"
@@ -245,6 +246,83 @@ func BenchmarkReconstructionSerial(b *testing.B) {
 // layer (compare against BenchmarkReconstructionSerial).
 func BenchmarkReconstructionParallel(b *testing.B) {
 	benchReconstruction(b, runtime.NumCPU())
+}
+
+// benchAlignStack runs the E5c alignment benchmarks: the MI stack
+// alignment alone (the reconstruction hot path the allocation-free
+// kernel and the pyramid search optimize), on the same B4 acquisition
+// the E5 benchmarks replay.
+func benchAlignStack(b *testing.B, workers, pyramid int) {
+	acq, _, _ := setupReconstruction(b)
+	ro := register.DefaultOptions()
+	ro.Workers = workers
+	ro.Pyramid = pyramid
+	b.ResetTimer()
+	var res register.StackResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		_, res, err = register.AlignStack(acq.Slices, ro)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	benchRecords.mu.Lock()
+	benchRecords.recs = append(benchRecords.recs, benchRecord{
+		Name:    b.Name(),
+		NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
+		Workers: par.Count(workers),
+		Slices:  len(acq.Slices),
+		N:       b.N,
+	})
+	benchRecords.mu.Unlock()
+	if len(res.Shifts) != len(acq.Slices) {
+		b.Fatalf("alignment lost slices: %d shifts for %d slices", len(res.Shifts), len(acq.Slices))
+	}
+	b.ReportMetric(float64(len(acq.Slices)), "slices")
+	b.ReportMetric(float64(par.Count(workers)), "workers")
+}
+
+// E5c — one MI pair alignment (the unit of work every stack pass
+// repeats), single worker.
+func BenchmarkAlignPair(b *testing.B) {
+	acq, _, _ := setupReconstruction(b)
+	ro := register.DefaultOptions()
+	ro.Workers = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := register.Align(acq.Slices[0], acq.Slices[1], ro); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	benchRecords.mu.Lock()
+	benchRecords.recs = append(benchRecords.recs, benchRecord{
+		Name:    b.Name(),
+		NsPerOp: b.Elapsed().Nanoseconds() / int64(b.N),
+		Workers: 1,
+		Slices:  2,
+		N:       b.N,
+	})
+	benchRecords.mu.Unlock()
+}
+
+// E5d — sequential exhaustive stack alignment: the headline number for
+// the allocation-free kernel (compare against the pre-kernel baseline
+// in BENCH_recon.json history and README §performance).
+func BenchmarkAlignStack(b *testing.B) {
+	benchAlignStack(b, 1, 0)
+}
+
+// E5e — the same with the default worker pool.
+func BenchmarkAlignStackParallel(b *testing.B) {
+	benchAlignStack(b, 0, 0)
+}
+
+// E5f — sequential coarse-to-fine stack alignment (-pyramid 3): the
+// algorithmic speedup on top of the kernel one.
+func BenchmarkAlignPyramid(b *testing.B) {
+	benchAlignStack(b, 1, 3)
 }
 
 // E6 — Fig. 10 and the GDSII release: layout extraction and export.

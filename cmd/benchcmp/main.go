@@ -1,0 +1,97 @@
+// Command benchcmp compares two BENCH_recon.json files (as written by
+// `make bench` via the BENCH_JSON hook in bench_test.go) and prints a
+// per-benchmark table of old vs new ns/op with the speedup factor.
+//
+//	benchcmp [-threshold 1.1] OLD.json NEW.json
+//
+// Benchmarks present in only one file are listed but not compared.
+// With -threshold T > 0, the command exits nonzero when any benchmark
+// regressed by more than a factor of T (new > T*old), making it usable
+// as a CI perf gate; the default 0 only reports.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+)
+
+// record mirrors the benchRecord schema of bench_test.go.
+type record struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	Workers int    `json:"workers"`
+	Slices  int    `json:"slices"`
+	N       int    `json:"n"`
+}
+
+func load(path string) ([]record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any benchmark regresses by more than this factor (0 = report only)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold T] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldRecs, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newRecs, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	oldBy := make(map[string]record, len(oldRecs))
+	for _, r := range oldRecs {
+		oldBy[r.Name] = r
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\told\tnew\tspeedup")
+	regressed := 0
+	seen := make(map[string]bool, len(newRecs))
+	for _, nr := range newRecs {
+		seen[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%v\t(new)\n", nr.Name, time.Duration(nr.NsPerOp))
+			continue
+		}
+		speedup := float64(or.NsPerOp) / float64(nr.NsPerOp)
+		mark := ""
+		if *threshold > 0 && float64(nr.NsPerOp) > *threshold*float64(or.NsPerOp) {
+			mark = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx%s\n",
+			nr.Name, time.Duration(or.NsPerOp), time.Duration(nr.NsPerOp), speedup, mark)
+	}
+	for _, or := range oldRecs {
+		if !seen[or.Name] {
+			fmt.Fprintf(w, "%s\t%v\t-\t(removed)\n", or.Name, time.Duration(or.NsPerOp))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed past %.2fx\n", regressed, *threshold)
+		os.Exit(1)
+	}
+}

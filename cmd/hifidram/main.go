@@ -18,8 +18,10 @@
 //	hifidram tracecheck out.json          validate a trace file covers every stage
 //
 // extract and planar accept -workers N to bound the reconstruction
-// worker pool (0, the default, uses every core) plus the observability
-// flags: -trace out.json writes a Chrome trace-event file (loadable in
+// worker pool (0, the default, uses every core), -pyramid N to switch
+// slice alignment to the coarse-to-fine pyramid search (opt-in: the
+// selected shifts may differ from the default exhaustive scan), plus
+// the observability flags: -trace out.json writes a Chrome trace-event file (loadable in
 // Perfetto or chrome://tracing), -stats prints a per-stage wall-time
 // table to stderr, -v / -vv enable structured progress / per-slice
 // detail logs, and -pprof ADDR serves net/http/pprof and expvar. None
@@ -125,15 +127,19 @@ commands:
   gds         export the ground-truth layout as GDSII (-chip, -o)
   roi         blind ROI identification on the die strip (-chip, -voxel)
   extract     full imaging + extraction pipeline (-chip | -all, -die,
-              -faults, -fault-seed, -gds, -voxel, -dwell, -workers)
+              -faults, -fault-seed, -gds, -voxel, -dwell, -workers,
+              -pyramid)
   planar      write reconstructed planar views as PGM (-chip, -o,
-              -voxel, -workers)
+              -voxel, -workers, -pyramid)
   ckpt        verify a checkpoint store: scan -dir, check every entry's
               checksum, report corrupt/stray files (nonzero exit on any)
   tracecheck  validate a -trace file: parses as Chrome trace JSON and
               covers every pipeline stage
 
-extract and planar also take the observability flags:
+extract and planar also take -pyramid N to align with the coarse-to-fine
+pyramid search (N resolution levels; 0 or 1, the default, keeps the
+exhaustive scan — shifts may differ from exhaustive by design, and the
+checkpoint fingerprint changes accordingly), and the observability flags:
   -trace FILE   write a Chrome trace-event JSON file (Perfetto-loadable)
   -stats        print a per-stage wall-time table to stderr
   -v / -vv      structured progress / per-slice detail logs on stderr
@@ -159,6 +165,10 @@ func chipFlag(fs *flag.FlagSet) *string {
 
 func workersFlag(fs *flag.FlagSet) *int {
 	return fs.Int("workers", 0, "worker pool size for the reconstruction hot path (0 = all cores)")
+}
+
+func pyramidFlag(fs *flag.FlagSet) *int {
+	return fs.Int("pyramid", 0, "coarse-to-fine alignment pyramid levels (0/1 = exhaustive search; try 3)")
 }
 
 // obsFlags are the observability flags shared by extract and planar.
@@ -364,6 +374,7 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 	timeout := fs.Duration("timeout", 0, "per-chip per-attempt deadline (0 = none)")
 	retries := fs.Int("retries", 0, "retry attempts for chips failing with transient (retryable) errors")
 	workers := workersFlag(fs)
+	pyramid := pyramidFlag(fs)
 	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -410,6 +421,7 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
 		o.Workers = inner
+		o.Register.Pyramid = *pyramid
 		o.Ckpt = store
 		o.Resume = *resume
 		if *faults {
@@ -475,6 +487,7 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 		o.VoxelNM = *voxel
 		o.SEM.DwellUS = *dwell
 		o.Workers = *workers
+		o.Register.Pyramid = *pyramid
 		if err := exportExtracted(ctx, list[0], o, *gdsOut); err != nil {
 			return err
 		}
@@ -633,6 +646,7 @@ func runPlanar(ctx context.Context, args []string) (retErr error) {
 	ckptDir := fs.String("ckpt-dir", "", "checkpoint completed pipeline stages into this directory (atomic, checksummed)")
 	resume := fs.Bool("resume", false, "load verified checkpoints from -ckpt-dir instead of recomputing; corrupt or missing ones are recomputed")
 	workers := workersFlag(fs)
+	pyramid := pyramidFlag(fs)
 	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -661,6 +675,7 @@ func runPlanar(ctx context.Context, args []string) (retErr error) {
 	o.VoxelNM = *voxel
 	o.SEM.Detector = c.Detector
 	o.Workers = *workers
+	o.Register.Pyramid = *pyramid
 	o.Ckpt = store
 	o.Resume = *resume
 	// The planar acquisition is fully reproduced by the options (same

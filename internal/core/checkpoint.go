@@ -118,6 +118,7 @@ func newCkptRef(unit string, o Options) (*ckptRef, error) {
 	clean.CkptUnit = ""
 	clean.Denoise.Obs = nil
 	clean.Register.Obs = nil
+	clean.Register.Workers = 0
 	fp, err := ckpt.Fingerprint(fpOptions{Schema: ckptSchema, Opts: clean})
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint fingerprint: %w", err)

@@ -240,6 +240,43 @@ func TestResumeIgnoresForeignFingerprint(t *testing.T) {
 	}
 }
 
+// TestFingerprintSeparatesPyramid pins the checkpoint contract for the
+// coarse-to-fine search option: Register.Pyramid is result-affecting
+// (the selected shifts may differ from exhaustive), so it must change
+// the fingerprint — a resumed run never loads artifacts computed under
+// a different search strategy — while worker count still must not.
+func TestFingerprintSeparatesPyramid(t *testing.T) {
+	store, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultOptions()
+	base.Ckpt = store
+	ref, err := newCkptRef("B4", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pyr := base
+	pyr.Register.Pyramid = 3
+	pyrRef, err := newCkptRef("B4", pyr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.fp == pyrRef.fp {
+		t.Errorf("Pyramid option must change the checkpoint fingerprint")
+	}
+	par := base
+	par.Workers = 7
+	par.Register.Workers = 3
+	parRef, err := newCkptRef("B4", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.fp != parRef.fp {
+		t.Errorf("worker counts must not change the checkpoint fingerprint")
+	}
+}
+
 // TestRunCtxCancelled asserts prompt cooperative cancellation: a
 // pre-cancelled context fails fast and the error unwraps to the
 // context's own error.

@@ -122,6 +122,47 @@ func (g *Gray) Statistics() Stats {
 	return s
 }
 
+// MinMaxIn returns the intensity extrema over the subregion
+// [x0,x1)×[y0,y1), exactly the Min/Max that Crop(x0,y0,x1,y1) followed
+// by Statistics would report, without materializing the crop. The
+// registration kernel calls it once per candidate shift, so it must not
+// allocate. Bounds are the caller's contract (as with At); an empty or
+// out-of-range window panics via the slice bounds check.
+func (g *Gray) MinMaxIn(x0, y0, x1, y1 int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for y := y0; y < y1; y++ {
+		row := g.Pix[y*g.W+x0 : y*g.W+x1]
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// BinIndex maps an intensity to one of bins equal-width histogram bins
+// over [lo, hi], clamping out-of-range values into the first/last bin; a
+// degenerate range (hi <= lo) maps everything to bin 0. This is the
+// binning rule mutual information uses — kept here so the allocation-free
+// registration kernel and the reference implementation share one
+// definition and stay bit-identical.
+func BinIndex(v, lo, hi float64, bins int) int {
+	if hi <= lo {
+		return 0
+	}
+	k := int(float64(bins) * (v - lo) / (hi - lo))
+	if k < 0 {
+		k = 0
+	} else if k >= bins {
+		k = bins - 1
+	}
+	return k
+}
+
 // Normalize linearly rescales the image so that its min maps to 0 and its
 // max maps to 1. A constant image becomes all zeros.
 func (g *Gray) Normalize() {

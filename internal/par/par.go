@@ -27,6 +27,19 @@ func Count(requested int) int {
 	return requested
 }
 
+// WorkersFor reports how many workers a fan-out over n units actually
+// runs: Count(workers) capped at n (a pool never idles goroutines on an
+// empty queue). Callers that preallocate per-worker state — scratch
+// buffers indexed by the worker number ForEachWorkerCtx hands out — size
+// it with this so every worker finds its slot.
+func WorkersFor(workers, n int) int {
+	w := Count(workers)
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // SplitBudget splits a worker budget between a fan-out over tasks and
 // each task's own inner pool, so nested parallelism never oversubscribes
 // the machine: fan = min(tasks, Count(workers)) tasks run concurrently,
@@ -136,6 +149,23 @@ func ForEachHooked(workers, n int, h Hooks, fn func(i int) error) error {
 // in ascending index order, panics confine to their index as
 // *PanicError, and a single-worker fan-out degrades to a plain loop.
 func ForEachCtx(ctx context.Context, cfg Config, n int, fn func(ctx context.Context, i int) error) error {
+	return ForEachWorkerCtx(ctx, cfg, n, func(ctx context.Context, _, i int) error {
+		return fn(ctx, i)
+	})
+}
+
+// ForEachWorkerCtx is ForEachCtx with the worker number passed to fn:
+// worker is in [0, WorkersFor(cfg.Workers, n)) and is stable for the
+// lifetime of that worker's goroutine (the serial path always passes 0).
+// It exists so a caller can thread per-worker scratch state — reusable
+// histogram or accumulation buffers indexed by worker — through a
+// fan-out without locking and without per-unit allocation. The worker
+// number carries no scheduling meaning: which indices a worker drains is
+// nondeterministic, so fn must not let results depend on it (scratch
+// contents must be fully reinitialized per unit). Everything else —
+// error aggregation, panic confinement, cancellation, determinism of
+// index-addressed output — matches ForEachCtx.
+func ForEachWorkerCtx(ctx context.Context, cfg Config, n int, fn func(ctx context.Context, worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -145,18 +175,15 @@ func ForEachCtx(ctx context.Context, cfg Config, n int, fn func(ctx context.Cont
 		inner, cancelFailFast = context.WithCancel(ctx)
 		defer cancelFailFast()
 	}
-	call := func(i int) (err error) {
+	call := func(g, i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
 			}
 		}()
-		return fn(inner, i)
+		return fn(inner, g, i)
 	}
-	w := Count(cfg.Workers)
-	if w > n {
-		w = n
-	}
+	w := WorkersFor(cfg.Workers, n)
 	h := cfg.Hooks
 	errs := make([]error, n)
 	runWorker := func(g int, take func() (int, bool)) {
@@ -172,12 +199,12 @@ func ForEachCtx(ctx context.Context, cfg Config, n int, fn func(ctx context.Cont
 			}
 			if task != nil {
 				done := task(i)
-				errs[i] = call(i)
+				errs[i] = call(g, i)
 				if done != nil {
 					done()
 				}
 			} else {
-				errs[i] = call(i)
+				errs[i] = call(g, i)
 			}
 			if errs[i] != nil && cancelFailFast != nil {
 				cancelFailFast()

@@ -1,0 +1,198 @@
+package register
+
+import (
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/obs"
+)
+
+// refOverlapMI is the pre-kernel reference: crop both windows and run
+// the (still exported) MutualInformation over the copies. The kernel
+// must reproduce it bit for bit — same extrema, same bin indices, same
+// accumulation order — so the selected shifts, stack output and
+// checkpoints of the default pipeline stay byte-identical across the
+// optimization.
+func refOverlapMI(t *testing.T, fixed, moving *img.Gray, dx, dy int, o Options) float64 {
+	t.Helper()
+	mx := o.MaxShift + o.Margin
+	my := o.shiftY() + o.Margin
+	fc, err := fixed.Crop(mx, my, fixed.W-mx, fixed.H-my)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := moving.Crop(mx-dx, my-dy, fixed.W-mx-dx, fixed.H-my-dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi, err := MutualInformation(fc, mc, o.Bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mi
+}
+
+func TestMIKernelMatchesCropReference(t *testing.T) {
+	cases := []struct {
+		name          string
+		fixed, moving *img.Gray
+	}{
+		{"textured", texture(48, 48, 3), texture(48, 48, 3).Translate(2, -1)},
+		{"aperiodic", aperiodic(64, 40, 9), aperiodic(64, 40, 31)},
+		{"flat", img.New(48, 48), img.New(48, 48)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := symOptions()
+			k := newMIKernel(tc.fixed, tc.moving, o.MaxShift, o.shiftY(), o.Margin, o.Bins)
+			s := k.newScratch()
+			for dy := -o.shiftY(); dy <= o.shiftY(); dy++ {
+				for dx := -o.MaxShift; dx <= o.MaxShift; dx++ {
+					got := k.eval(dx, dy, s)
+					want := refOverlapMI(t, tc.fixed, tc.moving, dx, dy, o)
+					if got != want {
+						t.Fatalf("(%d,%d): kernel MI %v != reference %v", dx, dy, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// The regression the perf work hangs on: steady-state candidate
+// evaluation must not allocate. A single allocation per candidate puts
+// ~65 allocations back on every slice pair times every widening retry
+// times every chip of an -all campaign.
+func TestMIKernelAllocFree(t *testing.T) {
+	o := DefaultOptions()
+	fixed := texture(96, 48, 5)
+	moving := fixed.Translate(2, -1)
+	k := newMIKernel(fixed, moving, o.MaxShift, o.shiftY(), o.Margin, o.Bins)
+	s := k.newScratch()
+	dx, dy := -1, 1
+	allocs := testing.AllocsPerRun(200, func() {
+		k.eval(dx, dy, s)
+		dx = -dx
+		dy = -dy
+	})
+	if allocs != 0 {
+		t.Fatalf("MI kernel evaluation allocates %.1f objects per candidate, want 0", allocs)
+	}
+}
+
+// img.MinMaxIn is on the per-candidate path and must not allocate either.
+func TestMinMaxInAllocFree(t *testing.T) {
+	g := texture(96, 48, 7)
+	allocs := testing.AllocsPerRun(200, func() {
+		g.MinMaxIn(3, 3, 90, 40)
+	})
+	if allocs != 0 {
+		t.Fatalf("MinMaxIn allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// A widened retry must skip the candidates the smaller window already
+// scored — the saved evaluations are the point of the satellite — and
+// report them under register.mi_evals_skipped.
+func TestWidenRetrySkipsInnerWindow(t *testing.T) {
+	base := aperiodic(64, 64, 41)
+	moving := base.Translate(6, 0)
+	o := symOptions()
+	o.MaxShift, o.MaxShiftY = 4, 4
+	o.WidenRetries = 2
+	o.WidenRingOnly = true
+	ob := &obs.Observer{Metrics: obs.NewMetrics()}
+	o.Obs = ob
+	got, err := AlignRobust(base, moving, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shift != (Shift{-6, 0}) || got.Widened < 1 {
+		t.Fatalf("widened recovery broke: %+v", got)
+	}
+	snap := ob.Snapshot()
+	evals := snap.Counters["register.mi_evals"]
+	skipped := snap.Counters["register.mi_evals_skipped"]
+	// First window: 9x9 = 81 evals. First retry widens to 8x8 and must
+	// skip exactly the inner 81 candidates, evaluating 17*17-81 = 208.
+	if skipped != 81 {
+		t.Errorf("mi_evals_skipped = %d, want 81", skipped)
+	}
+	if want := int64(81 + 208); evals != want {
+		t.Errorf("mi_evals = %d, want %d (inner window not skipped?)", evals, want)
+	}
+}
+
+// By default a widened retry rescans the full window (inner candidates
+// score differently on the widened overlap geometry and can win the
+// rescan), keeping AlignRobust byte-identical to its historical output:
+// no evaluations are skipped and the accepted (shift, MI) must equal a
+// crop-based full-window pickBest at the widened geometry.
+func TestWidenRetryFullRescanByDefault(t *testing.T) {
+	base := aperiodic(64, 64, 41)
+	moving := base.Translate(6, 0)
+	o := symOptions()
+	o.MaxShift, o.MaxShiftY = 4, 4
+	o.WidenRetries = 2
+	ob := &obs.Observer{Metrics: obs.NewMetrics()}
+	o.Obs = ob
+	got, err := AlignRobust(base, moving, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ob.Snapshot()
+	if skipped := snap.Counters["register.mi_evals_skipped"]; skipped != 0 {
+		t.Errorf("mi_evals_skipped = %d, want 0 (default must rescan in full)", skipped)
+	}
+	// First window: 9x9 = 81. First retry widens to 8x8: 17x17 = 289,
+	// inner window included.
+	if evals, want := snap.Counters["register.mi_evals"], int64(81+289); evals != want {
+		t.Errorf("mi_evals = %d, want %d (full widened rescan)", evals, want)
+	}
+	// Reproduce the widened retry with the reference crop-based MI over
+	// the complete widened window.
+	wide := o
+	wide.MaxShift, wide.MaxShiftY = 8, 8
+	var cands []Shift
+	var mis []float64
+	for dy := -8; dy <= 8; dy++ {
+		for dx := -8; dx <= 8; dx++ {
+			cands = append(cands, Shift{DX: dx, DY: dy})
+			mis = append(mis, refOverlapMI(t, base, moving, dx, dy, wide))
+		}
+	}
+	wantShift, wantMI := pickBest(cands, mis)
+	if got.Shift != wantShift || got.MI != wantMI {
+		t.Errorf("widened result (%+v, %v) != reference full rescan (%+v, %v)",
+			got.Shift, got.MI, wantShift, wantMI)
+	}
+}
+
+// The widen retry must stay deterministic across worker counts in both
+// rescan modes, exactly like the non-widened scan.
+func TestWidenRetryDeterministicAcrossWorkers(t *testing.T) {
+	base := aperiodic(64, 64, 43)
+	moving := base.Translate(5, 3)
+	for _, ringOnly := range []bool{false, true} {
+		ref := symOptions()
+		ref.MaxShift, ref.MaxShiftY = 3, 3
+		ref.WidenRetries = 2
+		ref.WidenRingOnly = ringOnly
+		ref.Workers = 1
+		want, err := AlignRobust(base, moving, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			o := ref
+			o.Workers = workers
+			got, err := AlignRobust(base, moving, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("ringOnly=%v workers=%d: %+v, want %+v", ringOnly, workers, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package register
+
+import (
+	"context"
+
+	"repro/internal/img"
+)
+
+// pyrLevel is one resolution level of the coarse-to-fine search: the pair
+// downsampled by 2^l and the largest candidate shift the level considers
+// (the full-resolution window scaled down, rounding up so a true shift at
+// the window edge stays representable at every scale).
+type pyrLevel struct {
+	fixed, moving *img.Gray
+	nx, ny        int
+}
+
+// alignPyramidCtx is the coarse-to-fine MI search AlignCtx dispatches to
+// when Options.Pyramid > 1. The coarsest level scans its (scaled-down)
+// window exhaustively; each finer level doubles the running estimate and
+// refines it by ±1 pixel in each axis, so the total work is
+// O((Wx/2^L)·(Wy/2^L) + L·9) MI evaluations instead of O(Wx·Wy). Every
+// evaluation goes through the same allocation-free kernel as the
+// exhaustive search, and level 0 uses the exhaustive search's exact
+// overlap window, so the MI reported for the selected shift is
+// bit-identical to an exhaustive evaluation of that shift. Levels that
+// would shrink the overlap window below 8 pixels per axis are clamped
+// off (see buildPyramid); with every extra level clamped the search
+// degrades to plain exhaustive.
+func alignPyramidCtx(ctx context.Context, fixed, moving *img.Gray, o Options) (Shift, float64, error) {
+	levels := buildPyramid(fixed, moving, o)
+	o.Obs.Count("register.pyramid_aligns", 1)
+	o.Obs.Count("register.pyramid_levels", int64(len(levels)))
+	// Exhaustive scan of the coarsest level's full (scaled) window.
+	top := levels[len(levels)-1]
+	cands := fullWindow(top.nx, top.ny)
+	mis, err := searchCands(ctx, top.fixed, top.moving, o, top.nx, top.ny, cands)
+	if err != nil {
+		return Shift{}, 0, err
+	}
+	best, bestMI := pickBest(cands, mis)
+	// Refine: double the estimate into the next level's coordinates and
+	// search its ±1 neighborhood, clamped into that level's window.
+	for l := len(levels) - 2; l >= 0; l-- {
+		lv := levels[l]
+		center := Shift{DX: 2 * best.DX, DY: 2 * best.DY}
+		cands = refineCands(center, lv.nx, lv.ny)
+		mis, err = searchCands(ctx, lv.fixed, lv.moving, o, lv.nx, lv.ny, cands)
+		if err != nil {
+			return Shift{}, 0, err
+		}
+		best, bestMI = pickBest(cands, mis)
+	}
+	return best, bestMI, nil
+}
+
+// buildPyramid assembles the resolution levels, finest first. Level 0 is
+// the original pair with the original window (already validated by
+// alignCtx); each further level halves resolution and window until
+// Options.Pyramid levels exist or the geometry gives out.
+func buildPyramid(fixed, moving *img.Gray, o Options) []pyrLevel {
+	levels := []pyrLevel{{fixed: fixed, moving: moving, nx: o.MaxShift, ny: o.shiftY()}}
+	for l := 1; l < o.Pyramid; l++ {
+		prev := levels[l-1]
+		f, m := prev.fixed.Downsample(2), prev.moving.Downsample(2)
+		nx, ny := (prev.nx+1)/2, (prev.ny+1)/2
+		if f.W == prev.fixed.W && f.H == prev.fixed.H {
+			break // Downsample refused (image too small to halve)
+		}
+		// A level is only useful when its overlap window keeps enough
+		// pixels per axis for the coarse argmax to be signal rather than
+		// noise: the kernel minimum is 4, but an estimate off by one at a
+		// coarse scale doubles at every finer level and outruns the ±1
+		// refinement, so levels keep a margin of safety (8) beyond it.
+		const minOverlap = 8
+		if f.W < 2*(nx+o.Margin)+minOverlap || f.H < 2*(ny+o.Margin)+minOverlap {
+			break
+		}
+		levels = append(levels, pyrLevel{fixed: f, moving: m, nx: nx, ny: ny})
+	}
+	return levels
+}
+
+// fullWindow enumerates [-nx,nx]×[-ny,ny] in the exhaustive search's
+// row-major order.
+func fullWindow(nx, ny int) []Shift {
+	out := make([]Shift, 0, (2*nx+1)*(2*ny+1))
+	for dy := -ny; dy <= ny; dy++ {
+		for dx := -nx; dx <= nx; dx++ {
+			out = append(out, Shift{DX: dx, DY: dy})
+		}
+	}
+	return out
+}
+
+// refineCands is the ±1 neighborhood of center, clamped into
+// [-nx,nx]×[-ny,ny] and deduplicated, in deterministic row-major order
+// so pickBest's tie-break sees a stable candidate sequence.
+func refineCands(center Shift, nx, ny int) []Shift {
+	out := make([]Shift, 0, 9)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			s := Shift{DX: clampInt(center.DX+dx, nx), DY: clampInt(center.DY+dy, ny)}
+			dup := false
+			for _, t := range out {
+				if t == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func clampInt(v, bound int) int {
+	if v < -bound {
+		return -bound
+	}
+	if v > bound {
+		return bound
+	}
+	return v
+}

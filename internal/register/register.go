@@ -114,6 +114,34 @@ type Options struct {
 	// substituted and flagged. Zero disables widening; with both
 	// MinConfidence and WidenRetries zero, AlignRobust is exactly Align.
 	WidenRetries int
+	// WidenRingOnly makes every widened retry rescan only the ring of
+	// candidates the previous window did not cover, counting the saved
+	// evaluations under "register.mi_evals_skipped". It is off by
+	// default because it is an approximation, not a pure optimization:
+	// the overlap window shrinks with the search window (x0 = MaxShift +
+	// Margin), so the widened retry scores every candidate — inner ones
+	// included — on a smaller overlap region than the previous scan did,
+	// and an inner candidate can legitimately win the widened rescan
+	// with a score its first evaluation cannot predict. Skipping the
+	// inner window therefore may select a different (usually ring) peak
+	// than the full rescan. The default full rescan keeps AlignRobust
+	// byte-identical to its historical output.
+	WidenRingOnly bool
+	// Pyramid enables the coarse-to-fine search: levels counts pyramid
+	// levels, each a further 2x box downsample, so level l searches at
+	// 1/2^l resolution. The full window is searched exhaustively only at
+	// the coarsest level and each finer level refines the doubled shift
+	// by ±1 pixel, cutting MI evaluations from O(Wx·Wy) to O(levels·9).
+	// Values <= 1 keep the exhaustive search (the default); levels that
+	// would shrink the image below the minimum overlap window are
+	// clamped. The final refinement runs at full resolution on the same
+	// overlap window as the exhaustive search, so the reported MI at the
+	// selected shift is bit-identical to the exhaustive evaluation of
+	// that shift — but the selected shift itself is only guaranteed to
+	// match exhaustive search when the MI surface is locally unimodal at
+	// every pyramid scale (which SEM drift surfaces are; the synthetic
+	// chip set is covered by TestPyramidMatchesExhaustiveOnChips).
+	Pyramid int
 	// Obs receives alignment telemetry: the "register.mi_evals",
 	// "register.widen_retries" and "register.align_fallbacks" counters
 	// and debug logs for degraded pairs. Nil disables instrumentation;
@@ -150,6 +178,9 @@ func (o Options) validate() error {
 	if o.WidenRetries < 0 {
 		return fmt.Errorf("register: negative WidenRetries %d", o.WidenRetries)
 	}
+	if o.Pyramid < 0 {
+		return fmt.Errorf("register: negative Pyramid %d", o.Pyramid)
+	}
 	return nil
 }
 
@@ -169,8 +200,28 @@ func Align(fixed, moving *img.Gray, o Options) (Shift, float64, error) {
 
 // AlignCtx is Align with cooperative cancellation: the candidate-shift
 // fan-out checks the context between candidates (via par.ForEachCtx), so
-// a cancelled search aborts within one MI evaluation.
+// a cancelled search aborts within one MI evaluation. With
+// Options.Pyramid > 1 the exhaustive scan is replaced by the
+// coarse-to-fine pyramid search.
 func AlignCtx(ctx context.Context, fixed, moving *img.Gray, o Options) (Shift, float64, error) {
+	return alignCtx(ctx, fixed, moving, o, noExclusion)
+}
+
+// exclusion is the inner search box a widened retry skips: candidates
+// with |dx| <= nx and |dy| <= ny were already scored by the previous,
+// smaller window. A negative nx disables it.
+type exclusion struct{ nx, ny int }
+
+var noExclusion = exclusion{nx: -1}
+
+func (e exclusion) covers(s Shift) bool {
+	return e.nx >= 0 && absInt(s.DX) <= e.nx && absInt(s.DY) <= e.ny
+}
+
+// alignCtx validates the pair and dispatches to the pyramid or the
+// exhaustive search. The exclusion only applies to the exhaustive path:
+// a pyramid retry re-searches its (cheap) coarsest level in full.
+func alignCtx(ctx context.Context, fixed, moving *img.Gray, o Options, excl exclusion) (Shift, float64, error) {
 	if err := o.validate(); err != nil {
 		return Shift{}, 0, err
 	}
@@ -184,59 +235,81 @@ func AlignCtx(ctx context.Context, fixed, moving *img.Gray, o Options) (Shift, f
 		return Shift{}, 0, fmt.Errorf("register: image %dx%d too small for window %dx%d",
 			fixed.W, fixed.H, o.MaxShift, o.shiftY())
 	}
-	// Evaluate every candidate shift into an index-addressed table, then
-	// scan it in the same row-major order a sequential search would use:
-	// the selected shift is identical for any worker count.
+	if o.Pyramid > 1 {
+		return alignPyramidCtx(ctx, fixed, moving, o)
+	}
+	// Enumerate every candidate shift in the row-major order a
+	// sequential search would use; the index-addressed result table
+	// keeps the selected shift identical for any worker count.
 	ny, nx := o.shiftY(), o.MaxShift
-	cols := 2*nx + 1
-	mis := make([]float64, cols*(2*ny+1))
-	err := par.ForEachCtx(ctx, par.Config{Workers: o.Workers}, len(mis), func(_ context.Context, k int) error {
-		dy, dx := k/cols-ny, k%cols-nx
-		mi, err := overlapMI(fixed, moving, dx, dy, o)
-		mis[k] = mi
-		return err
-	})
+	cands := make([]Shift, 0, (2*nx+1)*(2*ny+1))
+	skipped := 0
+	for dy := -ny; dy <= ny; dy++ {
+		for dx := -nx; dx <= nx; dx++ {
+			if s := (Shift{DX: dx, DY: dy}); excl.covers(s) {
+				skipped++
+			} else {
+				cands = append(cands, s)
+			}
+		}
+	}
+	if skipped > 0 {
+		o.Obs.Count("register.mi_evals_skipped", int64(skipped))
+	}
+	mis, err := searchCands(ctx, fixed, moving, o, nx, ny, cands)
 	if err != nil {
 		return Shift{}, 0, err
 	}
-	o.Obs.Count("register.mi_evals", int64(len(mis)))
+	best, bestMI := pickBest(cands, mis)
+	return best, bestMI, nil
+}
+
+// searchCands evaluates MI for every candidate shift over the overlap
+// window supported by [-nx,nx]×[-ny,ny], fanning out on Options.Workers
+// with one reusable miScratch per worker: after each worker's first
+// candidate, evaluation allocates nothing.
+func searchCands(ctx context.Context, fixed, moving *img.Gray, o Options, nx, ny int, cands []Shift) ([]float64, error) {
+	k := newMIKernel(fixed, moving, nx, ny, o.Margin, o.Bins)
+	mis := make([]float64, len(cands))
+	scratch := make([]*miScratch, par.WorkersFor(o.Workers, len(cands)))
+	err := par.ForEachWorkerCtx(ctx, par.Config{Workers: o.Workers}, len(cands),
+		func(_ context.Context, worker, i int) error {
+			s := scratch[worker]
+			if s == nil {
+				s = k.newScratch()
+				scratch[worker] = s
+			}
+			mis[i] = k.eval(cands[i].DX, cands[i].DY, s)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	o.Obs.Count("register.mi_evals", int64(len(cands)))
+	return mis, nil
+}
+
+// pickBest scans the candidates in their enumeration order with the
+// deterministic tie-break: prefer the smaller shift, so a flat
+// similarity surface yields identity.
+func pickBest(cands []Shift, mis []float64) (Shift, float64) {
 	best := Shift{}
 	bestMI := math.Inf(-1)
-	for k, mi := range mis {
-		s := Shift{DX: k%cols - nx, DY: k/cols - ny}
-		// Deterministic tie-break: prefer the smaller shift so a
-		// flat similarity surface yields identity.
+	for i, mi := range mis {
+		s := cands[i]
 		if mi > bestMI+1e-12 ||
 			(math.Abs(mi-bestMI) <= 1e-12 && lessShift(s, best)) {
 			bestMI = mi
 			best = s
 		}
 	}
-	return best, bestMI, nil
+	return best, bestMI
 }
 
 func lessShift(a, b Shift) bool {
 	am := a.DX*a.DX + a.DY*a.DY
 	bm := b.DX*b.DX + b.DY*b.DY
 	return am < bm
-}
-
-// overlapMI computes MI between fixed and moving shifted by (dx,dy), on
-// the true overlap region only (no edge extension).
-func overlapMI(fixed, moving *img.Gray, dx, dy int, o Options) (float64, error) {
-	mx := o.MaxShift + o.Margin
-	my := o.shiftY() + o.Margin
-	x0, y0 := mx, my
-	x1, y1 := fixed.W-mx, fixed.H-my
-	fc, err := fixed.Crop(x0, y0, x1, y1)
-	if err != nil {
-		return 0, err
-	}
-	mc, err := moving.Crop(x0-dx, y0-dy, x1-dx, y1-dy)
-	if err != nil {
-		return 0, err
-	}
-	return MutualInformation(fc, mc, o.Bins)
 }
 
 // AlignResult is the outcome of a robust pairwise alignment.
@@ -326,10 +399,20 @@ func AlignRobustCtx(ctx context.Context, fixed, moving *img.Gray, o Options) (Al
 			// The image cannot support a wider window; give up now.
 			return fallback(widened)
 		}
+		// By default the widened retry rescans the full window: the
+		// overlap region shrinks with the window, so inner candidates
+		// score differently on the widened geometry and can win the
+		// rescan — skipping them would change the accepted shift. With
+		// WidenRingOnly the retry evaluates only the new ring and the
+		// skipped count lands under "register.mi_evals_skipped".
+		excl := noExclusion
+		if o.WidenRingOnly {
+			excl = exclusion{nx: cur.MaxShift, ny: cur.shiftY()}
+		}
 		cur = next
 		o.Obs.Count("register.widen_retries", 1)
 		o.Obs.Debug("align widen", "max_shift", cur.MaxShift, "max_shift_y", cur.MaxShiftY, "mi", mi)
-		if s, mi, err = AlignCtx(ctx, fixed, moving, cur); err != nil {
+		if s, mi, err = alignCtx(ctx, fixed, moving, cur, excl); err != nil {
 			return AlignResult{}, err
 		}
 	}
