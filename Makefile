@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke fuzz
+.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -41,15 +41,24 @@ trace-smoke:
 crash-smoke:
 	./scripts/crash_smoke.sh
 
+# serve-smoke proves the job service end to end over real HTTP: start
+# the server, submit an extraction job with curl, poll it to done,
+# fetch and checksum the artifacts, then resubmit the identical request
+# — it must be served from the shared result cache (HTTP 200 at submit,
+# exactly one pipeline run, byte-identical artifacts) — and finally
+# shut down gracefully on SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
 # alloc-check pins the allocation-free MI kernel: steady-state candidate
 # evaluation must stay at zero heap allocations per candidate.
 alloc-check:
 	$(GO) test ./internal/register -run 'AllocFree' -count=1
 
 # check is the CI gate: static analysis, the allocation regression
-# tests, race-checked tests, and the fault-injection, observability and
-# crash-recovery smoke runs.
-check: vet alloc-check race faults-smoke trace-smoke crash-smoke
+# tests, race-checked tests, and the fault-injection, observability,
+# crash-recovery and job-service smoke runs.
+check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.

@@ -14,6 +14,10 @@
 //	                                      fault plan and report the quality gate's
 //	                                      detection recall (-fault-seed varies the draw)
 //	hifidram planar -chip C4 -o dir       write the reconstructed planar views as PGM
+//	hifidram serve localhost:8080         run the reconstruction job service: an
+//	                                      HTTP/JSON API that queues extraction jobs
+//	                                      into a worker pool and dedupes identical
+//	                                      submissions through a shared result cache
 //	hifidram ckpt -dir ckpts              verify a checkpoint store's checksums
 //	hifidram tracecheck out.json          validate a trace file covers every stage
 //
@@ -50,7 +54,6 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -71,6 +74,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sem"
+	"repro/internal/serve"
 	"repro/internal/supervise"
 )
 
@@ -101,6 +105,8 @@ func main() {
 		err = runExtract(ctx, args)
 	case "planar":
 		err = runPlanar(ctx, args)
+	case "serve":
+		err = runServe(ctx, args)
 	case "ckpt":
 		err = runCkpt(args)
 	case "tracecheck":
@@ -131,6 +137,12 @@ commands:
               -pyramid)
   planar      write reconstructed planar views as PGM (-chip, -o,
               -voxel, -workers, -pyramid)
+  serve       run the reconstruction job service on ADDR: POST /v1/jobs
+              submits {"chip": ..., "profile": ...}, GET /v1/jobs/{id}
+              polls, /v1/jobs/{id}/artifacts/{name} fetches report.json,
+              extracted.gds or views/<layer>.pgm; identical submissions
+              dedupe to one computation via -cache-dir (-workers, -jobs,
+              -queue, -timeout, -retries, -pprof, -v)
   ckpt        verify a checkpoint store: scan -dir, check every entry's
               checksum, report corrupt/stray files (nonzero exit on any)
   tracecheck  validate a -trace file: parses as Chrome trace JSON and
@@ -210,8 +222,13 @@ func (f *obsFlags) build() (*obs.Observer, func() error) {
 		ob.Log = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 	if f.pprof != "" {
+		// A dedicated mux and server with explicit timeouts — never the
+		// bare ListenAndServe(addr, nil) idiom, which exposes the global
+		// DefaultServeMux (and whatever anyone registered on it) with no
+		// header/read deadlines at all.
 		go func() {
-			if err := http.ListenAndServe(f.pprof, nil); err != nil {
+			srv := serve.NewDebugServer(f.pprof)
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "hifidram: pprof:", err)
 			}
 		}()
@@ -409,6 +426,10 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 	// isolates each chip: a panic, error or blown deadline in one never
 	// aborts the others, and every chip's outcome lands in its status.
 	rows := make([]strings.Builder, len(list))
+	// results keeps each chip's pipeline result so the -gds export can
+	// reuse the run's own extraction plan instead of reconstructing a
+	// second time (each index is written by one chip's worker only).
+	results := make([]*core.Result, len(list))
 	names := make([]string, len(list))
 	for i, c := range list {
 		names[i] = c.ID
@@ -453,6 +474,7 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 			// The supervisor prefixes the chip ID into the campaign error.
 			return err
 		}
+		results[i] = res
 		fmt.Fprintf(&rows[i], "%s\t%v\t%v\t%d/%d\t%d/%d\t%.1f%%\t%d\t%.1fh\n",
 			c.ID, res.Extraction.Topology, res.Score.TopologyCorrect,
 			res.Extraction.Bitlines, res.Truth.Bitlines,
@@ -483,13 +505,32 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 		fmt.Fprint(w, rows[i].String())
 	}
 	if *gdsOut != "" && !*all && runErr == nil {
-		o := core.DefaultOptions()
-		o.VoxelNM = *voxel
-		o.SEM.DwellUS = *dwell
-		o.Workers = *workers
-		o.Register.Pyramid = *pyramid
-		if err := exportExtracted(ctx, list[0], o, *gdsOut); err != nil {
-			return err
+		if res := results[0]; res != nil && !*die && !*faults && res.Plan != nil {
+			// The run's Result already carries the extraction plan, so
+			// the annotated layout exports directly — no second
+			// reconstruction. -die crops the region and -faults corrupts
+			// the acquisition, so those still export from a clean
+			// recompute, matching the historical -gds semantics.
+			data, err := serve.ExtractedGDSBytes(res)
+			if err != nil {
+				return err
+			}
+			err = ckpt.WriteFileAtomic(*gdsOut, func(w io.Writer) error {
+				_, werr := w.Write(data)
+				return werr
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			o := core.DefaultOptions()
+			o.VoxelNM = *voxel
+			o.SEM.DwellUS = *dwell
+			o.Workers = *workers
+			o.Register.Pyramid = *pyramid
+			if err := exportExtracted(ctx, list[0], o, *gdsOut); err != nil {
+				return err
+			}
 		}
 		fmt.Fprintf(w, "(extracted layout written to %s)\n", *gdsOut)
 	}
@@ -763,4 +804,80 @@ func runCkpt(args []string) error {
 		return fmt.Errorf("%d corrupt checkpoint(s) in %s", corrupt, *dir)
 	}
 	return nil
+}
+
+// runServe runs the reconstruction job service: an HTTP/JSON API in
+// front of a bounded job queue and a worker pool of supervised pipeline
+// campaigns, with a shared content-addressed result cache so identical
+// submissions compute once. The server runs until SIGINT/SIGTERM, then
+// shuts down gracefully: in-flight HTTP requests finish, running jobs
+// are canceled at their next unit of work, and the process exits 130.
+func runServe(ctx context.Context, args []string) (retErr error) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	workers := workersFlag(fs)
+	jobs := fs.Int("jobs", 2, "jobs executing concurrently (the worker budget is split between them)")
+	queue := fs.Int("queue", 16, "pending-job queue depth; submissions beyond it get HTTP 503")
+	cacheDir := fs.String("cache-dir", "", "shared result + stage-checkpoint cache directory (empty disables caching and cross-restart dedupe)")
+	timeout := fs.Duration("timeout", 0, "per-job per-attempt deadline (0 = none)")
+	retries := fs.Int("retries", 0, "retry attempts for jobs failing with transient (retryable) errors")
+	obf := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hifidram serve [flags] ADDR (e.g. localhost:8080)")
+	}
+	addr := fs.Arg(0)
+	var store *ckpt.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = ckpt.Open(*cacheDir); err != nil {
+			return err
+		}
+	}
+	ob, finishObs := obf.build()
+	defer func() {
+		if err := finishObs(); err != nil && retErr == nil {
+			retErr = err
+		}
+	}()
+	if ob == nil {
+		// The service always carries a metric registry: the fleet
+		// counters back /healthz and the dedupe assertions even when no
+		// observability flag is set.
+		ob = &obs.Observer{Metrics: obs.NewMetrics()}
+	}
+	ob.Metrics.PublishExpvar("hifidram.serve")
+
+	s := serve.NewServer(serve.Config{
+		Workers: *workers, Jobs: *jobs, QueueDepth: *queue,
+		Cache: store, Timeout: *timeout, Retries: *retries, Obs: ob,
+	})
+	httpSrv := serve.NewHTTPServer(addr, s)
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hifidram: serving on %s (jobs %d, queue %d, cache %q)\n",
+		addr, *jobs, *queue, *cacheDir)
+
+	select {
+	case err := <-errc:
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Close(cctx)
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful stop: stop accepting HTTP, then drain the pool. Running
+	// jobs observe their canceled context at the next unit of work.
+	sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		_ = s.Close(sctx)
+		return err
+	}
+	if err := s.Close(sctx); err != nil {
+		return err
+	}
+	// Exit 130 like the other commands on signal cancellation.
+	return context.Canceled
 }

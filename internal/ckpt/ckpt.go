@@ -12,7 +12,10 @@
 // before returning a byte. Any anomaly — truncation, bit rot, a stale
 // format version, a file renamed under a different key — degrades to a
 // cache miss (reported as StateCorrupt so callers can count it), never
-// to corrupt data: the caller recomputes and overwrites.
+// to corrupt data: the caller recomputes and overwrites. A file that
+// cannot be read at all (permissions, transient I/O) is reported
+// separately as StateUnreadable: the entry's validity is unknown, so
+// callers recompute for the request at hand but never delete it.
 //
 // Keys are content-addressed on the producing configuration: the caller
 // derives the Fingerprint component from a canonical encoding of
@@ -88,10 +91,18 @@ const (
 	StateMiss State = iota
 	// StateHit: the checkpoint verified and was returned.
 	StateHit
-	// StateCorrupt: a file exists but failed verification (torn write,
-	// truncation, checksum mismatch, stale version or key mismatch). The
-	// payload is withheld; the caller must recompute.
+	// StateCorrupt: a file exists and was read in full but failed
+	// verification (torn write, truncation, checksum mismatch, stale
+	// version or key mismatch). The payload is withheld; the caller
+	// must recompute, and deleting the entry is safe — its bytes are
+	// proven wrong.
 	StateCorrupt
+	// StateUnreadable: the file could not be read at all (permissions,
+	// transient I/O error). Nothing is known about the entry's
+	// validity, so callers must treat it as a miss for this request
+	// but must NOT delete or overwrite it: a permissions hiccup would
+	// otherwise wipe a perfectly valid entry.
+	StateUnreadable
 )
 
 func (s State) String() string {
@@ -100,6 +111,8 @@ func (s State) String() string {
 		return "hit"
 	case StateCorrupt:
 		return "corrupt"
+	case StateUnreadable:
+		return "unreadable"
 	default:
 		return "miss"
 	}
@@ -163,8 +176,13 @@ func (s *Store) Put(k Key, payload []byte) error {
 }
 
 // Get returns the verified payload for k. StateMiss means nothing is
-// stored; StateCorrupt means a file exists but failed any verification
-// step — the payload is withheld in both cases and the caller recomputes.
+// stored; StateCorrupt means the file was read but failed a
+// verification step (its bytes are proven wrong — recomputing and
+// overwriting is the right heal); StateUnreadable means the read itself
+// failed (EACCES, transient I/O), so the entry's validity is unknown —
+// the caller should recompute for this request but never delete the
+// entry on this evidence. The payload is withheld in all three non-hit
+// cases.
 func (s *Store) Get(k Key) ([]byte, State) {
 	if s == nil {
 		return nil, StateMiss
@@ -177,7 +195,7 @@ func (s *Store) Get(k Key) ([]byte, State) {
 		return nil, StateMiss
 	}
 	if err != nil {
-		return nil, StateCorrupt
+		return nil, StateUnreadable
 	}
 	payload, err := verifyEntry(data, &k)
 	if err != nil {

@@ -58,6 +58,52 @@ func TestNilStoreIsInert(t *testing.T) {
 	}
 }
 
+// An entry whose read fails outright (EACCES, transient I/O) must
+// report StateUnreadable, not StateCorrupt: corruption licenses the
+// caller to delete and recompute, but an unreadable entry's validity is
+// unknown and a permissions hiccup must never wipe a valid checkpoint.
+// The test stands in for a read error with a directory at the entry's
+// path (EISDIR is a read failure that is not IsNotExist), which works
+// regardless of the uid running the tests — root ignores file modes.
+func TestUnreadableIsNotCorrupt(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("aligned")
+	path := s.path(k)
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	payload, state := s.Get(k)
+	if state != StateUnreadable {
+		t.Fatalf("Get on unreadable entry = %v, want unreadable", state)
+	}
+	if payload != nil {
+		t.Fatalf("unreadable entry leaked a payload: %q", payload)
+	}
+	if got := state.String(); got != "unreadable" {
+		t.Fatalf("State.String() = %q, want unreadable", got)
+	}
+	// A genuinely damaged entry still classifies as corrupt, so the two
+	// conditions stay distinguishable.
+	k2 := testKey("plan")
+	if err := s.Put(k2, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(s.path(k2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(s.path(k2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, state := s.Get(k2); state != StateCorrupt {
+		t.Fatalf("bit-flipped entry = %v, want corrupt", state)
+	}
+}
+
 func TestPutOverwrites(t *testing.T) {
 	s, _ := Open(t.TempDir())
 	k := testKey("acquire")

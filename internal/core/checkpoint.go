@@ -16,8 +16,9 @@ import (
 // ckptSchema versions the gob artifact encoding on top of the store's
 // own on-disk format version. It is folded into the key fingerprint, so
 // bumping it (after changing an artifact struct) silently retires every
-// old checkpoint instead of mis-decoding it.
-const ckptSchema = 1
+// old checkpoint instead of mis-decoding it. v2: netexArtifact carries
+// the segmentation Plan so Result.Plan survives a netex-boundary resume.
+const ckptSchema = 2
 
 // Checkpointed stage-boundary names, in pipeline order. "views" is
 // produced only by PlanarViews; the others by Run/RunOnDie. Kill a run
@@ -69,6 +70,7 @@ type planArtifact struct {
 // (measurement and scoring are cheap and always recomputed).
 type netexArtifact struct {
 	Ext        *netex.Result
+	Plan       *netex.Plan
 	Info       ReconInfo
 	Injected   *fault.Report
 	SliceCount int
@@ -102,14 +104,17 @@ type fpOptions struct {
 	Opts   Options
 }
 
-// newCkptRef binds o's store to a unit, or returns nil when
-// checkpointing is off. The unit must uniquely identify the pipeline
-// input under the fingerprinted options (Run uses the chip ID; see
-// Options.CkptUnit for the standalone-Reconstruct contract).
-func newCkptRef(unit string, o Options) (*ckptRef, error) {
-	if o.Ckpt == nil || unit == "" {
-		return nil, nil
-	}
+// FingerprintOptions canonicalizes the result-affecting options into
+// the content-addressed fingerprint every checkpoint key carries.
+// Everything that cannot influence the artifact bytes — worker counts,
+// observability sinks, the checkpoint wiring itself — is zeroed first,
+// so equal work shares keys across worker counts and tracing flags.
+// The serve layer uses the same fingerprint to key its result cache,
+// which is what lets identical job submissions dedupe to a single
+// computation and share the stage checkpoints of the run that did it.
+// Callers comparing against a Run's keys must resolve the detector
+// first (RunCtx sets o.SEM.Detector from the chip before keying).
+func FingerprintOptions(o Options) (string, error) {
 	clean := o
 	clean.Workers = 0
 	clean.Obs = nil
@@ -121,7 +126,22 @@ func newCkptRef(unit string, o Options) (*ckptRef, error) {
 	clean.Register.Workers = 0
 	fp, err := ckpt.Fingerprint(fpOptions{Schema: ckptSchema, Opts: clean})
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint fingerprint: %w", err)
+		return "", fmt.Errorf("core: checkpoint fingerprint: %w", err)
+	}
+	return fp, nil
+}
+
+// newCkptRef binds o's store to a unit, or returns nil when
+// checkpointing is off. The unit must uniquely identify the pipeline
+// input under the fingerprinted options (Run uses the chip ID; see
+// Options.CkptUnit for the standalone-Reconstruct contract).
+func newCkptRef(unit string, o Options) (*ckptRef, error) {
+	if o.Ckpt == nil || unit == "" {
+		return nil, nil
+	}
+	fp, err := FingerprintOptions(o)
+	if err != nil {
+		return nil, err
 	}
 	return &ckptRef{store: o.Ckpt, unit: unit, fp: fp, resume: o.Resume, obs: o.Obs}, nil
 }
@@ -133,10 +153,13 @@ func (c *ckptRef) key(stage string) ckpt.Key {
 // load decodes the checkpoint for stage into v and reports whether the
 // stage can be skipped. Loading happens only under Resume; any
 // anomaly — missing file, torn write, checksum mismatch, stale version,
-// undecodable payload — counts into the telemetry ("ckpt.miss" or
-// "ckpt.corrupt") and returns false so the caller recomputes. A corrupt
-// entry is therefore never served, only replaced by the save that
-// follows the recompute.
+// undecodable payload, unreadable file — counts into the telemetry
+// ("ckpt.miss", "ckpt.corrupt" or "ckpt.unreadable") and returns false
+// so the caller recomputes. A corrupt entry is therefore never served,
+// only replaced by the save that follows the recompute; an unreadable
+// one (permissions, transient I/O) is counted separately because its
+// validity is unknown — it too is recomputed, but a later run whose
+// read succeeds may still serve it.
 func (c *ckptRef) load(stage string, v any) bool {
 	if c == nil || !c.resume {
 		return false
@@ -149,6 +172,10 @@ func (c *ckptRef) load(stage string, v any) bool {
 	case ckpt.StateCorrupt:
 		c.obs.Count("ckpt.corrupt", 1)
 		c.obs.Info("checkpoint corrupt, recomputing", "unit", c.unit, "stage", stage)
+		return false
+	case ckpt.StateUnreadable:
+		c.obs.Count("ckpt.unreadable", 1)
+		c.obs.Info("checkpoint unreadable, recomputing", "unit", c.unit, "stage", stage)
 		return false
 	}
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {

@@ -93,7 +93,7 @@ func RunOnDieCtx(ctx context.Context, chip *chips.Chip, o Options) (*DieResult, 
 	}
 	var na netexArtifact
 	if ck.load(CkptNetex, &na) {
-		out.Pipeline = finishResult(chip, die.Truth, na.Ext, na.Info, na.Injected,
+		out.Pipeline = finishResult(chip, die.Truth, na.Ext, na.Plan, na.Info, na.Injected,
 			na.SliceCount, na.CostHours, o)
 		ob.Info("die run done", "chip", chip.ID,
 			"topology", na.Ext.Topology.String(), "correct", out.Pipeline.Score.TopologyCorrect,
@@ -134,10 +134,10 @@ func RunOnDieCtx(ctx context.Context, chip *chips.Chip, o Options) (*DieResult, 
 		return nil, err
 	}
 	ck.save(CkptNetex, netexArtifact{
-		Ext: ext, Info: info, Injected: injected,
+		Ext: ext, Plan: plan, Info: info, Injected: injected,
 		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
 	})
-	out.Pipeline = finishResult(chip, die.Truth, ext, info, injected,
+	out.Pipeline = finishResult(chip, die.Truth, ext, plan, info, injected,
 		len(acq.Slices), acq.CostHours(), o)
 	ob.Info("die run done", "chip", chip.ID,
 		"topology", ext.Topology.String(), "correct", out.Pipeline.Score.TopologyCorrect,

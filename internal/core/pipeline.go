@@ -148,6 +148,11 @@ type Result struct {
 	Injected *fault.Report
 	// Extraction is the reverse-engineered structure.
 	Extraction *netex.Result
+	// Plan is the segmented rectangle plan the extraction consumed.
+	// Exporting the annotated extracted layout
+	// (Extraction.AnnotatedCell(Plan, ...)) therefore needs no second
+	// reconstruction; the serve layer and extract -gds rely on this.
+	Plan *netex.Plan
 	// Stats are the per-element measurement statistics.
 	Stats map[chips.Element]measure.ElementStats
 	// Score is the fidelity against ground truth.
@@ -221,7 +226,7 @@ func RunCtx(ctx context.Context, chip *chips.Chip, o Options) (*Result, error) {
 	// without touching a single imaging stage.
 	var na netexArtifact
 	if ck.load(CkptNetex, &na) {
-		return finishResult(chip, region.Truth, na.Ext, na.Info, na.Injected,
+		return finishResult(chip, region.Truth, na.Ext, na.Plan, na.Info, na.Injected,
 			na.SliceCount, na.CostHours, o), nil
 	}
 	var acq *sem.Acquisition
@@ -253,10 +258,10 @@ func RunCtx(ctx context.Context, chip *chips.Chip, o Options) (*Result, error) {
 		return nil, err
 	}
 	ck.save(CkptNetex, netexArtifact{
-		Ext: ext, Info: info, Injected: injected,
+		Ext: ext, Plan: plan, Info: info, Injected: injected,
 		SliceCount: len(acq.Slices), CostHours: acq.CostHours(),
 	})
-	return finishResult(chip, region.Truth, ext, info, injected,
+	return finishResult(chip, region.Truth, ext, plan, info, injected,
 		len(acq.Slices), acq.CostHours(), o), nil
 }
 
@@ -264,7 +269,7 @@ func RunCtx(ctx context.Context, chip *chips.Chip, o Options) (*Result, error) {
 // measurement and fidelity scoring, both cheap and deterministic — and
 // assembles the Result. Shared by the fresh and fully-resumed paths so
 // both produce identical structures.
-func finishResult(chip *chips.Chip, truth chipgen.GroundTruth, ext *netex.Result,
+func finishResult(chip *chips.Chip, truth chipgen.GroundTruth, ext *netex.Result, plan *netex.Plan,
 	info ReconInfo, injected *fault.Report, sliceCount int, costHours float64, o Options) *Result {
 	ob := o.Obs
 	res := &Result{
@@ -275,6 +280,7 @@ func finishResult(chip *chips.Chip, truth chipgen.GroundTruth, ext *netex.Result
 		AlignFallbacks:  info.AlignFallbacks,
 		Injected:        injected,
 		Extraction:      ext,
+		Plan:            plan,
 	}
 	sp := ob.StartSpan(StageMeasure)
 	res.Stats = measure.FromTransistors(ext.Transistors)

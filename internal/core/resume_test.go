@@ -206,6 +206,74 @@ func TestResumeCorruptCheckpointRecomputed(t *testing.T) {
 	}
 }
 
+// TestResumeUnreadableCheckpointRecomputed asserts the unreadable-vs-
+// corrupt distinction end to end: a checkpoint whose read fails (here: a
+// directory at the entry path, the deterministic stand-in for EACCES or
+// a transient I/O error) is counted as "ckpt.unreadable" — not
+// "ckpt.corrupt" — the stage recomputes, the Result is unchanged, and
+// the entry is never deleted on that evidence.
+func TestResumeUnreadableCheckpointRecomputed(t *testing.T) {
+	chip := chips.ByID("B4")
+	base := resumeOptions()
+	want, err := Run(chip, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := ckpt.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := base
+	po.Ckpt = store
+	if _, err := Run(chip, po); err != nil {
+		t.Fatal(err)
+	}
+	var netexPath string
+	entries, err := store.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Key.Stage == CkptNetex {
+			netexPath = e.Path
+		}
+	}
+	if netexPath == "" {
+		t.Fatal("no netex checkpoint written")
+	}
+	if err := os.Remove(netexPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(netexPath, 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := base
+	ro.Ckpt = store
+	ro.Resume = true
+	ro.Obs = &obs.Observer{Metrics: obs.NewMetrics()}
+	got, err := Run(chip, ro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := got.Telemetry.Counters["ckpt.unreadable"]; n < 1 {
+		t.Errorf("ckpt.unreadable = %d, want >= 1", n)
+	}
+	if n := got.Telemetry.Counters["ckpt.corrupt"]; n != 0 {
+		t.Errorf("unreadable entry miscounted as corrupt (%d)", n)
+	}
+	if !reflect.DeepEqual(stripTelemetry(got), stripTelemetry(want)) {
+		t.Errorf("result after unreadable-checkpoint recompute differs from clean run")
+	}
+	// The unreadable entry must survive: deleting it on a read failure
+	// would turn a permissions hiccup into data loss. (The best-effort
+	// re-save cannot replace a directory, so the path must still be one.)
+	if fi, err := os.Stat(netexPath); err != nil || !fi.IsDir() {
+		t.Errorf("unreadable entry was removed or replaced (err=%v)", err)
+	}
+}
+
 // TestResumeIgnoresForeignFingerprint asserts the keying contract: a
 // checkpoint written under different result-affecting options must
 // never be loaded, even with Resume set — the fingerprint separates the

@@ -122,6 +122,41 @@ func (m *Metrics) Snapshot() *Snapshot {
 	return s
 }
 
+// Merge folds a snapshot into the registry: counters add, gauges take
+// the snapshot's value (last write wins), durations merge their
+// count/sum/min/max. The serve layer uses it to roll every job's
+// private metric registry up into the server-wide one after the job
+// finishes, so the expvar endpoint shows fleet totals while each job
+// keeps an isolated, deterministic snapshot of its own.
+func (m *Metrics) Merge(s *Snapshot) {
+	if m == nil || s == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range s.Counters {
+		m.counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		m.gauges[k] = v
+	}
+	for k, v := range s.Durations {
+		if v.Count == 0 {
+			continue
+		}
+		d := m.durs[k]
+		if d.Count == 0 || v.MinNS < d.MinNS {
+			d.MinNS = v.MinNS
+		}
+		if d.Count == 0 || v.MaxNS > d.MaxNS {
+			d.MaxNS = v.MaxNS
+		}
+		d.Count += v.Count
+		d.SumNS += v.SumNS
+		m.durs[k] = d
+	}
+}
+
 // PublishExpvar exposes the registry under the given expvar name (served
 // on /debug/vars by the expvar HTTP handler, e.g. under the -pprof
 // address). Publishing the same name twice is a no-op rather than the

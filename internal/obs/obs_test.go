@@ -226,6 +226,43 @@ func TestMetricsSnapshot(t *testing.T) {
 	}
 }
 
+func TestMetricsMerge(t *testing.T) {
+	dst := NewMetrics()
+	dst.Add("jobs", 1)
+	dst.Set("depth", 3)
+	dst.Observe("wait", 10*time.Millisecond)
+
+	src := NewMetrics()
+	src.Add("jobs", 2)
+	src.Add("runs", 1)
+	src.Set("depth", 5)
+	src.Observe("wait", 2*time.Millisecond)
+	src.Observe("wait", 20*time.Millisecond)
+
+	dst.Merge(src.Snapshot())
+	snap := dst.Snapshot()
+	if snap.Counters["jobs"] != 3 || snap.Counters["runs"] != 1 {
+		t.Errorf("merged counters = %v", snap.Counters)
+	}
+	if snap.Gauges["depth"] != 5 {
+		t.Errorf("merged gauge = %v", snap.Gauges["depth"])
+	}
+	d := snap.Durations["wait"]
+	if d.Count != 3 ||
+		d.MinNS != (2*time.Millisecond).Nanoseconds() ||
+		d.MaxNS != (20*time.Millisecond).Nanoseconds() ||
+		d.SumNS != (32 * time.Millisecond).Nanoseconds() {
+		t.Errorf("merged duration = %+v", d)
+	}
+	// Merging nil or into nil is inert.
+	dst.Merge(nil)
+	var nilm *Metrics
+	nilm.Merge(src.Snapshot())
+	if got := dst.Snapshot().Counters["jobs"]; got != 3 {
+		t.Errorf("nil merge mutated counters: %d", got)
+	}
+}
+
 func TestObserverForEachMatchesPlain(t *testing.T) {
 	// The instrumented fan-out must cover the same indices with the same
 	// results as the plain one, observer or not.

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugMux builds a dedicated mux for the pprof and expvar debug
+// endpoints. A dedicated mux — never http.DefaultServeMux — so that
+// package-level http.Handle registrations elsewhere in the process (or
+// a future dependency's init) can never leak onto the diagnostics
+// port.
+func DebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+// NewDebugServer wraps DebugMux in an http.Server with explicit
+// timeouts, replacing the bare http.ListenAndServe(addr, nil) idiom
+// (which serves the global DefaultServeMux with no timeouts at all).
+// WriteTimeout stays 0: /debug/pprof/profile and /debug/pprof/trace
+// stream for a caller-chosen number of seconds, and a fixed write
+// deadline would truncate long captures. Header/read/idle timeouts
+// still bound slow or stalled clients.
+func NewDebugServer(addr string) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           DebugMux(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a job's lifecycle position. Transitions are strictly
+// forward: queued -> running -> {done, failed, canceled}, with two
+// shortcuts that never reach a worker — a cache hit completes a job at
+// submit time, and a queued job may be canceled before it runs.
+type State string
+
+const (
+	// StateQueued: accepted and waiting — either in the FIFO queue or
+	// attached to an in-flight identical job (deduped_of is set).
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing the pipeline for this job.
+	StateRunning State = "running"
+	// StateDone: artifacts are available.
+	StateDone State = "done"
+	// StateFailed: the computation failed; Error carries the cause.
+	StateFailed State = "failed"
+	// StateCanceled: the client canceled the job (or the server shut
+	// down) before it completed.
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event is one entry of a job's progress log, streamed by the events
+// endpoint in order. Seq is dense per job, so clients resume a dropped
+// stream by discarding already-seen sequence numbers.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Time time.Time `json:"time"`
+	Kind string    `json:"kind"`
+	Msg  string    `json:"msg,omitempty"`
+}
+
+// job is the server-side record of one submission. Every mutable field
+// is guarded by the owning Server's mutex; the public view is the
+// JobStatus snapshot statusLocked builds.
+type job struct {
+	id  string
+	req Request
+	// unit and fp are the cache identity: unit names the pipeline input
+	// (chip ID, "/die"-suffixed for die runs) and fp is the
+	// core.FingerprintOptions hash of the result-affecting options —
+	// the same fingerprint the run's stage checkpoints are keyed by.
+	unit, fp string
+	// dedupe is the in-flight dedupe key (unit, fingerprint and views
+	// flag): two jobs with equal keys are guaranteed to produce
+	// identical artifact sets, so only one may compute at a time.
+	dedupe string
+
+	state     State
+	err       error
+	cacheHit  bool
+	dedupedOf string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	queueWait time.Duration
+	artifacts map[string][]byte
+
+	// followers are identical submissions attached to this job while it
+	// is queued or running; they complete when it does.
+	followers []*job
+	// cancelRequested is sticky: set by the cancel endpoint, observed
+	// by the worker to classify the runner's context error.
+	cancelRequested bool
+	cancel          func()
+
+	events []Event
+	// update is the change broadcast: closed and replaced on every
+	// event append, so streamers wait on it without polling.
+	update chan struct{}
+
+	// metrics and trace are the job's private observability sinks; the
+	// status endpoint surfaces their snapshot (queue wait, cache hit,
+	// stage timings) and the server folds the metrics into its fleet
+	// registry when the job finishes.
+	metrics *obs.Metrics
+	trace   *obs.Trace
+}
+
+// StageTiming is one stage row of a job's trace summary.
+type StageTiming struct {
+	Name    string  `json:"name"`
+	Calls   int     `json:"calls"`
+	TotalMS float64 `json:"total_ms"`
+}
+
+// JobStatus is the wire form of a job.
+type JobStatus struct {
+	ID          string           `json:"id"`
+	State       State            `json:"state"`
+	Chip        string           `json:"chip"`
+	Die         bool             `json:"die,omitempty"`
+	Views       bool             `json:"views,omitempty"`
+	Profile     string           `json:"profile,omitempty"`
+	Tenant      string           `json:"tenant,omitempty"`
+	Fingerprint string           `json:"fingerprint"`
+	CacheHit    bool             `json:"cache_hit"`
+	DedupedOf   string           `json:"deduped_of,omitempty"`
+	Error       string           `json:"error,omitempty"`
+	Created     time.Time        `json:"created"`
+	QueueWaitMS float64          `json:"queue_wait_ms"`
+	RunMS       float64          `json:"run_ms"`
+	Artifacts   []string         `json:"artifacts,omitempty"`
+	Stages      []StageTiming    `json:"stages,omitempty"`
+	Counters    map[string]int64 `json:"counters,omitempty"`
+}
+
+// eventLocked appends a progress event and wakes every streamer.
+// Caller holds the server mutex.
+func (j *job) eventLocked(kind, msg string) {
+	j.events = append(j.events, Event{
+		Seq: len(j.events), Time: time.Now(), Kind: kind, Msg: msg,
+	})
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// finishLocked moves the job to a terminal state exactly once. Caller
+// holds the server mutex.
+func (j *job) finishLocked(state State, err error) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.err = err
+	j.finished = time.Now()
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	j.eventLocked(string(state), msg)
+}
+
+// statusLocked snapshots the job for the API. Caller holds the server
+// mutex.
+func (j *job) statusLocked() JobStatus {
+	st := JobStatus{
+		ID: j.id, State: j.state,
+		Chip: j.req.Chip, Die: j.req.Die, Views: j.req.Views,
+		Profile: j.req.Profile, Tenant: j.req.Tenant,
+		Fingerprint: j.fp,
+		CacheHit:    j.cacheHit,
+		DedupedOf:   j.dedupedOf,
+		Created:     j.created,
+		QueueWaitMS: float64(j.queueWait) / float64(time.Millisecond),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunMS = float64(end.Sub(j.started)) / float64(time.Millisecond)
+	}
+	for name := range j.artifacts {
+		st.Artifacts = append(st.Artifacts, name)
+	}
+	sort.Strings(st.Artifacts)
+	// The trace is only read back once the job is terminal: Summary
+	// walks the span tree, and the running pipeline appends to it
+	// without the server's lock (Metrics, by contrast, has its own).
+	if j.state.terminal() {
+		if stats, _ := j.trace.Summary(); len(stats) > 0 {
+			for _, s := range stats {
+				st.Stages = append(st.Stages, StageTiming{
+					Name: s.Name, Calls: s.Calls,
+					TotalMS: float64(s.Total) / float64(time.Millisecond),
+				})
+			}
+		}
+	}
+	if snap := j.metrics.Snapshot(); snap != nil && len(snap.Counters) > 0 {
+		st.Counters = snap.Counters
+	}
+	return st
+}
+
+// newJobID renders the dense per-server job number.
+func newJobID(n int) string {
+	return fmt.Sprintf("job-%06d", n)
+}

@@ -1,0 +1,479 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/obs"
+	"repro/internal/par"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the total CPU budget shared by all concurrent jobs
+	// (0 = all cores). The server splits it with par.SplitBudget: with
+	// Jobs concurrent jobs each gets Workers/Jobs inner workers, so the
+	// pool never oversubscribes the machine.
+	Workers int
+	// Jobs is the number of jobs executing concurrently (0 = 2).
+	Jobs int
+	// QueueDepth bounds the pending FIFO queue (0 = 16). A submission
+	// that finds the queue full is rejected (ErrQueueFull → HTTP 503)
+	// rather than buffered without bound.
+	QueueDepth int
+	// Cache is the shared content-addressed store. It plays two roles:
+	// pipeline stage checkpoints during a run, and the finished
+	// artifact cache keyed by the same options fingerprint — identical
+	// submissions dedupe to one computation across server restarts.
+	// Nil disables both.
+	Cache *ckpt.Store
+	// Timeout and Retries are the per-attempt supervision contract each
+	// job runs under (see supervise.Options). Zero Timeout means no
+	// per-attempt deadline; zero Retries means one attempt.
+	Timeout time.Duration
+	Retries int
+	// Obs is the server-wide observer: its metrics hold fleet totals
+	// (every finished job's registry is merged in), its log receives
+	// job lifecycle lines.
+	Obs *obs.Observer
+}
+
+// ErrQueueFull rejects a submission when the pending queue is at
+// QueueDepth.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrClosed rejects submissions after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// errShutdown is the cause recorded on jobs canceled by server
+// shutdown.
+var errShutdown = errors.New("server shutting down")
+
+// Server owns the job table, the bounded queue and the worker pool.
+type Server struct {
+	cfg   Config
+	inner int // per-job worker budget (Workers split across Jobs)
+
+	queue  chan *job
+	ctx    context.Context // canceled by Close; parent of every job ctx
+	stop   context.CancelFunc
+	wg     sync.WaitGroup
+	runner func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // submission order, for List
+	inflight map[string]*job // dedupe key -> leader job
+	nextID   int
+	closed   bool
+}
+
+// NewServer starts the worker pool and returns the server. Close must
+// be called to release it.
+func NewServer(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	fan, inner := par.SplitBudget(cfg.Workers, cfg.Jobs)
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		inner:    inner,
+		queue:    make(chan *job, cfg.QueueDepth),
+		ctx:      ctx,
+		stop:     stop,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+	s.runner = s.runPipeline
+	s.wg.Add(fan)
+	for i := 0; i < fan; i++ {
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.execute(j)
+			}
+		}()
+	}
+	s.cfg.Obs.Info("serve: pool started", "jobs", fan, "workers_per_job", inner, "queue", cfg.QueueDepth)
+	return s
+}
+
+// Close stops accepting submissions, cancels running jobs, marks
+// queued jobs canceled and waits for the workers to drain (bounded by
+// ctx).
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue) // no further sends: every send is guarded by closed
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.state == StateQueued {
+			j.finishLocked(StateCanceled, errShutdown)
+		}
+	}
+	s.mu.Unlock()
+	s.stop() // cancels every running job's context
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit accepts a job. The returned status is the job's state at
+// return: done with artifacts on a cache hit, queued otherwise (either
+// in the FIFO queue or attached to an identical in-flight job).
+func (s *Server) Submit(req Request) (JobStatus, error) {
+	unit, fp, dedupe, err := req.identity()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	// Cache probe outside the lock: it reads files, and a stale miss is
+	// harmless (the in-flight dedupe below still collapses duplicates).
+	cached := cacheLookup(s.cfg.Cache, unit, fp, req.Views, s.cfg.Obs)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return JobStatus{}, ErrClosed
+	}
+	s.nextID++
+	j := &job{
+		id: newJobID(s.nextID), req: req,
+		unit: unit, fp: fp, dedupe: dedupe,
+		state: StateQueued, created: time.Now(),
+		update:  make(chan struct{}),
+		metrics: obs.NewMetrics(), trace: obs.NewTrace(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	j.eventLocked("queued", "fingerprint "+fp)
+	s.cfg.Obs.Count("serve.jobs_submitted", 1)
+	if req.Tenant != "" {
+		s.cfg.Obs.Count("serve.tenant."+req.Tenant+".jobs", 1)
+	}
+
+	if cached != nil {
+		j.cacheHit = true
+		j.artifacts = cached
+		j.metrics.Add("serve.cache_hit", 1)
+		s.cfg.Obs.Count("serve.cache_hits", 1)
+		j.eventLocked("cache_hit", "served from result cache")
+		j.finishLocked(StateDone, nil)
+		s.mergeJobLocked(j)
+		return j.statusLocked(), nil
+	}
+	if err := s.scheduleLocked(j); err != nil {
+		// Rejected (queue full): forget the job entirely — the client
+		// got an error, not a job ID.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.nextID--
+		return JobStatus{}, err
+	}
+	return j.statusLocked(), nil
+}
+
+// scheduleLocked routes a queued job: attach to an identical in-flight
+// leader, or enqueue as a new leader. Caller holds the mutex.
+func (s *Server) scheduleLocked(j *job) error {
+	if leader, ok := s.inflight[j.dedupe]; ok && leader != j {
+		j.dedupedOf = leader.id
+		leader.followers = append(leader.followers, j)
+		j.metrics.Add("serve.dedup_attached", 1)
+		s.cfg.Obs.Count("serve.dedup_attached", 1)
+		j.eventLocked("deduped", "attached to in-flight "+leader.id)
+		return nil
+	}
+	select {
+	case s.queue <- j:
+		s.inflight[j.dedupe] = j
+		return nil
+	default:
+		s.cfg.Obs.Count("serve.queue_full", 1)
+		return fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+	}
+}
+
+// execute runs one leader job on a pool worker.
+func (s *Server) execute(j *job) {
+	s.mu.Lock()
+	if j.state.terminal() { // canceled while queued
+		if s.inflight[j.dedupe] == j {
+			s.promoteLocked(j)
+		}
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.queueWait = j.started.Sub(j.created)
+	j.metrics.Observe("serve.queue_wait", j.queueWait)
+	ctx, cancel := context.WithCancel(s.ctx)
+	j.cancel = cancel
+	ob := &obs.Observer{Trace: j.trace, Metrics: j.metrics, Log: s.logger()}
+	j.eventLocked("running", "")
+	req := j.req
+	s.mu.Unlock()
+	defer cancel()
+
+	s.cfg.Obs.Count("serve.runs", 1)
+	s.cfg.Obs.Info("serve: job running", "job", j.id, "chip", req.Chip, "fp", j.fp)
+	artifacts, err := s.runner(ctx, req, s.inner, ob)
+
+	if err == nil {
+		// Publish before announcing: once any client can observe the
+		// job done, the cache entry is durable.
+		if serr := cacheStore(s.cfg.Cache, j.unit, j.fp, artifacts); serr != nil {
+			s.cfg.Obs.Info("serve: cache store failed", "job", j.id, "error", serr)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[j.dedupe] == j {
+		delete(s.inflight, j.dedupe)
+	}
+	switch {
+	case err == nil:
+		j.artifacts = artifacts
+		j.finishLocked(StateDone, nil)
+		for _, f := range j.followers {
+			if f.state.terminal() {
+				continue
+			}
+			f.artifacts = artifacts
+			f.cacheHit = true
+			f.metrics.Add("serve.cache_hit", 1)
+			s.cfg.Obs.Count("serve.dedup_served", 1)
+			f.eventLocked("cache_hit", "served by "+j.id)
+			f.finishLocked(StateDone, nil)
+			s.mergeJobLocked(f)
+		}
+	case s.ctx.Err() != nil:
+		// Server shutdown: everyone is canceled; Close handled queued
+		// jobs, this handles the running one and its followers.
+		j.finishLocked(StateCanceled, errShutdown)
+		for _, f := range j.followers {
+			f.finishLocked(StateCanceled, errShutdown)
+		}
+	case j.cancelRequested:
+		j.finishLocked(StateCanceled, errors.New("canceled by client"))
+		// The followers did not ask to be canceled: the first live one
+		// becomes the new leader and recomputes.
+		s.promoteLocked(j)
+	default:
+		j.finishLocked(StateFailed, err)
+		// The computation is deterministic, so an identical submission
+		// fails identically: propagate rather than recompute.
+		for _, f := range j.followers {
+			if !f.state.terminal() {
+				f.finishLocked(StateFailed, fmt.Errorf("deduped job %s failed: %w", j.id, err))
+				s.mergeJobLocked(f)
+			}
+		}
+	}
+	j.followers = nil
+	s.mergeJobLocked(j)
+	s.cfg.Obs.Info("serve: job finished", "job", j.id, "state", string(j.state), "err", err)
+}
+
+// promoteLocked hands a canceled leader's followers to a new leader.
+// Caller holds the mutex; the leader must already be terminal and out
+// of (or about to leave) the inflight table.
+func (s *Server) promoteLocked(old *job) {
+	delete(s.inflight, old.dedupe)
+	var live []*job
+	for _, f := range old.followers {
+		if !f.state.terminal() {
+			live = append(live, f)
+		}
+	}
+	old.followers = nil
+	if len(live) == 0 {
+		return
+	}
+	leader, rest := live[0], live[1:]
+	leader.dedupedOf = ""
+	leader.followers = append(leader.followers, rest...)
+	for _, f := range rest {
+		f.dedupedOf = leader.id
+	}
+	if s.closed {
+		for _, f := range live {
+			f.finishLocked(StateCanceled, errShutdown)
+		}
+		return
+	}
+	select {
+	case s.queue <- leader:
+		s.inflight[leader.dedupe] = leader
+		leader.eventLocked("promoted", "leader "+old.id+" canceled; requeued")
+	default:
+		for _, f := range live {
+			f.finishLocked(StateFailed, fmt.Errorf("%w: could not requeue after %s canceled", ErrQueueFull, old.id))
+		}
+	}
+}
+
+// Cancel requests cancellation. A queued job is canceled immediately; a
+// running job's context is canceled and the job reports canceled once
+// the worker observes it. Canceling a terminal job is a no-op.
+func (s *Server) Cancel(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("serve: no such job %q", id)
+	}
+	switch {
+	case j.state.terminal():
+	case j.state == StateRunning:
+		j.cancelRequested = true
+		j.eventLocked("cancel_requested", "")
+		j.cancel()
+	default: // queued: either a follower or a not-yet-popped leader
+		j.cancelRequested = true
+		if f := s.detachFollowerLocked(j); !f {
+			// Leader still sitting in the channel: mark it canceled;
+			// the worker that pops it skips terminal jobs and promotes
+			// any followers it accumulated meanwhile.
+			j.finishLocked(StateCanceled, errors.New("canceled by client"))
+			if s.inflight[j.dedupe] == j && len(j.followers) > 0 {
+				// Promote eagerly so followers don't wait for the pop.
+				s.promoteLocked(j)
+			} else if s.inflight[j.dedupe] == j && len(j.followers) == 0 {
+				delete(s.inflight, j.dedupe)
+			}
+		}
+		s.mergeJobLocked(j)
+	}
+	return j.statusLocked(), nil
+}
+
+// detachFollowerLocked removes a queued follower from its leader and
+// cancels it. Reports whether j was a follower.
+func (s *Server) detachFollowerLocked(j *job) bool {
+	if j.dedupedOf == "" {
+		return false
+	}
+	if leader, ok := s.jobs[j.dedupedOf]; ok {
+		for i, f := range leader.followers {
+			if f == j {
+				leader.followers = append(leader.followers[:i], leader.followers[i+1:]...)
+				break
+			}
+		}
+	}
+	j.finishLocked(StateCanceled, errors.New("canceled by client"))
+	return true
+}
+
+// Status returns one job's snapshot.
+func (s *Server) Status(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.statusLocked(), true
+}
+
+// List returns every job in submission order.
+func (s *Server) List() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].statusLocked())
+	}
+	return out
+}
+
+// Artifact returns one artifact of a done job.
+func (s *Server) Artifact(id, name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("serve: no such job %q", id)
+	}
+	if j.state != StateDone {
+		return nil, fmt.Errorf("serve: job %s is %s, artifacts require done", id, j.state)
+	}
+	data, ok := j.artifacts[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: job %s has no artifact %q", id, name)
+	}
+	return data, nil
+}
+
+// Events returns the events of a job from sequence number from on, plus
+// a channel that is closed on the next change (nil once the job is
+// terminal and fully replayed). ok is false for an unknown job.
+func (s *Server) Events(id string, from int) (events []Event, next <-chan struct{}, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, okJob := s.jobs[id]
+	if !okJob {
+		return nil, nil, false
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from < len(j.events) {
+		events = append(events, j.events[from:]...)
+	}
+	if j.state.terminal() {
+		return events, nil, true
+	}
+	return events, j.update, true
+}
+
+// FleetSnapshot returns the server-wide metric totals (every finished
+// job merged in, plus the serve.* scheduling counters).
+func (s *Server) FleetSnapshot() *obs.Snapshot {
+	if s.cfg.Obs == nil || s.cfg.Obs.Metrics == nil {
+		return &obs.Snapshot{}
+	}
+	return s.cfg.Obs.Metrics.Snapshot()
+}
+
+// mergeJobLocked folds a finished job's private metrics into the fleet
+// registry. Caller holds the mutex; safe to call at most once per job
+// finish path (finishLocked guards double transitions, and every call
+// site runs inside one).
+func (s *Server) mergeJobLocked(j *job) {
+	if s.cfg.Obs == nil || s.cfg.Obs.Metrics == nil {
+		return
+	}
+	s.cfg.Obs.Metrics.Merge(j.metrics.Snapshot())
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.cfg.Obs == nil {
+		return nil
+	}
+	return s.cfg.Obs.Log
+}

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gds"
+	"repro/internal/img"
+	"repro/internal/obs"
+	"repro/internal/sem"
+	"repro/internal/supervise"
+)
+
+// Request is a job submission: a chip, a base options profile, and the
+// result-affecting overrides the CLI also exposes. Two requests that
+// resolve to the same chip and core.Options are the same computation —
+// the server fingerprints the resolved options (core.FingerprintOptions)
+// and dedupes on that, so a profile and the equivalent explicit
+// overrides share cache entries.
+type Request struct {
+	// Chip is the chip ID (A4, B4, C4, A5, B5, C5). Required.
+	Chip string `json:"chip"`
+	// Profile selects the base options: "default" (the CLI's
+	// extraction options) or "fast" (coarser preview-quality settings —
+	// one SA unit, 8 nm voxels, fewer denoise iterations). Empty means
+	// "default".
+	Profile string `json:"profile,omitempty"`
+	// Tenant is an opaque client label, surfaced in per-tenant job
+	// counters; it never affects the computation or the cache key.
+	Tenant string `json:"tenant,omitempty"`
+	// Die runs the die-level flow (blind ROI identification first).
+	Die bool `json:"die,omitempty"`
+	// Views additionally produces the per-layer planar PGM views
+	// (region-level runs only).
+	Views bool `json:"views,omitempty"`
+	// Units, VoxelNM, DwellUS and Pyramid override the profile when
+	// nonzero — the same knobs as extract -units/-voxel/-dwell/-pyramid.
+	Units   int     `json:"units,omitempty"`
+	VoxelNM int64   `json:"voxel_nm,omitempty"`
+	DwellUS float64 `json:"dwell_us,omitempty"`
+	Pyramid int     `json:"pyramid,omitempty"`
+	// Faults corrupts the acquisition with the default fault plan
+	// (FaultSeed selects the draw; 0 means seed 1), like extract -faults.
+	Faults    bool  `json:"faults,omitempty"`
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// Artifact names every completed job serves; views jobs add one
+// "views/<layer>.pgm" per fabrication layer.
+const (
+	ArtifactReport = "report.json"
+	ArtifactGDS    = "extracted.gds"
+)
+
+// resolve validates the request and returns the chip, the resolved
+// result-affecting options (detector included, exactly as a Run would
+// key its checkpoints) and the cache unit.
+func (r Request) resolve() (*chips.Chip, core.Options, string, error) {
+	c := chips.ByID(r.Chip)
+	if c == nil {
+		return nil, core.Options{}, "", fmt.Errorf("unknown chip %q", r.Chip)
+	}
+	if r.Die && r.Views {
+		return nil, core.Options{}, "", fmt.Errorf("views are region-level only; die and views are mutually exclusive")
+	}
+	if r.Units < 0 || r.VoxelNM < 0 || r.DwellUS < 0 || r.Pyramid < 0 {
+		return nil, core.Options{}, "", fmt.Errorf("negative option override")
+	}
+	var o core.Options
+	switch r.Profile {
+	case "", "default":
+		o = core.DefaultOptions()
+	case "fast":
+		o = core.DefaultOptions()
+		o.Units = 1
+		o.VoxelNM = 8
+		o.SEM.DriftSigmaPx = 0.4
+		o.Denoise.Iterations = 8
+	default:
+		return nil, core.Options{}, "", fmt.Errorf("unknown profile %q (want default or fast)", r.Profile)
+	}
+	if r.Units > 0 {
+		o.Units = r.Units
+	}
+	if r.VoxelNM > 0 {
+		o.VoxelNM = r.VoxelNM
+	}
+	if r.DwellUS > 0 {
+		o.SEM.DwellUS = r.DwellUS
+	}
+	o.Register.Pyramid = r.Pyramid
+	if r.Faults {
+		p := fault.DefaultPlan()
+		p.Seed = r.FaultSeed
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		o.Faults = &p
+	}
+	// Resolve the detector the way RunCtx does before it fingerprints,
+	// so the serve cache key equals the run's checkpoint key prefix.
+	o.SEM.Detector = c.Detector
+	unit := c.ID
+	if r.Die {
+		unit += "/die"
+	}
+	return c, o, unit, nil
+}
+
+// identity returns the job's cache identity: the checkpoint unit and
+// the options fingerprint, plus the in-flight dedupe key (the views
+// flag widens the artifact set, so views and non-views jobs must not
+// dedupe to each other).
+func (r Request) identity() (unit, fp, dedupe string, err error) {
+	_, o, unit, err := r.resolve()
+	if err != nil {
+		return "", "", "", err
+	}
+	fp, err = core.FingerprintOptions(o)
+	if err != nil {
+		return "", "", "", err
+	}
+	dedupe = unit + "/" + fp
+	if r.Views {
+		dedupe += "/views"
+	}
+	return unit, fp, dedupe, nil
+}
+
+// Report is the report.json artifact: the same summary the extract
+// table prints, in machine-readable form. Counters are the job's
+// deterministic telemetry with the "ckpt."-prefixed entries removed —
+// those depend on what happened to be cached, and the report must be
+// byte-identical whether its computation was fresh or stage-resumed.
+type Report struct {
+	Chip             string           `json:"chip"`
+	Topology         string           `json:"topology"`
+	TopologyCorrect  bool             `json:"topology_correct"`
+	BitlinesFound    int              `json:"bitlines_found"`
+	BitlinesTrue     int              `json:"bitlines_true"`
+	TransistorsFound int              `json:"transistors_found"`
+	TransistorsTrue  int              `json:"transistors_true"`
+	MeanRelErrPct    float64          `json:"mean_rel_err_pct"`
+	SliceCount       int              `json:"slice_count"`
+	CostHours        float64          `json:"cost_hours"`
+	ResidualDriftPx  float64          `json:"residual_drift_px"`
+	Repairs          int              `json:"repairs"`
+	AlignFallbacks   int              `json:"align_fallbacks"`
+	FaultsInjected   int              `json:"faults_injected,omitempty"`
+	ROI              *ROIReport       `json:"roi,omitempty"`
+	Counters         map[string]int64 `json:"counters,omitempty"`
+}
+
+// ROIReport reports the die-level blind ROI identification.
+type ROIReport struct {
+	FoundNM [2]int64 `json:"found_nm"`
+	TrueNM  [2]int64 `json:"true_nm"`
+	IoU     float64  `json:"iou"`
+}
+
+// buildReport renders the deterministic report artifact.
+func buildReport(res *core.Result, die *core.DieResult) ([]byte, error) {
+	rep := Report{
+		Chip:             res.Chip.ID,
+		Topology:         res.Extraction.Topology.String(),
+		TopologyCorrect:  res.Score.TopologyCorrect,
+		BitlinesFound:    res.Extraction.Bitlines,
+		BitlinesTrue:     res.Truth.Bitlines,
+		TransistorsFound: len(res.Extraction.Transistors),
+		TransistorsTrue:  res.Truth.TransistorCount,
+		MeanRelErrPct:    100 * res.Score.MeanRelErr,
+		SliceCount:       res.SliceCount,
+		CostHours:        res.CostHours,
+		ResidualDriftPx:  res.ResidualDriftPx,
+		Repairs:          len(res.Repairs.Repairs),
+		AlignFallbacks:   res.AlignFallbacks,
+	}
+	if res.Injected != nil {
+		rep.FaultsInjected = len(res.Injected.Injected)
+	}
+	if die != nil {
+		rep.ROI = &ROIReport{FoundNM: die.ROI, TrueNM: die.TrueROI, IoU: die.ROIOverlap}
+	}
+	if res.Telemetry != nil {
+		rep.Counters = make(map[string]int64, len(res.Telemetry.Counters))
+		for name, v := range res.Telemetry.Counters {
+			if strings.HasPrefix(name, "ckpt.") {
+				continue
+			}
+			rep.Counters[name] = v
+		}
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("serve: report: %w", err)
+	}
+	return append(out, '\n'), nil
+}
+
+// ExtractedGDSBytes renders a pipeline result's annotated extracted
+// layout as GDSII — byte-identical to the file extract -gds writes.
+func ExtractedGDSBytes(res *core.Result) ([]byte, error) {
+	if res == nil || res.Extraction == nil || res.Plan == nil {
+		return nil, fmt.Errorf("serve: result carries no extraction plan")
+	}
+	s, err := gds.FromCell(res.Extraction.AnnotatedCell(res.Plan, "extracted_"+res.Chip.ID))
+	if err != nil {
+		return nil, err
+	}
+	lib := gds.NewLibrary("HIFIDRAM_EXTRACTED_" + res.Chip.ID)
+	lib.Structs = []gds.Structure{s}
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runPipeline is the production runner: it drives the job as a
+// one-unit supervised campaign (per-attempt deadline, retry taxonomy,
+// panic isolation — the same contract extract -all gives each chip) and
+// assembles the artifact set. inner is the job's worker budget from the
+// server's par.SplitBudget split; ob is the job's private observer.
+func (s *Server) runPipeline(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error) {
+	chip, o, _, err := req.resolve()
+	if err != nil {
+		return nil, err
+	}
+	o.Workers = inner
+	o.Obs = ob
+	// The shared store plays both of its roles here: stage boundaries
+	// checkpoint into it as the run goes (so a second job with the same
+	// fingerprint but a wider artifact set resumes instead of
+	// recomputing), and the finished artifacts are published into it
+	// under the same unit/fingerprint prefix by the worker.
+	o.Ckpt = s.cfg.Cache
+	o.Resume = s.cfg.Cache != nil
+
+	var res *core.Result
+	var dres *core.DieResult
+	_, err = supervise.Run(ctx, []string{chip.ID}, func(ctx context.Context, _ int) error {
+		if req.Die {
+			d, err := core.RunOnDieCtx(ctx, chip, o)
+			if err != nil {
+				return err
+			}
+			dres, res = d, d.Pipeline
+			return nil
+		}
+		r, err := core.RunCtx(ctx, chip, o)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	}, supervise.Options{
+		Timeout: s.cfg.Timeout, Retries: s.cfg.Retries,
+		Workers: 1, JitterSeed: 1, Obs: ob,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	artifacts := make(map[string][]byte, 2)
+	if artifacts[ArtifactReport], err = buildReport(res, dres); err != nil {
+		return nil, err
+	}
+	if artifacts[ArtifactGDS], err = ExtractedGDSBytes(res); err != nil {
+		return nil, err
+	}
+	if req.Views {
+		if err := s.renderViews(ctx, chip, o, artifacts); err != nil {
+			return nil, err
+		}
+	}
+	return artifacts, nil
+}
+
+// renderViews produces the per-layer planar PGM artifacts the way the
+// planar subcommand does. The acquisition prologue is recomputed, but
+// with the shared store the aligned-stack checkpoint the extraction
+// just wrote makes PlanarViewsCtx skip all preprocessing.
+func (s *Server) renderViews(ctx context.Context, chip *chips.Chip, o core.Options, artifacts map[string][]byte) error {
+	cfg := chipgen.DefaultConfig(chip)
+	cfg.Units = o.Units
+	region, err := chipgen.Generate(cfg)
+	if err != nil {
+		return fmt.Errorf("serve: views: %w", err)
+	}
+	vol, err := chipgen.Voxelize(region.Cell, region.Cell.Bounds(), o.VoxelNM)
+	if err != nil {
+		return fmt.Errorf("serve: views: %w", err)
+	}
+	acq, err := sem.AcquireStackCtx(ctx, vol, o.SEM)
+	if err != nil {
+		return fmt.Errorf("serve: views: %w", err)
+	}
+	vo := o
+	vo.CkptUnit = chip.ID
+	views, err := core.PlanarViewsCtx(ctx, acq, vo)
+	if err != nil {
+		return fmt.Errorf("serve: views: %w", err)
+	}
+	names := make([]string, 0, len(views))
+	for name := range views {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		view := views[name]
+		view.Normalize()
+		var buf bytes.Buffer
+		if err := img.WritePGM(&buf, view); err != nil {
+			return fmt.Errorf("serve: views: %w", err)
+		}
+		artifacts["views/"+name+".pgm"] = buf.Bytes()
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+// Package serve turns the reconstruction pipeline into a job service:
+// an HTTP/JSON API accepts chip/profile submissions, a bounded FIFO
+// queue feeds a worker pool of supervised pipeline campaigns, and a
+// shared content-addressed cache (the checkpoint store, keyed by the
+// same options fingerprint the stage checkpoints use) dedupes
+// identical submissions down to a single computation — whether they
+// arrive concurrently (in-flight leader/follower attachment) or hours
+// apart (artifact cache hit).
+//
+// Endpoints:
+//
+//	POST /v1/jobs                         submit   {chip, profile, ...} -> JobStatus
+//	GET  /v1/jobs                         list all jobs
+//	GET  /v1/jobs/{id}                    poll one job
+//	POST /v1/jobs/{id}/cancel             cancel (queued or running)
+//	GET  /v1/jobs/{id}/events?from=N      NDJSON progress stream
+//	GET  /v1/jobs/{id}/artifacts/{name}   fetch report.json / extracted.gds / views/<layer>.pgm
+//	GET  /healthz                         liveness + queue stats
+//	GET  /debug/vars                      expvar (fleet metrics under the published name)
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NewMux builds the API routing for a server.
+func NewMux(s *Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name...}", s.handleArtifact)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// NewHTTPServer wraps the API mux in an http.Server with explicit
+// timeouts. WriteTimeout stays 0 because the events endpoint streams
+// for a job's whole lifetime; slowloris protection comes from
+// ReadHeaderTimeout instead.
+func NewHTTPServer(addr string, s *Server) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           NewMux(s),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// A cache hit is complete at submit time; report it as 200 rather
+	// than 202 so scripted clients can skip the poll loop entirely.
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Status(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	id, name := r.PathValue("id"), r.PathValue("name")
+	data, err := s.Artifact(id, name)
+	if err != nil {
+		code := http.StatusNotFound
+		if st, ok := s.Status(id); ok && st.State != StateDone {
+			// Job exists but isn't finished: the client should poll
+			// (or inspect the failure), not give up on the ID.
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	w.Header().Set("Content-Type", artifactContentType(name))
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	_, _ = w.Write(data)
+}
+
+func artifactContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".pgm"):
+		return "image/x-portable-graymap"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+// handleEvents streams the job's event log as NDJSON: a replay of
+// everything from ?from=N (default 0), then live events until the job
+// reaches a terminal state or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q: %w", q, err))
+			return
+		}
+		from = n
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for {
+		events, next, ok := s.Events(id, from)
+		if !ok {
+			return // job unknown: the pre-status check raced a restart
+		}
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			from = ev.Seq + 1
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if next == nil {
+			return // terminal and fully replayed
+		}
+		select {
+		case <-next:
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// health is the /healthz body.
+type health struct {
+	OK         bool  `json:"ok"`
+	Jobs       int   `json:"jobs"`
+	Queued     int   `json:"queued"`
+	Running    int   `json:"running"`
+	QueueDepth int   `json:"queue_depth"`
+	CacheHits  int64 `json:"cache_hits"`
+	Runs       int64 `json:"runs"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	h := health{OK: true, Jobs: len(s.jobs), QueueDepth: cap(s.queue)}
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			h.Queued++
+		case StateRunning:
+			h.Running++
+		}
+	}
+	s.mu.Unlock()
+	if snap := s.FleetSnapshot(); snap != nil {
+		h.CacheHits = snap.Counters["serve.cache_hits"]
+		h.Runs = snap.Counters["serve.runs"]
+	}
+	writeJSON(w, http.StatusOK, h)
+}

@@ -40,6 +40,12 @@ type Options struct {
 	// Backoff is the delay before the first retry; each further retry
 	// doubles it. Zero defaults to time.Second.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential delay (jitter included), so a
+	// high attempt count can never overflow the doubling into a
+	// negative duration — a negative delay makes timers fire
+	// immediately and turns backoff into a hot retry loop. Zero
+	// defaults to 30s.
+	MaxBackoff time.Duration
 	// JitterSeed drives the deterministic jitter (±25% of the delay)
 	// added to each backoff so colliding units decorrelate
 	// reproducibly.
@@ -97,6 +103,12 @@ func IsRetryable(err error) bool {
 func Run(ctx context.Context, names []string, fn func(ctx context.Context, i int) error, o Options) ([]Status, error) {
 	if o.Backoff <= 0 {
 		o.Backoff = time.Second
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 30 * time.Second
+	}
+	if o.Backoff > o.MaxBackoff {
+		o.Backoff = o.MaxBackoff
 	}
 	statuses := make([]Status, len(names))
 	for i, name := range names {
@@ -163,7 +175,7 @@ func runUnit(ctx context.Context, name string, i int, fn func(ctx context.Contex
 		case !IsRetryable(err) || st.Attempts > o.Retries:
 			return st
 		}
-		delay := backoff(o.Backoff, st.Attempts, rng)
+		delay := backoff(o.Backoff, o.MaxBackoff, st.Attempts, rng)
 		o.Obs.Count("supervise.retries", 1)
 		o.Obs.Info("retrying unit", "unit", name, "attempt", st.Attempts, "delay", delay, "err", err)
 		select {
@@ -199,9 +211,27 @@ func attempt(ctx context.Context, i int, fn func(ctx context.Context, i int) err
 }
 
 // backoff returns the exponential delay for the given completed attempt
-// count with ±25% deterministic jitter.
-func backoff(base time.Duration, attempts int, rng *rand.Rand) time.Duration {
-	d := base << (attempts - 1)
+// count with ±25% deterministic jitter, capped at max. The doubling is
+// clamped before it can overflow time.Duration (a naive base << attempts
+// wraps negative past ~2^63 ns, and a negative delay fires timers
+// immediately), and exactly one jitter draw is consumed on every path so
+// the per-unit jitter sequence stays aligned with the attempt number.
+func backoff(base, max time.Duration, attempts int, rng *rand.Rand) time.Duration {
+	d := base
+	for i := 1; i < attempts && d < max; i++ {
+		d <<= 1
+		if d <= 0 {
+			// The shift wrapped; the cap is the honest value.
+			d = max
+			break
+		}
+	}
+	if d > max {
+		d = max
+	}
 	jitter := 0.75 + rng.Float64()/2
-	return time.Duration(float64(d) * jitter)
+	if jd := time.Duration(float64(d) * jitter); jd < max {
+		return jd
+	}
+	return max
 }

@@ -245,7 +245,7 @@ func TestBackoffJitterDeterministic(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		out := make([]time.Duration, 5)
 		for a := 1; a <= 5; a++ {
-			out[a-1] = backoff(time.Second, a, rng)
+			out[a-1] = backoff(time.Second, 30*time.Second, a, rng)
 		}
 		return out
 	}
@@ -269,6 +269,36 @@ func TestBackoffJitterDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Error("different seeds produced identical jitter")
+	}
+}
+
+// The exponential doubling must stay positive and capped for any
+// attempt count (regression: base << (attempts-1) overflowed
+// time.Duration past ~63 doublings, and a negative delay makes timers
+// fire immediately — backoff degenerated into a hot retry loop).
+func TestBackoffBoundedAtLargeAttemptCounts(t *testing.T) {
+	const max = 30 * time.Second
+	rng := rand.New(rand.NewSource(1))
+	for _, attempts := range []int{1, 2, 10, 34, 35, 62, 63, 64, 65, 100, 1 << 20, 1 << 30} {
+		d := backoff(time.Second, max, attempts, rng)
+		if d <= 0 {
+			t.Errorf("backoff(attempts=%d) = %v, want > 0", attempts, d)
+		}
+		if d > max {
+			t.Errorf("backoff(attempts=%d) = %v exceeds cap %v", attempts, d, max)
+		}
+	}
+	// Large bases must not overflow either, even at attempt 2.
+	huge := time.Duration(1) << 62
+	if d := backoff(huge, max, 2, rng); d <= 0 || d > max {
+		t.Errorf("backoff(huge base) = %v, want in (0, %v]", d, max)
+	}
+	// The cap applies to the jittered value, not just the nominal one.
+	rng = rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if d := backoff(max, max, 1, rng); d > max {
+			t.Errorf("jittered backoff %v exceeds cap %v", d, max)
+		}
 	}
 }
 
