@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke fuzz
+.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,15 @@ crash-smoke:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# serve-chaos-smoke proves the durable job journal against real
+# SIGKILLs: 20 randomized kill/restart cycles with torn-tail and
+# cache-overfill injection, `journal fsck` after every kill, and a final
+# drain asserting no acknowledged job was lost, none ran twice to
+# completion (resubmission is a cache hit), artifacts are byte-identical
+# to an uninterrupted run, and the cache honors -cache-bytes.
+serve-chaos-smoke:
+	./scripts/serve_chaos.sh
+
 # alloc-check pins the allocation-free MI kernel: steady-state candidate
 # evaluation must stay at zero heap allocations per candidate.
 alloc-check:
@@ -58,7 +67,7 @@ alloc-check:
 # check is the CI gate: static analysis, the allocation regression
 # tests, race-checked tests, and the fault-injection, observability,
 # crash-recovery and job-service smoke runs.
-check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke
+check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.

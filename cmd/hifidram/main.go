@@ -109,6 +109,8 @@ func main() {
 		err = runServe(ctx, args)
 	case "ckpt":
 		err = runCkpt(args)
+	case "journal":
+		err = runJournal(args)
 	case "tracecheck":
 		err = runTraceCheck(args)
 	default:
@@ -142,9 +144,22 @@ commands:
               polls, /v1/jobs/{id}/artifacts/{name} fetches report.json,
               extracted.gds or views/<layer>.pgm; identical submissions
               dedupe to one computation via -cache-dir (-workers, -jobs,
-              -queue, -timeout, -retries, -pprof, -v)
+              -queue, -timeout, -retries, -pprof, -v). -journal FILE
+              makes accepted jobs durable: every submission is fsynced
+              to the write-ahead journal before it is acknowledged, and
+              on restart unfinished jobs are recovered and resubmitted.
+              -cache-bytes N sweeps the cache LRU-first down to N bytes
+              (live jobs' entries are pinned); -tenant-rate/-tenant-burst
+              /-tenant-inflight set per-tenant admission limits (HTTP
+              429 + Retry-After) and -tenant-weights biases the fair
+              dequeue ("alice=3,bob=1")
   ckpt        verify a checkpoint store: scan -dir, check every entry's
-              checksum, report corrupt/stray files (nonzero exit on any)
+              checksum, report corrupt/stray files (nonzero exit on any);
+              "ckpt gc -dir DIR -budget BYTES" sweeps the store LRU-first
+              down to the byte budget
+  journal     "journal fsck FILE" verifies a serve job journal frame by
+              frame and summarizes the replayed job table; a torn tail
+              (normal after a crash) is reported but not an error
   tracecheck  validate a -trace file: parses as Chrome trace JSON and
               covers every pipeline stage
 
@@ -762,8 +777,11 @@ func runPlanar(ctx context.Context, args []string) (retErr error) {
 // runCkpt verifies a checkpoint store: every entry is read back through
 // the full checksum/format validation and reported. Exits nonzero when
 // anything is corrupt, so the crash-smoke harness can assert store
-// health.
+// health. "ckpt gc" instead sweeps the store down to a byte budget.
 func runCkpt(args []string) error {
+	if len(args) > 0 && args[0] == "gc" {
+		return runCkptGC(args[1:])
+	}
 	fs := flag.NewFlagSet("ckpt", flag.ExitOnError)
 	dir := fs.String("dir", "", "checkpoint store directory (required)")
 	if err := fs.Parse(args); err != nil {
@@ -806,6 +824,63 @@ func runCkpt(args []string) error {
 	return nil
 }
 
+// runCkptGC sweeps a checkpoint store LRU-first down to a byte budget —
+// the offline form of the sweep a running serve performs after each
+// publish. Offline there are no live jobs, so nothing is pinned.
+func runCkptGC(args []string) error {
+	fs := flag.NewFlagSet("ckpt gc", flag.ExitOnError)
+	dir := fs.String("dir", "", "checkpoint store directory (required)")
+	budget := fs.Int64("budget", 0, "byte budget to shrink the store to (required; 0 evicts everything unpinned)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("usage: hifidram ckpt gc -dir DIR -budget BYTES")
+	}
+	store, err := ckpt.Open(*dir)
+	if err != nil {
+		return err
+	}
+	res, err := store.GC(*budget, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scanned %d entries (%d bytes): evicted %d (%d bytes), removed %d stale temp(s), %d bytes remain\n",
+		res.Scanned, res.TotalBytes, res.Evicted, res.EvictedBytes, res.TempRemoved, res.RemainingBytes)
+	return nil
+}
+
+// runJournal inspects a serve job journal. The only mode is fsck: verify
+// every frame (magic, version, checksum), replay the valid prefix and
+// summarize the job table. The chaos harness runs it after every
+// SIGKILL: a torn tail is the expected signature of a crash mid-append
+// and exits 0; an unreadable file or a journal with no valid content
+// exits 1.
+func runJournal(args []string) error {
+	if len(args) < 1 || args[0] != "fsck" {
+		return fmt.Errorf("usage: hifidram journal fsck FILE")
+	}
+	fs := flag.NewFlagSet("journal fsck", flag.ExitOnError)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: hifidram journal fsck FILE")
+	}
+	path := fs.Arg(0)
+	rep, _, err := serve.FsckJournal(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d record(s), %d job(s) (%d live, %d terminal), %d valid byte(s)",
+		path, rep.Records, rep.Jobs, rep.Live, rep.Terminal, rep.ValidBytes)
+	if rep.TornBytes > 0 {
+		fmt.Printf(", torn tail %d byte(s) (will be truncated on next serve start)", rep.TornBytes)
+	}
+	fmt.Println()
+	return nil
+}
+
 // runServe runs the reconstruction job service: an HTTP/JSON API in
 // front of a bounded job queue and a worker pool of supervised pipeline
 // campaigns, with a shared content-addressed result cache so identical
@@ -818,6 +893,12 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	jobs := fs.Int("jobs", 2, "jobs executing concurrently (the worker budget is split between them)")
 	queue := fs.Int("queue", 16, "pending-job queue depth; submissions beyond it get HTTP 503")
 	cacheDir := fs.String("cache-dir", "", "shared result + stage-checkpoint cache directory (empty disables caching and cross-restart dedupe)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "byte budget for -cache-dir: sweep LRU-first after each publish, pinning live jobs' entries (0 = unbounded)")
+	journalPath := fs.String("journal", "", "write-ahead job journal file: accepted jobs are fsynced before acknowledgement and recovered on restart (empty = jobs die with the process)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant submission rate limit in jobs/second; over it gets HTTP 429 (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant rate-limit burst size (0 = one second of -tenant-rate)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "per-tenant cap on live (queued+running) jobs; over it gets HTTP 429 (0 = unlimited)")
+	tenantWeights := fs.String("tenant-weights", "", "fair-dequeue weights as tenant=N pairs, comma-separated (e.g. \"alice=3,bob=1\"; unlisted tenants weigh 1)")
 	timeout := fs.Duration("timeout", 0, "per-job per-attempt deadline (0 = none)")
 	retries := fs.Int("retries", 0, "retry attempts for jobs failing with transient (retryable) errors")
 	obf := addObsFlags(fs)
@@ -828,6 +909,10 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 		return fmt.Errorf("usage: hifidram serve [flags] ADDR (e.g. localhost:8080)")
 	}
 	addr := fs.Arg(0)
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 	var store *ckpt.Store
 	if *cacheDir != "" {
 		var err error
@@ -849,15 +934,21 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	}
 	ob.Metrics.PublishExpvar("hifidram.serve")
 
-	s := serve.NewServer(serve.Config{
+	s, err := serve.NewServer(serve.Config{
 		Workers: *workers, Jobs: *jobs, QueueDepth: *queue,
-		Cache: store, Timeout: *timeout, Retries: *retries, Obs: ob,
+		Cache: store, CacheBytes: *cacheBytes, JournalPath: *journalPath,
+		TenantRate: *tenantRate, TenantBurst: *tenantBurst,
+		TenantInflight: *tenantInflight, TenantWeights: weights,
+		Timeout: *timeout, Retries: *retries, Obs: ob,
 	})
+	if err != nil {
+		return err
+	}
 	httpSrv := serve.NewHTTPServer(addr, s)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "hifidram: serving on %s (jobs %d, queue %d, cache %q)\n",
-		addr, *jobs, *queue, *cacheDir)
+	fmt.Fprintf(os.Stderr, "hifidram: serving on %s (jobs %d, queue %d, cache %q, journal %q, recovered %d)\n",
+		addr, *jobs, *queue, *cacheDir, *journalPath, s.Recovered())
 
 	select {
 	case err := <-errc:
@@ -880,4 +971,24 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	}
 	// Exit 130 like the other commands on signal cancellation.
 	return context.Canceled
+}
+
+// parseTenantWeights parses "alice=3,bob=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := make(map[string]int)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -tenant-weights entry %q (want tenant=N)", pair)
+		}
+		var w int
+		if _, err := fmt.Sscanf(val, "%d", &w); err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -tenant-weights weight %q for %q (want a positive integer)", val, name)
+		}
+		weights[name] = w
+	}
+	return weights, nil
 }

@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 const (
@@ -227,6 +228,9 @@ type Entry struct {
 	Path string
 	// Bytes is the file size.
 	Bytes int64
+	// ModTime is the file's modification time — the recency signal the
+	// LRU garbage collector sweeps by.
+	ModTime time.Time
 	// Err is nil for a verified entry and the verification failure
 	// otherwise.
 	Err error
@@ -247,7 +251,7 @@ func (s *Store) Scan() ([]Entry, error) {
 		if info.IsDir() || !strings.HasSuffix(path, ".ckpt") {
 			return nil
 		}
-		e := Entry{Path: path, Bytes: info.Size()}
+		e := Entry{Path: path, Bytes: info.Size(), ModTime: info.ModTime()}
 		data, err := os.ReadFile(path)
 		if err != nil {
 			e.Err = err

@@ -1,0 +1,140 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// tempTTL is how old a stray temp file (an interrupted WriteFileAtomic)
+// must be before GC removes it. Young temp files may belong to a write
+// that is still in flight in another process; deleting one would make
+// the concluding rename fail. An hour is far past any plausible write.
+const tempTTL = time.Hour
+
+// GCResult summarizes one GC sweep.
+type GCResult struct {
+	// Scanned is the number of *.ckpt entries examined and TotalBytes
+	// their combined size before eviction.
+	Scanned    int
+	TotalBytes int64
+	// Evicted / EvictedBytes count the entries removed by the sweep.
+	Evicted      int
+	EvictedBytes int64
+	// Pinned / PinnedBytes count the entries the pin predicate protected.
+	// Pinned entries are never evicted, even when they alone exceed the
+	// budget — a live job's checkpoints must outrank the byte target.
+	Pinned      int
+	PinnedBytes int64
+	// TempRemoved counts stray temp files (older than tempTTL) cleaned up.
+	TempRemoved int
+	// RemainingBytes is the post-sweep *.ckpt footprint. It exceeds
+	// budget only when the pinned set alone does.
+	RemainingBytes int64
+}
+
+// GC shrinks the store to at most budget bytes of *.ckpt entries by
+// evicting the least recently modified unpinned entries first (mtime is
+// refreshed on every Put, so recency of write approximates recency of
+// use). pinned, when non-nil, protects entries by key: a pinned entry is
+// never removed, whatever the budget. Entries whose key cannot be
+// recovered (foreign or header-corrupt files) are treated as unpinned —
+// nothing can legitimately depend on them.
+//
+// The sweep also removes stray temp files older than tempTTL (leftovers
+// of writes interrupted by a crash; they are invisible to readers but
+// consume disk) and prunes directories emptied by eviction. GC is safe
+// to run concurrently with readers and writers: eviction of an entry a
+// reader wanted degrades to a cache miss and a recompute, exactly like
+// any other miss.
+func (s *Store) GC(budget int64, pinned func(Key) bool) (GCResult, error) {
+	var res GCResult
+	if s == nil {
+		return res, nil
+	}
+	if budget < 0 {
+		return res, fmt.Errorf("ckpt: gc: negative budget %d", budget)
+	}
+	res.TempRemoved = s.removeStaleTemps()
+	entries, err := s.Scan()
+	if err != nil {
+		return res, err
+	}
+	res.Scanned = len(entries)
+	for _, e := range entries {
+		res.TotalBytes += e.Bytes
+	}
+	res.RemainingBytes = res.TotalBytes
+	// Oldest first; ties break on path so the sweep order is
+	// deterministic for equal timestamps.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].ModTime.Equal(entries[j].ModTime) {
+			return entries[i].ModTime.Before(entries[j].ModTime)
+		}
+		return entries[i].Path < entries[j].Path
+	})
+	for _, e := range entries {
+		if res.RemainingBytes <= budget {
+			break
+		}
+		if pinned != nil && e.Key != (Key{}) && pinned(e.Key) {
+			res.Pinned++
+			res.PinnedBytes += e.Bytes
+			continue
+		}
+		if err := os.Remove(e.Path); err != nil {
+			if os.IsNotExist(err) {
+				// A concurrent Put/Delete raced the sweep; the bytes are
+				// gone either way.
+				res.RemainingBytes -= e.Bytes
+				continue
+			}
+			return res, fmt.Errorf("ckpt: gc: %w", err)
+		}
+		res.Evicted++
+		res.EvictedBytes += e.Bytes
+		res.RemainingBytes -= e.Bytes
+		s.pruneEmptyDirs(filepath.Dir(e.Path))
+	}
+	return res, nil
+}
+
+// removeStaleTemps deletes temp files from interrupted atomic writes
+// once they are old enough that no live write can own them.
+func (s *Store) removeStaleTemps() int {
+	removed := 0
+	cutoff := time.Now().Add(-tempTTL)
+	_ = filepath.Walk(s.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		name := info.Name()
+		if strings.HasSuffix(name, ".ckpt") || !strings.Contains(name, ".tmp") {
+			return nil
+		}
+		if info.ModTime().After(cutoff) {
+			return nil
+		}
+		if os.Remove(path) == nil {
+			removed++
+		}
+		return nil
+	})
+	return removed
+}
+
+// pruneEmptyDirs removes now-empty directories from dir up to (but not
+// including) the store root. Failures are ignored: a non-empty or
+// concurrently repopulated directory simply stays.
+func (s *Store) pruneEmptyDirs(dir string) {
+	root := filepath.Clean(s.dir)
+	for dir != root && strings.HasPrefix(dir, root) {
+		if os.Remove(dir) != nil {
+			return
+		}
+		dir = filepath.Dir(dir)
+	}
+}

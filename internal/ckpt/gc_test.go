@@ -1,0 +1,159 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// gcStore builds a store with n entries of distinct ages: entry i is
+// stamped i minutes older than entry n-1 (so index 0 is the oldest).
+func gcStore(t *testing.T, n int, payload []byte) (*Store, []Key) {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]Key, n)
+	base := time.Now().Add(-time.Duration(n) * time.Minute)
+	for i := 0; i < n; i++ {
+		k := Key{Unit: "chip", Fingerprint: "fp" + string(rune('a'+i)), Stage: "acquire"}
+		if err := s.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+		ts := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(s.path(k), ts, ts); err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+	}
+	return s, keys
+}
+
+// TestGCEvictsLRUToBudget: the sweep removes oldest entries first and
+// stops exactly when the store fits the budget.
+func TestGCEvictsLRUToBudget(t *testing.T) {
+	payload := make([]byte, 100)
+	s, keys := gcStore(t, 5, payload)
+	entries, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := entries[0].Bytes
+	total := per * 5
+
+	res, err := s.GC(total-2*per, nil) // must evict exactly 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 2 || res.EvictedBytes != 2*per {
+		t.Fatalf("evicted %d (%d bytes), want 2 (%d)", res.Evicted, res.EvictedBytes, 2*per)
+	}
+	if res.RemainingBytes != 3*per {
+		t.Fatalf("remaining %d, want %d", res.RemainingBytes, 3*per)
+	}
+	// The two oldest are gone, the three newest survive and verify.
+	for i, k := range keys {
+		_, state := s.Get(k)
+		want := StateHit
+		if i < 2 {
+			want = StateMiss
+		}
+		if state != want {
+			t.Fatalf("entry %d: state %v, want %v", i, state, want)
+		}
+	}
+	// A second sweep at the same budget is a no-op.
+	res, err = s.GC(total-2*per, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evicted != 0 {
+		t.Fatalf("idempotent sweep evicted %d entries", res.Evicted)
+	}
+}
+
+// TestGCNeverEvictsPinned: pinned entries survive even a zero budget,
+// and the sweep reports them instead of removing them.
+func TestGCNeverEvictsPinned(t *testing.T) {
+	s, keys := gcStore(t, 4, []byte("payload"))
+	pinned := map[Key]bool{keys[0]: true, keys[2]: true}
+	res, err := s.GC(0, func(k Key) bool { return pinned[k] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pinned != 2 {
+		t.Fatalf("pinned %d, want 2", res.Pinned)
+	}
+	if res.Evicted != 2 {
+		t.Fatalf("evicted %d, want 2", res.Evicted)
+	}
+	for i, k := range keys {
+		_, state := s.Get(k)
+		want := StateMiss
+		if pinned[k] {
+			want = StateHit
+		}
+		if state != want {
+			t.Fatalf("entry %d: state %v, want %v", i, state, want)
+		}
+	}
+	if res.RemainingBytes != res.PinnedBytes {
+		t.Fatalf("remaining %d != pinned bytes %d", res.RemainingBytes, res.PinnedBytes)
+	}
+}
+
+// TestGCRemovesStaleTempsAndEmptyDirs: old temp files from interrupted
+// atomic writes are cleaned, fresh ones are left for their writer, and
+// directories emptied by eviction disappear.
+func TestGCRemovesStaleTempsAndEmptyDirs(t *testing.T) {
+	s, keys := gcStore(t, 2, []byte("payload"))
+	dir := filepath.Dir(s.path(keys[0]))
+	stale := filepath.Join(dir, "acquire.ckpt.tmp123")
+	fresh := filepath.Join(dir, "acquire.ckpt.tmp456")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempTTL)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.GC(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TempRemoved != 1 {
+		t.Fatalf("temp removed %d, want 1", res.TempRemoved)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale temp survived")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh temp was removed: %v", err)
+	}
+	// keys[1]'s directory held no temp files, so its eviction must have
+	// pruned the emptied fingerprint directory.
+	if _, err := os.Stat(filepath.Dir(s.path(keys[1]))); !os.IsNotExist(err) {
+		t.Fatal("emptied entry directory survived")
+	}
+}
+
+// TestGCNilAndBadBudget: a nil store is inert and a negative budget is
+// rejected loudly instead of evicting everything.
+func TestGCNilAndBadBudget(t *testing.T) {
+	var nilStore *Store
+	if _, err := nilStore.GC(0, nil); err != nil {
+		t.Fatalf("nil store GC: %v", err)
+	}
+	s, _ := gcStore(t, 1, []byte("x"))
+	if _, err := s.GC(-1, nil); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	if _, state := s.Get(Key{Unit: "chip", Fingerprint: "fpa", Stage: "acquire"}); state != StateHit {
+		t.Fatal("entry lost to rejected sweep")
+	}
+}

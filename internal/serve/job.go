@@ -70,6 +70,16 @@ type job struct {
 	queueWait time.Duration
 	artifacts map[string][]byte
 
+	// tenantKey is the sanitized tenant label — the admission bucket,
+	// fair-queue lane and metric key this job charges against.
+	tenantKey string
+	// admitted is set while the job holds a tenant in-flight slot, so
+	// the single completion path releases it exactly once.
+	admitted bool
+	// recovered marks a job re-enqueued from the journal after a crash
+	// or restart.
+	recovered bool
+
 	// followers are identical submissions attached to this job while it
 	// is queued or running; they complete when it does.
 	followers []*job

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"time"
 
@@ -22,9 +23,9 @@ type Config struct {
 	Workers int
 	// Jobs is the number of jobs executing concurrently (0 = 2).
 	Jobs int
-	// QueueDepth bounds the pending FIFO queue (0 = 16). A submission
-	// that finds the queue full is rejected (ErrQueueFull → HTTP 503)
-	// rather than buffered without bound.
+	// QueueDepth bounds the total pending set across all tenant lanes
+	// (0 = 16). A submission that finds the queue full is rejected
+	// (ErrQueueFull → HTTP 503) rather than buffered without bound.
 	QueueDepth int
 	// Cache is the shared content-addressed store. It plays two roles:
 	// pipeline stage checkpoints during a run, and the finished
@@ -32,6 +33,32 @@ type Config struct {
 	// submissions dedupe to one computation across server restarts.
 	// Nil disables both.
 	Cache *ckpt.Store
+	// CacheBytes, when positive, is the byte budget for Cache: after
+	// each artifact publish (and once at startup) the server sweeps the
+	// store LRU-first down to the budget, never evicting entries pinned
+	// by live jobs. Zero disables the sweep.
+	CacheBytes int64
+	// JournalPath, when set, enables the write-ahead job journal: every
+	// accepted job is fsynced to this file before the submission is
+	// acknowledged, and on startup the server recovers the journal —
+	// requeues acknowledged-but-unfinished jobs and restores terminal
+	// ones to the job table. Empty disables durability (jobs die with
+	// the process, as before).
+	JournalPath string
+	// TenantRate, when positive, is the per-tenant token-bucket refill
+	// in submissions per second; TenantBurst the bucket size (0 = one
+	// second of refill). A tenant over its rate gets HTTP 429 with
+	// Retry-After.
+	TenantRate  float64
+	TenantBurst int
+	// TenantInflight, when positive, caps each tenant's live (queued +
+	// running) jobs. The cap counts followers too: a deduped submission
+	// still occupies a slot.
+	TenantInflight int
+	// TenantWeights sets per-tenant dequeue weights for the fair queue
+	// (unlisted tenants weigh 1): a tenant with weight 3 is served three
+	// jobs per round-robin visit instead of one.
+	TenantWeights map[string]int
 	// Timeout and Retries are the per-attempt supervision contract each
 	// job runs under (see supervise.Options). Zero Timeout means no
 	// per-attempt deadline; zero Retries means one attempt.
@@ -41,6 +68,10 @@ type Config struct {
 	// (every finished job's registry is merged in), its log receives
 	// job lifecycle lines.
 	Obs *obs.Observer
+	// runner overrides the pipeline runner. Test-only (unexported): it
+	// must be in place before the worker pool starts, because recovery
+	// can hand workers jobs before NewServer returns.
+	runner func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
 }
 
 // ErrQueueFull rejects a submission when the pending queue is at
@@ -50,32 +81,52 @@ var ErrQueueFull = errors.New("serve: job queue full")
 // ErrClosed rejects submissions after Close.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrJournal rejects a submission whose accept record could not be made
+// durable: acknowledging it would promise a durability the server
+// cannot deliver, so the client gets a retryable 503 instead.
+var ErrJournal = errors.New("serve: journal write failed")
+
 // errShutdown is the cause recorded on jobs canceled by server
 // shutdown.
 var errShutdown = errors.New("server shutting down")
 
-// Server owns the job table, the bounded queue and the worker pool.
+// stateNone tells completeLocked to journal nothing for this
+// transition: used for queued jobs at shutdown (they stay queued in the
+// journal, which is exactly what makes the queue durable) and for
+// followers of an interrupted leader (they replay as queued and
+// re-attach on recovery).
+const stateNone State = ""
+
+// Server owns the job table, the tenant-fair bounded queue, the worker
+// pool, the admission gate and the job journal.
 type Server struct {
 	cfg   Config
 	inner int // per-job worker budget (Workers split across Jobs)
 
-	queue  chan *job
-	ctx    context.Context // canceled by Close; parent of every job ctx
-	stop   context.CancelFunc
-	wg     sync.WaitGroup
-	runner func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
+	queue   *fairQueue
+	adm     *admission
+	journal *Journal
+	ctx     context.Context // canceled by Close; parent of every job ctx
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	runner  func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string        // submission order, for List
-	inflight map[string]*job // dedupe key -> leader job
-	nextID   int
-	closed   bool
+	// gcMu serializes cache sweeps: a publish that finds one already
+	// running skips its own (the running sweep sees the new bytes).
+	gcMu sync.Mutex
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string        // submission order, for List
+	inflight  map[string]*job // dedupe key -> leader job
+	nextID    int
+	recovered int // jobs re-enqueued from the journal at startup
+	closed    bool
 }
 
-// NewServer starts the worker pool and returns the server. Close must
-// be called to release it.
-func NewServer(cfg Config) *Server {
+// NewServer recovers the journal (when configured), starts the worker
+// pool and returns the server. Close must be called to release it.
+func NewServer(cfg Config) (*Server, error) {
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 2
 	}
@@ -84,32 +135,161 @@ func NewServer(cfg Config) *Server {
 	}
 	fan, inner := par.SplitBudget(cfg.Workers, cfg.Jobs)
 	ctx, stop := context.WithCancel(context.Background())
+	weights := cfg.TenantWeights
 	s := &Server{
-		cfg:      cfg,
-		inner:    inner,
-		queue:    make(chan *job, cfg.QueueDepth),
+		cfg:   cfg,
+		inner: inner,
+		queue: newFairQueue(cfg.QueueDepth, func(lane string) int {
+			return weights[lane]
+		}),
+		adm:      newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.TenantInflight),
 		ctx:      ctx,
 		stop:     stop,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 	}
 	s.runner = s.runPipeline
+	if cfg.runner != nil {
+		s.runner = cfg.runner
+	}
+	if cfg.JournalPath != "" {
+		if err := s.recoverJournal(cfg.JournalPath); err != nil {
+			stop()
+			return nil, err
+		}
+	}
 	s.wg.Add(fan)
 	for i := 0; i < fan; i++ {
 		go func() {
 			defer s.wg.Done()
-			for j := range s.queue {
+			for {
+				j, ok := s.queue.pop()
+				if !ok {
+					return
+				}
 				s.execute(j)
 			}
 		}()
 	}
-	s.cfg.Obs.Info("serve: pool started", "jobs", fan, "workers_per_job", inner, "queue", cfg.QueueDepth)
-	return s
+	s.maybeGC()
+	s.cfg.Obs.Info("serve: pool started", "jobs", fan, "workers_per_job", inner,
+		"queue", cfg.QueueDepth, "journal", cfg.JournalPath, "recovered", s.recovered)
+	return s, nil
+}
+
+// recoverJournal replays the journal into the job table, compacts the
+// file and requeues every job that was acknowledged but not finished:
+// first the ones that were running when the last life ended (their
+// stage checkpoints are warmest), then the queued ones, in submission
+// order. A recovered job whose artifacts already reached the cache —
+// the crash landed between publish and the done record — completes
+// immediately without rerunning. Runs before the worker pool starts, so
+// no locking is needed.
+func (s *Server) recoverJournal(path string) error {
+	recs, _, torn, err := ReadJournal(path)
+	if err != nil {
+		return err
+	}
+	if torn > 0 {
+		s.cfg.Obs.Count("serve.journal_torn_tail", 1)
+		s.cfg.Obs.Info("serve: truncating torn journal tail", "bytes", torn)
+	}
+	replayed := replayJournal(recs)
+	// Compact first: the rewrite both truncates any torn tail and bounds
+	// the file before fresh records append behind it.
+	s.journal, err = CreateJournal(path, compactRecords(replayed))
+	if err != nil {
+		return err
+	}
+	ids := make([]string, 0, len(replayed))
+	for id := range replayed {
+		ids = append(ids, id)
+	}
+	sortJobIDs(ids)
+	var wasRunning, wasQueued []*job
+	for _, id := range ids {
+		r := replayed[id]
+		var n int
+		if _, err := fmt.Sscanf(id, "job-%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		j := &job{
+			id: id, req: *r.accept.Req,
+			unit: r.accept.Unit, fp: r.accept.Fingerprint, dedupe: r.accept.Dedupe,
+			tenantKey: sanitizeTenant(r.accept.Req.Tenant),
+			state:     StateQueued, created: r.accept.Time,
+			recovered: true,
+			update:    make(chan struct{}),
+			metrics:   obs.NewMetrics(), trace: obs.NewTrace(),
+		}
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		switch r.state {
+		case StateDone:
+			j.state = StateDone
+			j.finished = r.at
+			// Best effort: the artifacts outlive the process only in the
+			// cache; a GC'd entry just means the job reports done with no
+			// downloadable artifacts, like any cache miss.
+			j.artifacts = cacheLookup(s.cfg.Cache, j.unit, j.fp, j.req.Views, s.cfg.Obs)
+			j.eventLocked("recovered", "terminal in journal: done")
+		case StateFailed, StateCanceled:
+			j.state = r.state
+			j.err = errors.New(r.cause)
+			j.finished = r.at
+			j.eventLocked("recovered", "terminal in journal: "+string(r.state))
+		case StateRunning, StateInterrupted:
+			j.eventLocked("recovered", "was "+string(r.state)+"; resubmitted")
+			wasRunning = append(wasRunning, j)
+		default: // queued (accept only)
+			j.eventLocked("recovered", "requeued")
+			wasQueued = append(wasQueued, j)
+		}
+	}
+	for _, j := range append(wasRunning, wasQueued...) {
+		s.requeueRecoveredLocked(j)
+	}
+	s.cfg.Obs.Count("serve.recovered_running", int64(len(wasRunning)))
+	s.cfg.Obs.Count("serve.recovered_queued", int64(len(wasQueued)))
+	return nil
+}
+
+// requeueRecoveredLocked puts one recovered live job back in flight:
+// cache-complete if its previous life already published, otherwise
+// requeue past the depth and quota gates (it was acknowledged once; it
+// is never bounced now). Caller is the single-threaded recovery path or
+// holds the mutex.
+func (s *Server) requeueRecoveredLocked(j *job) {
+	if cached := cacheLookup(s.cfg.Cache, j.unit, j.fp, j.req.Views, s.cfg.Obs); cached != nil {
+		j.cacheHit = true
+		j.artifacts = cached
+		j.metrics.Add("serve.cache_hit", 1)
+		s.cfg.Obs.Count("serve.cache_hits", 1)
+		j.eventLocked("cache_hit", "published before crash; completed from cache")
+		s.completeLocked(j, StateDone, nil, StateDone)
+		return
+	}
+	s.recovered++
+	s.adm.acquire(j.tenantKey, true)
+	j.admitted = true
+	if leader, ok := s.inflight[j.dedupe]; ok && leader != j {
+		j.dedupedOf = leader.id
+		leader.followers = append(leader.followers, j)
+		j.eventLocked("deduped", "attached to recovered "+leader.id)
+		return
+	}
+	s.inflight[j.dedupe] = j
+	if err := s.queue.push(j, true); err != nil {
+		// Only possible if the queue is already closed — recovery runs
+		// before Close can be called, so this is defensive.
+		s.completeLocked(j, StateFailed, err, StateFailed)
+	}
 }
 
 // Close stops accepting submissions, cancels running jobs, marks
-// queued jobs canceled and waits for the workers to drain (bounded by
-// ctx).
+// queued jobs canceled in memory — the journal deliberately keeps them
+// queued, so a journaled server's pending work survives the restart —
+// and waits for the workers to drain (bounded by ctx).
 func (s *Server) Close(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -117,11 +297,11 @@ func (s *Server) Close(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
-	close(s.queue) // no further sends: every send is guarded by closed
+	s.queue.close()
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if j.state == StateQueued {
-			j.finishLocked(StateCanceled, errShutdown)
+			s.completeLocked(j, StateCanceled, errShutdown, stateNone)
 		}
 	}
 	s.mu.Unlock()
@@ -134,7 +314,7 @@ func (s *Server) Close(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
+		return s.journal.Close()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -142,11 +322,21 @@ func (s *Server) Close(ctx context.Context) error {
 
 // Submit accepts a job. The returned status is the job's state at
 // return: done with artifacts on a cache hit, queued otherwise (either
-// in the FIFO queue or attached to an identical in-flight job).
+// in a tenant lane of the fair queue or attached to an identical
+// in-flight job). The accept record is durable before Submit returns —
+// when a journal is configured, an acknowledged job survives anything
+// short of losing the disk.
 func (s *Server) Submit(req Request) (JobStatus, error) {
 	unit, fp, dedupe, err := req.identity()
 	if err != nil {
 		return JobStatus{}, err
+	}
+	tenant := sanitizeTenant(req.Tenant)
+	// The rate gate runs before any disk work: a flooding tenant is
+	// bounced by a map lookup, not after a cache probe on its behalf.
+	if lerr := s.adm.admitRate(tenant); lerr != nil {
+		s.cfg.Obs.Count("serve.tenant_rejected", 1)
+		return JobStatus{}, lerr
 	}
 	// Cache probe outside the lock: it reads files, and a stale miss is
 	// harmless (the in-flight dedupe below still collapses duplicates).
@@ -161,7 +351,8 @@ func (s *Server) Submit(req Request) (JobStatus, error) {
 	j := &job{
 		id: newJobID(s.nextID), req: req,
 		unit: unit, fp: fp, dedupe: dedupe,
-		state: StateQueued, created: time.Now(),
+		tenantKey: tenant,
+		state:     StateQueued, created: time.Now(),
 		update:  make(chan struct{}),
 		metrics: obs.NewMetrics(), trace: obs.NewTrace(),
 	}
@@ -169,50 +360,129 @@ func (s *Server) Submit(req Request) (JobStatus, error) {
 	s.order = append(s.order, j.id)
 	j.eventLocked("queued", "fingerprint "+fp)
 	s.cfg.Obs.Count("serve.jobs_submitted", 1)
-	if req.Tenant != "" {
-		s.cfg.Obs.Count("serve.tenant."+req.Tenant+".jobs", 1)
+	if tenant != "" {
+		s.cfg.Obs.Count("serve.tenant."+tenant+".jobs", 1)
 	}
 
 	if cached != nil {
+		if err := s.journalAcceptLocked(j); err != nil {
+			s.forgetLocked(j)
+			return JobStatus{}, err
+		}
 		j.cacheHit = true
 		j.artifacts = cached
 		j.metrics.Add("serve.cache_hit", 1)
 		s.cfg.Obs.Count("serve.cache_hits", 1)
 		j.eventLocked("cache_hit", "served from result cache")
-		j.finishLocked(StateDone, nil)
-		s.mergeJobLocked(j)
+		s.completeLocked(j, StateDone, nil, StateDone)
 		return j.statusLocked(), nil
 	}
-	if err := s.scheduleLocked(j); err != nil {
-		// Rejected (queue full): forget the job entirely — the client
-		// got an error, not a job ID.
-		delete(s.jobs, j.id)
-		s.order = s.order[:len(s.order)-1]
-		s.nextID--
+
+	// A follower rides its leader's computation but still occupies one
+	// of its tenant's in-flight slots; a fresh leader additionally needs
+	// queue capacity. Capacity is checked before the journal write so an
+	// accepted record always corresponds to a job the server will run.
+	leader, hasLeader := s.inflight[j.dedupe]
+	if !hasLeader && s.queue.full() {
+		s.cfg.Obs.Count("serve.queue_full", 1)
+		s.forgetLocked(j)
+		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
+	}
+	if lerr := s.adm.acquire(tenant, false); lerr != nil {
+		s.cfg.Obs.Count("serve.tenant_rejected", 1)
+		s.forgetLocked(j)
+		return JobStatus{}, lerr
+	}
+	j.admitted = true
+	if err := s.journalAcceptLocked(j); err != nil {
+		s.adm.release(tenant)
+		j.admitted = false
+		s.forgetLocked(j)
 		return JobStatus{}, err
 	}
-	return j.statusLocked(), nil
-}
-
-// scheduleLocked routes a queued job: attach to an identical in-flight
-// leader, or enqueue as a new leader. Caller holds the mutex.
-func (s *Server) scheduleLocked(j *job) error {
-	if leader, ok := s.inflight[j.dedupe]; ok && leader != j {
+	if hasLeader {
 		j.dedupedOf = leader.id
 		leader.followers = append(leader.followers, j)
 		j.metrics.Add("serve.dedup_attached", 1)
 		s.cfg.Obs.Count("serve.dedup_attached", 1)
 		j.eventLocked("deduped", "attached to in-flight "+leader.id)
+		return j.statusLocked(), nil
+	}
+	s.inflight[j.dedupe] = j
+	// Cannot fail: capacity was verified above and every push runs under
+	// s.mu, so no competing push can steal the slot (pop only shrinks).
+	if err := s.queue.push(j, true); err != nil {
+		s.completeLocked(j, StateFailed, err, StateFailed)
+		delete(s.inflight, j.dedupe)
+		return JobStatus{}, err
+	}
+	return j.statusLocked(), nil
+}
+
+// forgetLocked erases a job that was never acknowledged: the client got
+// an error, not a job ID, so no trace of it may remain. Only valid for
+// the newest job while the mutex has been held since its creation.
+func (s *Server) forgetLocked(j *job) {
+	delete(s.jobs, j.id)
+	s.order = s.order[:len(s.order)-1]
+	s.nextID--
+}
+
+// journalAcceptLocked makes the job's accept record durable. A failure
+// is returned (wrapped in ErrJournal) so the caller can refuse the
+// submission: a job the journal cannot hold must not be acknowledged.
+func (s *Server) journalAcceptLocked(j *job) error {
+	if s.journal == nil {
 		return nil
 	}
-	select {
-	case s.queue <- j:
-		s.inflight[j.dedupe] = j
-		return nil
-	default:
-		s.cfg.Obs.Count("serve.queue_full", 1)
-		return fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(s.queue))
+	err := s.journal.Append(JournalRecord{
+		Op: opAccept, ID: j.id, Time: j.created,
+		Req: &j.req, Unit: j.unit, Fingerprint: j.fp, Dedupe: j.dedupe,
+	})
+	if err != nil {
+		s.cfg.Obs.Count("serve.journal_errors", 1)
+		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
+	return nil
+}
+
+// journalStateLocked appends a state transition. Transition records are
+// best effort: the job already ran (or didn't), and failing the job
+// over a logging error would discard real work — recovery degrades to
+// rerunning it, which the stage checkpoints make cheap.
+func (s *Server) journalStateLocked(j *job, state State, cause error) {
+	if s.journal == nil {
+		return
+	}
+	rec := JournalRecord{Op: opState, ID: j.id, Time: time.Now(), State: state}
+	if cause != nil {
+		rec.Cause = cause.Error()
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.cfg.Obs.Count("serve.journal_errors", 1)
+		s.cfg.Obs.Info("serve: journal state append failed", "job", j.id, "state", string(state), "error", err)
+	}
+}
+
+// completeLocked is the single terminal-transition choke point: it
+// finishes the job in memory, releases its tenant in-flight slot,
+// journals the transition (stateNone journals nothing — the durable
+// state intentionally diverges from the in-memory one at shutdown) and
+// folds the job's metrics into the fleet registry, each exactly once.
+// Caller holds the mutex.
+func (s *Server) completeLocked(j *job, state State, cause error, jstate State) {
+	if j.state.terminal() {
+		return
+	}
+	j.finishLocked(state, cause)
+	if j.admitted {
+		s.adm.release(j.tenantKey)
+		j.admitted = false
+	}
+	if jstate != stateNone {
+		s.journalStateLocked(j, jstate, cause)
+	}
+	s.mergeJobLocked(j)
 }
 
 // execute runs one leader job on a pool worker.
@@ -233,6 +503,7 @@ func (s *Server) execute(j *job) {
 	j.cancel = cancel
 	ob := &obs.Observer{Trace: j.trace, Metrics: j.metrics, Log: s.logger()}
 	j.eventLocked("running", "")
+	s.journalStateLocked(j, StateRunning, nil)
 	req := j.req
 	s.mu.Unlock()
 	defer cancel()
@@ -241,23 +512,28 @@ func (s *Server) execute(j *job) {
 	s.cfg.Obs.Info("serve: job running", "job", j.id, "chip", req.Chip, "fp", j.fp)
 	artifacts, err := s.runner(ctx, req, s.inner, ob)
 
+	published := false
 	if err == nil {
 		// Publish before announcing: once any client can observe the
-		// job done, the cache entry is durable.
+		// job done, the cache entry is durable. The same ordering closes
+		// the crash window — if the process dies after the publish but
+		// before the done record, recovery finds the artifacts in the
+		// cache and completes the job without rerunning it.
 		if serr := cacheStore(s.cfg.Cache, j.unit, j.fp, artifacts); serr != nil {
 			s.cfg.Obs.Info("serve: cache store failed", "job", j.id, "error", serr)
+		} else {
+			published = true
 		}
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.inflight[j.dedupe] == j {
 		delete(s.inflight, j.dedupe)
 	}
 	switch {
 	case err == nil:
 		j.artifacts = artifacts
-		j.finishLocked(StateDone, nil)
+		s.completeLocked(j, StateDone, nil, StateDone)
 		for _, f := range j.followers {
 			if f.state.terminal() {
 				continue
@@ -267,35 +543,40 @@ func (s *Server) execute(j *job) {
 			f.metrics.Add("serve.cache_hit", 1)
 			s.cfg.Obs.Count("serve.dedup_served", 1)
 			f.eventLocked("cache_hit", "served by "+j.id)
-			f.finishLocked(StateDone, nil)
-			s.mergeJobLocked(f)
+			s.completeLocked(f, StateDone, nil, StateDone)
 		}
 	case s.ctx.Err() != nil:
-		// Server shutdown: everyone is canceled; Close handled queued
-		// jobs, this handles the running one and its followers.
-		j.finishLocked(StateCanceled, errShutdown)
+		// Server shutdown: in memory everyone is canceled, but the
+		// journal records the leader as interrupted — it did not fail on
+		// its merits, so the next life resubmits it (supervise reports
+		// the same taxonomy via Status.Interrupted). Followers get no
+		// record: they replay as queued and re-attach on recovery.
+		s.completeLocked(j, StateCanceled, errShutdown, StateInterrupted)
 		for _, f := range j.followers {
-			f.finishLocked(StateCanceled, errShutdown)
+			s.completeLocked(f, StateCanceled, errShutdown, stateNone)
 		}
 	case j.cancelRequested:
-		j.finishLocked(StateCanceled, errors.New("canceled by client"))
+		s.completeLocked(j, StateCanceled, errors.New("canceled by client"), StateCanceled)
 		// The followers did not ask to be canceled: the first live one
 		// becomes the new leader and recomputes.
 		s.promoteLocked(j)
 	default:
-		j.finishLocked(StateFailed, err)
+		s.completeLocked(j, StateFailed, err, StateFailed)
 		// The computation is deterministic, so an identical submission
 		// fails identically: propagate rather than recompute.
 		for _, f := range j.followers {
 			if !f.state.terminal() {
-				f.finishLocked(StateFailed, fmt.Errorf("deduped job %s failed: %w", j.id, err))
-				s.mergeJobLocked(f)
+				s.completeLocked(f, StateFailed, fmt.Errorf("deduped job %s failed: %w", j.id, err), StateFailed)
 			}
 		}
 	}
 	j.followers = nil
-	s.mergeJobLocked(j)
 	s.cfg.Obs.Info("serve: job finished", "job", j.id, "state", string(j.state), "err", err)
+	s.mu.Unlock()
+
+	if published {
+		s.maybeGC()
+	}
 }
 
 // promoteLocked hands a canceled leader's followers to a new leader.
@@ -321,19 +602,22 @@ func (s *Server) promoteLocked(old *job) {
 	}
 	if s.closed {
 		for _, f := range live {
-			f.finishLocked(StateCanceled, errShutdown)
+			s.completeLocked(f, StateCanceled, errShutdown, stateNone)
 		}
 		return
 	}
-	select {
-	case s.queue <- leader:
-		s.inflight[leader.dedupe] = leader
-		leader.eventLocked("promoted", "leader "+old.id+" canceled; requeued")
-	default:
+	// Forced push: the promoted follower was acknowledged (and possibly
+	// journaled) long ago; bouncing it on a momentarily full queue would
+	// fail an accepted job. The overshoot is bounded — it reuses the
+	// slot its canceled leader is still holding until a worker pops it.
+	if err := s.queue.push(leader, true); err != nil {
 		for _, f := range live {
-			f.finishLocked(StateFailed, fmt.Errorf("%w: could not requeue after %s canceled", ErrQueueFull, old.id))
+			s.completeLocked(f, StateFailed, fmt.Errorf("could not requeue after %s canceled: %w", old.id, err), StateFailed)
 		}
+		return
 	}
+	s.inflight[leader.dedupe] = leader
+	leader.eventLocked("promoted", "leader "+old.id+" canceled; requeued")
 }
 
 // Cancel requests cancellation. A queued job is canceled immediately; a
@@ -355,10 +639,10 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 	default: // queued: either a follower or a not-yet-popped leader
 		j.cancelRequested = true
 		if f := s.detachFollowerLocked(j); !f {
-			// Leader still sitting in the channel: mark it canceled;
-			// the worker that pops it skips terminal jobs and promotes
-			// any followers it accumulated meanwhile.
-			j.finishLocked(StateCanceled, errors.New("canceled by client"))
+			// Leader still sitting in its lane: mark it canceled; the
+			// worker that pops it skips terminal jobs and promotes any
+			// followers it accumulated meanwhile.
+			s.completeLocked(j, StateCanceled, errors.New("canceled by client"), StateCanceled)
 			if s.inflight[j.dedupe] == j && len(j.followers) > 0 {
 				// Promote eagerly so followers don't wait for the pop.
 				s.promoteLocked(j)
@@ -366,7 +650,6 @@ func (s *Server) Cancel(id string) (JobStatus, error) {
 				delete(s.inflight, j.dedupe)
 			}
 		}
-		s.mergeJobLocked(j)
 	}
 	return j.statusLocked(), nil
 }
@@ -385,8 +668,53 @@ func (s *Server) detachFollowerLocked(j *job) bool {
 			}
 		}
 	}
-	j.finishLocked(StateCanceled, errors.New("canceled by client"))
+	s.completeLocked(j, StateCanceled, errors.New("canceled by client"), StateCanceled)
 	return true
+}
+
+// pinnedSnapshot captures the (unit, fingerprint) pairs of jobs that
+// are not terminal: their stage checkpoints and any already-published
+// artifacts must survive a sweep, whatever the budget.
+func (s *Server) pinnedSnapshot() map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pins := make(map[string]bool)
+	for _, j := range s.jobs {
+		if !j.state.terminal() {
+			pins[j.unit+"\x00"+j.fp] = true
+		}
+	}
+	return pins
+}
+
+// maybeGC sweeps the cache down to CacheBytes, pinning live jobs'
+// entries. At most one sweep runs at a time; a publish that finds one
+// in flight skips — the running sweep's Scan already sees (or will be
+// followed by one that sees) the new bytes.
+func (s *Server) maybeGC() {
+	if s.cfg.Cache == nil || s.cfg.CacheBytes <= 0 {
+		return
+	}
+	if !s.gcMu.TryLock() {
+		return
+	}
+	defer s.gcMu.Unlock()
+	pins := s.pinnedSnapshot()
+	res, err := s.cfg.Cache.GC(s.cfg.CacheBytes, func(k ckpt.Key) bool {
+		return pins[k.Unit+"\x00"+k.Fingerprint]
+	})
+	if err != nil {
+		s.cfg.Obs.Info("serve: cache gc failed", "error", err)
+		return
+	}
+	s.cfg.Obs.Count("serve.gc_runs", 1)
+	s.cfg.Obs.Count("serve.gc_evicted", int64(res.Evicted))
+	s.cfg.Obs.Count("serve.gc_evicted_bytes", res.EvictedBytes)
+	if res.Evicted > 0 || res.TempRemoved > 0 {
+		s.cfg.Obs.Info("serve: cache gc", "evicted", res.Evicted,
+			"evicted_bytes", res.EvictedBytes, "pinned", res.Pinned,
+			"remaining_bytes", res.RemainingBytes, "temps", res.TempRemoved)
+	}
 }
 
 // Status returns one job's snapshot.
@@ -451,6 +779,19 @@ func (s *Server) Events(id string, from int) (events []Event, next <-chan struct
 	return events, j.update, true
 }
 
+// Recovered reports how many journaled jobs the server re-enqueued at
+// startup.
+func (s *Server) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Journaled reports whether the server runs with a job journal.
+func (s *Server) Journaled() bool {
+	return s.journal != nil
+}
+
 // FleetSnapshot returns the server-wide metric totals (every finished
 // job merged in, plus the serve.* scheduling counters).
 func (s *Server) FleetSnapshot() *obs.Snapshot {
@@ -461,14 +802,19 @@ func (s *Server) FleetSnapshot() *obs.Snapshot {
 }
 
 // mergeJobLocked folds a finished job's private metrics into the fleet
-// registry. Caller holds the mutex; safe to call at most once per job
-// finish path (finishLocked guards double transitions, and every call
-// site runs inside one).
+// registry. Caller holds the mutex; completeLocked is the only finish
+// path, so the merge happens exactly once per job.
 func (s *Server) mergeJobLocked(j *job) {
 	if s.cfg.Obs == nil || s.cfg.Obs.Metrics == nil {
 		return
 	}
 	s.cfg.Obs.Metrics.Merge(j.metrics.Snapshot())
+}
+
+// sortJobIDs orders zero-padded job IDs ("job-000042") — lexicographic
+// is submission order.
+func sortJobIDs(ids []string) {
+	sort.Strings(ids)
 }
 
 func (s *Server) logger() *slog.Logger {

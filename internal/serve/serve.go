@@ -84,12 +84,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, err := s.Submit(req)
+	var limit *TenantLimitError
 	switch {
+	case errors.As(err, &limit):
+		// Per-tenant limit: 429, distinct from the global 503 — only
+		// this tenant needs to back off.
+		w.Header().Set("Retry-After", strconv.Itoa(limit.RetryAfterSeconds()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrJournal):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -164,8 +171,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	from := 0
 	if q := r.URL.Query().Get("from"); q != "" {
 		n, err := strconv.Atoi(q)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q: %w", q, err))
+		if err != nil || n < 0 {
+			// A negative cursor is a client bug, not "replay from 0":
+			// reject it loudly instead of silently clamping.
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q: must be a non-negative integer", q))
 			return
 		}
 		from = n
@@ -210,11 +219,22 @@ type health struct {
 	QueueDepth int   `json:"queue_depth"`
 	CacheHits  int64 `json:"cache_hits"`
 	Runs       int64 `json:"runs"`
+	// Journal reports whether the write-ahead job journal is enabled,
+	// Recovered how many journaled jobs were re-enqueued at startup.
+	Journal   bool `json:"journal"`
+	Recovered int  `json:"recovered"`
+	// TenantRejected counts per-tenant 429s; GCEvictedBytes the bytes
+	// freed by cache sweeps over this server's lifetime.
+	TenantRejected int64 `json:"tenant_rejected"`
+	GCEvictedBytes int64 `json:"gc_evicted_bytes"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	h := health{OK: true, Jobs: len(s.jobs), QueueDepth: cap(s.queue)}
+	h := health{
+		OK: true, Jobs: len(s.jobs), QueueDepth: s.cfg.QueueDepth,
+		Journal: s.journal != nil, Recovered: s.recovered,
+	}
 	for _, j := range s.jobs {
 		switch j.state {
 		case StateQueued:
@@ -227,6 +247,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if snap := s.FleetSnapshot(); snap != nil {
 		h.CacheHits = snap.Counters["serve.cache_hits"]
 		h.Runs = snap.Counters["serve.runs"]
+		h.TenantRejected = snap.Counters["serve.tenant_rejected"]
+		h.GCEvictedBytes = snap.Counters["serve.gc_evicted_bytes"]
 	}
 	writeJSON(w, http.StatusOK, h)
 }

@@ -28,9 +28,10 @@ func newTestServer(t *testing.T, cfg Config, runner func(ctx context.Context, re
 	if cfg.Obs == nil {
 		cfg.Obs = &obs.Observer{Metrics: obs.NewMetrics()}
 	}
-	s := NewServer(cfg)
-	if runner != nil {
-		s.runner = runner
+	cfg.runner = runner
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
 	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// maxTenantLen caps the sanitized tenant label. Longer valid labels are
+// truncated (two long labels sharing a 32-char prefix share a bucket —
+// bounded cardinality beats perfect separation for a client-controlled
+// string).
+const maxTenantLen = 32
+
+// maxTenantBuckets bounds the admission table itself: a client minting a
+// fresh valid tenant label per request must not grow server memory
+// without bound. Past the cap, idle buckets (full tokens, nothing in
+// flight) are swept; if none is idle, new tenants share the "other"
+// bucket until pressure clears.
+const maxTenantBuckets = 1024
+
+// tenantOther is the bucket for labels that fail sanitization (and the
+// overflow bucket under tenant-table pressure).
+const tenantOther = "other"
+
+// sanitizeTenant maps a client-supplied tenant label to the bounded form
+// used for metric keys, admission buckets and fair-queue lanes: ASCII
+// letters, digits, '.', '_' and '-' pass through (truncated to
+// maxTenantLen); anything else — control bytes, separators, an attempt
+// to mint per-request metric series — collapses to "other". The empty
+// label stays empty: it is the anonymous lane and gets no per-tenant
+// metric.
+func sanitizeTenant(t string) string {
+	if t == "" {
+		return ""
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return tenantOther
+		}
+	}
+	if len(t) > maxTenantLen {
+		return t[:maxTenantLen]
+	}
+	return t
+}
+
+// TenantLimitError rejects a submission under per-tenant admission
+// control. It maps to HTTP 429 with a Retry-After header — deliberately
+// distinct from ErrQueueFull's 503: a full queue is the server's
+// problem (anyone may retry soon), a tripped tenant limit is this
+// tenant's problem (others are unaffected).
+type TenantLimitError struct {
+	// Tenant is the sanitized label whose limit tripped.
+	Tenant string
+	// Reason is "rate" (token bucket empty) or "inflight" (max live jobs
+	// reached).
+	Reason string
+	// RetryAfter is the suggested wait: for rate limits, the time until
+	// the bucket accrues a token; for in-flight limits, a fixed hint (a
+	// job must finish first, and the server cannot predict when).
+	RetryAfter time.Duration
+}
+
+func (e *TenantLimitError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over %s limit (retry in %s)",
+		e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// RetryAfterSeconds renders the Retry-After header value (at least 1).
+func (e *TenantLimitError) RetryAfterSeconds() int {
+	s := int(math.Ceil(e.RetryAfter.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// bucket is one tenant's token bucket + in-flight count.
+type bucket struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// admission is the per-tenant gate: a token-bucket rate limit on
+// submissions and a quota on live (queued + running) jobs. All methods
+// are internally locked.
+type admission struct {
+	mu sync.Mutex
+	// rate is tokens per second (0 = no rate limit); burst the bucket
+	// capacity; maxInflight the live-job quota per tenant (0 = none).
+	rate        float64
+	burst       float64
+	maxInflight int
+	now         func() time.Time
+	buckets     map[string]*bucket
+}
+
+func newAdmission(rate float64, burst, maxInflight int) *admission {
+	if rate > 0 && burst <= 0 {
+		// A burst below one token would deadlock the bucket; default to
+		// the larger of one second of refill and a single token.
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &admission{
+		rate: rate, burst: float64(burst), maxInflight: maxInflight,
+		now: time.Now, buckets: make(map[string]*bucket),
+	}
+}
+
+// enabled reports whether any limit is configured at all.
+func (a *admission) enabled() bool {
+	return a != nil && (a.rate > 0 || a.maxInflight > 0)
+}
+
+// get returns (creating if needed) the tenant's bucket, sweeping or
+// redirecting under table pressure. Caller holds a.mu.
+func (a *admission) get(tenant string) *bucket {
+	if b, ok := a.buckets[tenant]; ok {
+		return b
+	}
+	if len(a.buckets) >= maxTenantBuckets {
+		a.sweepLocked()
+	}
+	if len(a.buckets) >= maxTenantBuckets {
+		// Still full of busy tenants: overflow into the shared bucket so
+		// the table stays bounded (the overflow tenant is throttled by
+		// "other"'s budget — strictly fair it is not, unbounded it is
+		// neither).
+		if b, ok := a.buckets[tenantOther]; ok {
+			return b
+		}
+		tenant = tenantOther
+	}
+	b := &bucket{tokens: a.burst, last: a.now()}
+	a.buckets[tenant] = b
+	return b
+}
+
+// sweepLocked drops idle buckets: full tokens and nothing in flight
+// means the bucket is indistinguishable from a fresh one.
+func (a *admission) sweepLocked() {
+	for name, b := range a.buckets {
+		if b.inflight == 0 && (a.rate <= 0 || b.tokens >= a.burst) {
+			delete(a.buckets, name)
+		}
+	}
+}
+
+// refillLocked advances the bucket's token count to now.
+func (a *admission) refillLocked(b *bucket, now time.Time) {
+	if a.rate <= 0 {
+		return
+	}
+	b.tokens += now.Sub(b.last).Seconds() * a.rate
+	if b.tokens > a.burst {
+		b.tokens = a.burst
+	}
+	b.last = now
+}
+
+// admitRate consumes one token for the tenant, or explains how long to
+// wait. Every submission pays — including ones that will be served from
+// cache: the limit meters the POST /v1/jobs surface, not the compute.
+func (a *admission) admitRate(tenant string) *TenantLimitError {
+	if a == nil || a.rate <= 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.get(tenant)
+	a.refillLocked(b, a.now())
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - b.tokens) / a.rate * float64(time.Second))
+	return &TenantLimitError{Tenant: tenant, Reason: "rate", RetryAfter: wait}
+}
+
+// acquire claims an in-flight slot for a job entering the live set.
+// force bypasses the quota — recovery re-admits jobs that were already
+// acknowledged in a previous life and must never be bounced now.
+func (a *admission) acquire(tenant string, force bool) *TenantLimitError {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.get(tenant)
+	if !force && a.maxInflight > 0 && b.inflight >= a.maxInflight {
+		return &TenantLimitError{Tenant: tenant, Reason: "inflight", RetryAfter: 5 * time.Second}
+	}
+	b.inflight++
+	return nil
+}
+
+// release returns an in-flight slot when a job reaches a terminal state.
+func (a *admission) release(tenant string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.buckets[tenant]; ok && b.inflight > 0 {
+		b.inflight--
+	}
+}
+
+// fairQueue is the bounded pending-job queue with per-tenant lanes and
+// weighted round-robin dequeue. The depth bounds the TOTAL pending set
+// (admission quotas bound per-tenant appetite); the dequeue order
+// guarantees that whatever is pending, each tenant with work is served
+// in proportion to its weight, so a deep lane cannot starve a shallow
+// one the way a single FIFO channel could.
+type fairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	depth  int
+	size   int
+	lanes  map[string][]*job
+	ring   []string // tenants with nonempty lanes, round-robin order
+	next   int
+	credit map[string]int
+	weight func(tenant string) int
+	closed bool
+}
+
+func newFairQueue(depth int, weight func(string) int) *fairQueue {
+	if weight == nil {
+		weight = func(string) int { return 1 }
+	}
+	q := &fairQueue{
+		depth: depth, lanes: make(map[string][]*job),
+		credit: make(map[string]int), weight: weight,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends a job to its tenant's lane. force bypasses the depth
+// bound (recovery must requeue every acknowledged job even if the
+// configured depth shrank since the last run).
+func (q *fairQueue) push(j *job, force bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if !force && q.size >= q.depth {
+		return fmt.Errorf("%w (depth %d)", ErrQueueFull, q.depth)
+	}
+	lane := j.tenantKey
+	if len(q.lanes[lane]) == 0 {
+		q.ring = append(q.ring, lane)
+	}
+	q.lanes[lane] = append(q.lanes[lane], j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available (weighted round-robin across
+// tenant lanes) or the queue is closed.
+func (q *fairQueue) pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.size > 0 {
+			return q.popLocked(), true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// popLocked dequeues under weighted round-robin: the cursor tenant
+// serves up to weight jobs per visit (deficit-style), then the cursor
+// advances; emptied lanes leave the ring.
+func (q *fairQueue) popLocked() *job {
+	for {
+		if q.next >= len(q.ring) {
+			q.next = 0
+		}
+		lane := q.ring[q.next]
+		jobs := q.lanes[lane]
+		if len(jobs) == 0 {
+			// Lane drained on a previous visit; retire it from the ring.
+			q.ring = append(q.ring[:q.next], q.ring[q.next+1:]...)
+			delete(q.credit, lane)
+			continue
+		}
+		if q.credit[lane] <= 0 {
+			q.credit[lane] = q.weightOf(lane)
+		}
+		j := jobs[0]
+		q.lanes[lane] = jobs[1:]
+		q.size--
+		q.credit[lane]--
+		if q.credit[lane] <= 0 || len(q.lanes[lane]) == 0 {
+			// Visit exhausted (or lane empty): move on. An emptied lane
+			// is retired lazily on the next pass.
+			delete(q.credit, lane)
+			q.next++
+		}
+		return j
+	}
+}
+
+func (q *fairQueue) weightOf(lane string) int {
+	w := q.weight(lane)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// pending returns the current pending count.
+func (q *fairQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// full reports whether a non-forced push would be rejected right now.
+// Only meaningful while the caller serializes pushes (the server's
+// mutex does).
+func (q *fairQueue) full() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size >= q.depth
+}
+
+// close wakes every popper; jobs still in lanes are abandoned (the
+// server has already marked them canceled, and the durable queue keeps
+// them for the next life).
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

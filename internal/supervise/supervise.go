@@ -67,6 +67,13 @@ type Status struct {
 	// Err is the unit's final error: nil on success, the last attempt's
 	// error otherwise (a *par.PanicError if the attempt panicked).
 	Err error
+	// Interrupted reports that the unit did not fail on its own merits:
+	// the supervisor's context was canceled while the unit was running,
+	// waiting in retry backoff, or still queued. An interrupted unit's
+	// Err is circumstantial (the attempt it abandoned, or the context
+	// error itself) — callers that persist outcomes should record the
+	// unit as interrupted, not failed, and resubmit it after restart.
+	Interrupted bool
 	// Duration is the wall time spent on the unit across all attempts,
 	// backoff sleeps included.
 	Duration time.Duration
@@ -129,6 +136,7 @@ func Run(ctx context.Context, names []string, fn func(ctx context.Context, i int
 		for i := range statuses {
 			if statuses[i].Attempts == 0 && statuses[i].Err == nil {
 				statuses[i].Err = fmt.Errorf("not started: %w", err)
+				statuses[i].Interrupted = true
 			}
 		}
 	}
@@ -159,7 +167,11 @@ func runUnit(ctx context.Context, name string, i int, fn func(ctx context.Contex
 		}
 		if ctx.Err() != nil {
 			// The campaign is shutting down; whatever the attempt
-			// reported, do not retry into a cancelled context.
+			// reported, do not retry into a cancelled context. The unit
+			// did not run to a verdict, so mark it interrupted rather
+			// than failed — a journaling caller must resubmit it, not
+			// record a terminal failure.
+			st.Interrupted = true
 			return st
 		}
 		var p *par.PanicError
@@ -181,6 +193,9 @@ func runUnit(ctx context.Context, name string, i int, fn func(ctx context.Contex
 		select {
 		case <-time.After(delay):
 		case <-ctx.Done():
+			// Shutdown landed mid-backoff: the retry the unit earned
+			// never ran, so this outcome is an interruption too.
+			st.Interrupted = true
 			return st
 		}
 	}

@@ -333,3 +333,114 @@ func TestMarkRetryable(t *testing.T) {
 		t.Error("unmarked error reported retryable")
 	}
 }
+
+// TestInterruptedDuringRetryBackoff: a unit that earned a retry but is
+// canceled mid-backoff is interrupted, not failed — the distinction a
+// journaling caller needs to resubmit the unit after restart instead of
+// recording a terminal failure.
+func TestInterruptedDuringRetryBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	attempted := make(chan struct{}, 1)
+	boom := errors.New("transient")
+	done := make(chan struct{})
+	var sts []Status
+	go func() {
+		defer close(done)
+		sts, _ = Run(ctx, []string{"u"}, func(ctx context.Context, i int) error {
+			select {
+			case attempted <- struct{}{}:
+			default:
+			}
+			return MarkRetryable(boom)
+		}, Options{Backoff: time.Hour, Retries: 5, Workers: 1})
+	}()
+	<-attempted // the unit failed once and is now sleeping in backoff
+	cancel()    // shutdown lands mid-retry
+	<-done
+	st := sts[0]
+	if !st.Interrupted {
+		t.Fatalf("status not marked interrupted: %+v", st)
+	}
+	if st.Attempts != 1 || !errors.Is(st.Err, boom) {
+		t.Fatalf("unexpected status %+v", st)
+	}
+}
+
+// TestInterruptedMidAttempt: cancellation while the attempt itself is
+// running is an interruption too.
+func TestInterruptedMidAttempt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	running := make(chan struct{})
+	done := make(chan struct{})
+	var sts []Status
+	go func() {
+		defer close(done)
+		sts, _ = Run(ctx, []string{"u"}, func(ctx context.Context, i int) error {
+			close(running)
+			<-ctx.Done()
+			return ctx.Err()
+		}, Options{Workers: 1})
+	}()
+	<-running
+	cancel()
+	<-done
+	if !sts[0].Interrupted {
+		t.Fatalf("status not marked interrupted: %+v", sts[0])
+	}
+}
+
+// TestNotStartedUnitsInterrupted: units the canceled pool never reached
+// report interrupted with the "not started" cause.
+func TestNotStartedUnitsInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	done := make(chan struct{})
+	var sts []Status
+	go func() {
+		defer close(done)
+		sts, _ = Run(ctx, []string{"a", "b", "c"}, func(ctx context.Context, i int) error {
+			if i == 0 {
+				close(started)
+				<-ctx.Done()
+				return ctx.Err()
+			}
+			return nil
+		}, Options{Workers: 1})
+	}()
+	<-started
+	cancel()
+	<-done
+	interrupted := 0
+	for _, st := range sts {
+		if st.Interrupted {
+			interrupted++
+		}
+		if st.Attempts == 0 && !st.Interrupted {
+			t.Fatalf("never-started unit %s not interrupted: %+v", st.Name, st)
+		}
+	}
+	if interrupted == 0 {
+		t.Fatal("no unit marked interrupted")
+	}
+}
+
+// TestTerminalFailureNotInterrupted: an ordinary deterministic failure
+// (no cancellation anywhere) must never read as interrupted.
+func TestTerminalFailureNotInterrupted(t *testing.T) {
+	sts, _ := Run(context.Background(), []string{"u"}, func(ctx context.Context, i int) error {
+		return errors.New("deterministic")
+	}, fastBackoff())
+	if sts[0].Interrupted {
+		t.Fatalf("terminal failure marked interrupted: %+v", sts[0])
+	}
+	// Exhausted retries are a verdict, not an interruption.
+	sts, _ = Run(context.Background(), []string{"u"}, func(ctx context.Context, i int) error {
+		return MarkRetryable(errors.New("transient"))
+	}, Options{Backoff: time.Microsecond, Retries: 2, Workers: 1})
+	if sts[0].Interrupted {
+		t.Fatalf("exhausted retries marked interrupted: %+v", sts[0])
+	}
+	if sts[0].Attempts != 3 {
+		t.Fatalf("attempts %d, want 3", sts[0].Attempts)
+	}
+}

@@ -1,0 +1,188 @@
+#!/bin/sh
+# serve-chaos: crash-recovery torture for the reconstruction job service
+# (make serve-chaos-smoke).
+#
+# The contract under test: with -journal, an acknowledged job survives
+# anything short of losing the disk. The harness SIGKILLs the server at
+# randomized points across many cycles, injects torn journal tails and
+# cache overfill between lives, and asserts at the end that every
+# acknowledged job reached done exactly once with byte-identical
+# artifacts, that `journal fsck` passes after every kill, and that the
+# cache honors its byte budget.
+#
+#  1. Reference phase: run both requests to completion on a clean,
+#     chaos-free server; save their artifacts and measure the
+#     steady-state cache size (the chaos budget derives from it).
+#  2. Chaos loop (CYCLES, default 20): start the server on a shared
+#     journal + budgeted cache, submit one of the requests, sleep a
+#     deterministic pseudo-random 0.2-1.9s, SIGKILL. Every 5th cycle
+#     appends garbage to the journal (a torn tail); every 7th drops
+#     oversized junk entries into the cache (overfill). After each kill
+#     `hifidram journal fsck` must still pass — torn tails are detected
+#     and reported, never fatal and never parsed.
+#  3. Drain phase: one final clean start; every acknowledged job ID must
+#     reach state done (a 404 or failed/canceled is a lost or mangled
+#     job), its artifacts must be byte-identical to the reference, a
+#     resubmission must be served from cache (no recompute), the cache's
+#     *.ckpt bytes must fit the budget, and SIGTERM must exit 130.
+set -eu
+
+GO=${GO:-go}
+CYCLES=${CYCLES:-20}
+WORK=$(mktemp -d /tmp/hifidram-serve-chaos.XXXXXX)
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+BIN="$WORK/hifidram"
+ADDR="127.0.0.1:18751"
+BASE="http://$ADDR"
+JOURNAL="$WORK/jobs.journal"
+CACHE="$WORK/cache"
+REQ_alice='{"chip":"B4","profile":"fast","tenant":"alice"}'
+REQ_bob='{"chip":"B4","profile":"fast","tenant":"bob","voxel_nm":12}'
+
+$GO build -o "$BIN" ./cmd/hifidram
+
+# wait_up: poll /healthz until the server answers. (sh functions share
+# the caller's variables — poll counters must not reuse the cycle
+# counter's name.)
+wait_up() {
+    up_n=0
+    until curl -fsS "$BASE/healthz" > /dev/null 2>&1; do
+        up_n=$((up_n + 1))
+        [ $up_n -gt 100 ] && { echo "server never came up"; tail -20 "$WORK/server.log"; exit 1; }
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died on startup"; tail -20 "$WORK/server.log"; exit 1; }
+        sleep 0.1
+    done
+}
+
+# wait_done JOB TIMEOUT_POLLS: poll one job to state done.
+wait_done() {
+    done_n=0
+    while :; do
+        curl -fsS "$BASE/v1/jobs/$1" > "$WORK/status.json"
+        STATE=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' "$WORK/status.json" | head -1)
+        case "$STATE" in
+        done) return 0 ;;
+        failed | canceled) echo "job $1 ended $STATE:"; cat "$WORK/status.json"; exit 1 ;;
+        esac
+        done_n=$((done_n + 1))
+        [ $done_n -gt "$2" ] && { echo "job $1 never finished (state $STATE)"; exit 1; }
+        sleep 0.5
+    done
+}
+
+# ckpt_bytes: the cache's *.ckpt footprint — the same accounting GC uses
+# (stray temps from killed writes are invisible to readers and cleaned
+# on a TTL, so they don't count against the budget).
+ckpt_bytes() {
+    find "$CACHE" -name '*.ckpt' -type f -printf '%s\n' 2>/dev/null | awk '{t+=$1} END{print t+0}'
+}
+
+echo "serve-chaos: reference phase (clean run of both requests)"
+"$BIN" serve -cache-dir "$CACHE" -jobs 1 "$ADDR" 2> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+for tag in alice bob; do
+    eval "REQ=\$REQ_$tag"
+    curl -fsS -X POST -d "$REQ" "$BASE/v1/jobs" > "$WORK/submit.json"
+    JOB=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$WORK/submit.json" | head -1)
+    [ -n "$JOB" ] || { echo "no job id:"; cat "$WORK/submit.json"; exit 1; }
+    wait_done "$JOB" 600
+    curl -fsS "$BASE/v1/jobs/$JOB/artifacts/report.json" > "$WORK/ref_$tag.report.json"
+    curl -fsS "$BASE/v1/jobs/$JOB/artifacts/extracted.gds" > "$WORK/ref_$tag.gds"
+done
+kill -TERM "$SERVER_PID"; wait "$SERVER_PID" || true
+SERVER_PID=
+TOTAL=$(ckpt_bytes)
+[ "$TOTAL" -gt 0 ] || { echo "reference cache is empty"; exit 1; }
+# The budget fits the steady state plus slack; junk injected below must
+# be evicted to get back under it.
+BUDGET=$((TOTAL + 16384))
+echo "serve-chaos: steady-state cache $TOTAL bytes, budget $BUDGET"
+rm -rf "$CACHE"
+
+: > "$WORK/acked"
+i=1
+while [ "$i" -le "$CYCLES" ]; do
+    "$BIN" serve -cache-dir "$CACHE" -cache-bytes "$BUDGET" -journal "$JOURNAL" -jobs 1 "$ADDR" 2>> "$WORK/server.log" &
+    SERVER_PID=$!
+    wait_up
+    if [ $((i % 2)) = 0 ]; then tag=bob; else tag=alice; fi
+    eval "REQ=\$REQ_$tag"
+    CODE=$(curl -sS -o "$WORK/submit.json" -w '%{http_code}' -X POST -d "$REQ" "$BASE/v1/jobs")
+    case "$CODE" in
+    200 | 202) ;;
+    *) echo "cycle $i: submit returned $CODE:"; cat "$WORK/submit.json"; exit 1 ;;
+    esac
+    JOB=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$WORK/submit.json" | head -1)
+    [ -n "$JOB" ] || { echo "cycle $i: no job id:"; cat "$WORK/submit.json"; exit 1; }
+    echo "$JOB $tag" >> "$WORK/acked"
+    # Deterministic pseudo-random kill point, 0.2s .. 1.9s after the ack.
+    D=$(((i * 7919) % 18 + 2))
+    sleep "$((D / 10)).$((D % 10))"
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=
+    # Fault injection between lives.
+    if [ $((i % 5)) = 2 ]; then
+        printf 'HFDJ garbage appended by chaos harness, not a frame' >> "$JOURNAL"
+    fi
+    if [ $((i % 7)) = 3 ]; then
+        mkdir -p "$CACHE/junk/cafef00d"
+        dd if=/dev/zero of="$CACHE/junk/cafef00d/overfill.ckpt" bs=1024 count=64 2>/dev/null
+        # Backdate it so the LRU sweep targets the junk, not real entries.
+        touch -t 200001010000 "$CACHE/junk/cafef00d/overfill.ckpt"
+    fi
+    # The journal must verify after every kill: valid prefix replayable,
+    # torn tail (if any) detected and reported, never fatal.
+    "$BIN" journal fsck "$JOURNAL" > "$WORK/fsck.out" || {
+        echo "cycle $i: journal fsck failed:"; cat "$WORK/fsck.out"; exit 1
+    }
+    i=$((i + 1))
+done
+echo "serve-chaos: $CYCLES kill cycles done; draining"
+
+"$BIN" serve -cache-dir "$CACHE" -cache-bytes "$BUDGET" -journal "$JOURNAL" -jobs 1 "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+# Every acknowledged job must still exist and reach done.
+while read -r JOB tag; do
+    curl -fsS "$BASE/v1/jobs/$JOB" > /dev/null || {
+        echo "acknowledged job $JOB lost after recovery"; exit 1
+    }
+    wait_done "$JOB" 600
+    curl -fsS "$BASE/v1/jobs/$JOB/artifacts/report.json" > "$WORK/got.report.json"
+    curl -fsS "$BASE/v1/jobs/$JOB/artifacts/extracted.gds" > "$WORK/got.gds"
+    cmp -s "$WORK/ref_$tag.report.json" "$WORK/got.report.json" || {
+        echo "job $JOB ($tag): report differs from reference"; exit 1
+    }
+    cmp -s "$WORK/ref_$tag.gds" "$WORK/got.gds" || {
+        echo "job $JOB ($tag): GDS differs from reference"; exit 1
+    }
+done < "$WORK/acked"
+
+# Exactly-once: a fresh identical submission is served from cache, no
+# recompute.
+CODE=$(curl -sS -o "$WORK/resubmit.json" -w '%{http_code}' -X POST -d "$REQ_alice" "$BASE/v1/jobs")
+[ "$CODE" = "200" ] || { echo "post-chaos resubmit returned $CODE, want 200:"; cat "$WORK/resubmit.json"; exit 1; }
+grep -q '"cache_hit": true' "$WORK/resubmit.json" || { echo "post-chaos resubmit recomputed:"; cat "$WORK/resubmit.json"; exit 1; }
+
+# The cache honors its budget (the injected junk was evicted, the live
+# entries were not — the byte-identical artifact fetches above prove it).
+FINAL=$(ckpt_bytes)
+[ "$FINAL" -le "$BUDGET" ] || { echo "cache $FINAL bytes exceeds budget $BUDGET"; exit 1; }
+[ -f "$CACHE/junk/cafef00d/overfill.ckpt" ] && { echo "overfill junk survived GC"; exit 1; }
+
+echo "serve-chaos: graceful shutdown"
+kill -TERM "$SERVER_PID"
+RC=0
+wait "$SERVER_PID" || RC=$?
+SERVER_PID=
+[ "$RC" = "130" ] || { echo "server exit status $RC, want 130"; tail -20 "$WORK/server.log"; exit 1; }
+
+N=$(wc -l < "$WORK/acked")
+echo "serve-chaos: OK ($N acknowledged jobs across $CYCLES kills: none lost, none recomputed, artifacts byte-identical, cache $FINAL <= $BUDGET bytes)"
