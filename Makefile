@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke fuzz
+.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,15 @@ serve-smoke:
 serve-chaos-smoke:
 	./scripts/serve_chaos.sh
 
+# metrics-smoke proves the service observability layer end to end: a
+# metrics-enabled server must pass /readyz, complete a correlated job
+# (X-Request-Id echoed, surfaced in the status, present in the JSON
+# access log), expose a strict-parseable Prometheus document containing
+# the labeled latency histograms and SLO burn-rate gauges
+# (`metricscheck -require`), and render a `top -once` fleet frame.
+metrics-smoke:
+	./scripts/metrics_smoke.sh
+
 # alloc-check pins the allocation-free MI kernel: steady-state candidate
 # evaluation must stay at zero heap allocations per candidate.
 alloc-check:
@@ -66,8 +75,8 @@ alloc-check:
 
 # check is the CI gate: static analysis, the allocation regression
 # tests, race-checked tests, and the fault-injection, observability,
-# crash-recovery and job-service smoke runs.
-check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke
+# crash-recovery, job-service and service-metrics smoke runs.
+check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.

@@ -107,6 +107,10 @@ func main() {
 		err = runPlanar(ctx, args)
 	case "serve":
 		err = runServe(ctx, args)
+	case "top":
+		err = runTop(ctx, args)
+	case "metricscheck":
+		err = runMetricsCheck(ctx, args)
 	case "ckpt":
 		err = runCkpt(args)
 	case "journal":
@@ -152,7 +156,19 @@ commands:
               (live jobs' entries are pinned); -tenant-rate/-tenant-burst
               /-tenant-inflight set per-tenant admission limits (HTTP
               429 + Retry-After) and -tenant-weights biases the fair
-              dequeue ("alice=3,bob=1")
+              dequeue ("alice=3,bob=1"). GET /metrics serves a
+              Prometheus text exposition and /readyz reports readiness
+              (503 until journal recovery finishes); -metrics adds
+              latency histograms labeled by tenant and profile, -slo
+              "tenant=avail[/latency];..." exports per-tenant error
+              budget and burn-rate gauges, and -log-format json switches
+              the -v/-vv logs to JSON lines
+  top         live fleet view of a serve instance: poll ADDR's /metrics
+              and render queue occupancy, throughput and per-tenant
+              latency quantiles + SLO burn (-interval, -once)
+  metricscheck  validate a Prometheus exposition from FILE, URL or "-"
+              (strict: typed families, complete cumulative histograms);
+              -require NAMES asserts specific series are present
   ckpt        verify a checkpoint store: scan -dir, check every entry's
               checksum, report corrupt/stray files (nonzero exit on any);
               "ckpt gc -dir DIR -budget BYTES" sweeps the store LRU-first
@@ -160,8 +176,9 @@ commands:
   journal     "journal fsck FILE" verifies a serve job journal frame by
               frame and summarizes the replayed job table; a torn tail
               (normal after a crash) is reported but not an error
-  tracecheck  validate a -trace file: parses as Chrome trace JSON and
-              covers every pipeline stage
+  tracecheck  validate a -trace file: parses as Chrome trace JSON,
+              covers every pipeline stage, and is balanced (no span
+              begun but never ended, no partial overlap on a lane)
 
 extract and planar also take -pyramid N to align with the coarse-to-fine
 pyramid search (N resolution levels; 0 or 1, the default, keeps the
@@ -593,9 +610,14 @@ func printStatuses(w io.Writer, statuses []supervise.Status) {
 }
 
 // runTraceCheck validates a file written by -trace: it must parse as
-// Chrome trace-event JSON and contain a complete ("X") span for every
-// canonical pipeline stage. The trace-smoke CI target runs it against a
-// fresh extraction trace.
+// Chrome trace-event JSON, contain a complete ("X") span for every
+// canonical pipeline stage, and be balanced — no begin ("B") event
+// without a matching end, and no two complete spans on the same lane
+// that partially overlap (siblings are disjoint, children nest). The
+// trace writer exports a span that was never ended as a lone "B"
+// event, so an unbalanced trace is the signature of a crashed or
+// leaked span. The trace-smoke CI target runs this against a fresh
+// extraction trace.
 func runTraceCheck(args []string) error {
 	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
 	if err := fs.Parse(args); err != nil {
@@ -613,7 +635,9 @@ func runTraceCheck(args []string) error {
 		TraceEvents []struct {
 			Name string  `json:"name"`
 			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
 			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -621,10 +645,63 @@ func runTraceCheck(args []string) error {
 	}
 	seen := make(map[string]bool)
 	spans := 0
+	type span struct {
+		name    string
+		ts, dur float64
+	}
+	open := make(map[int][]string) // per-lane stack of unended B names
+	lanes := make(map[int][]span)  // per-lane complete spans
 	for _, e := range doc.TraceEvents {
-		if e.Ph == "X" {
+		switch e.Ph {
+		case "X":
 			seen[e.Name] = true
 			spans++
+			lanes[e.TID] = append(lanes[e.TID], span{e.Name, e.TS, e.Dur})
+		case "B":
+			open[e.TID] = append(open[e.TID], e.Name)
+		case "E":
+			stack := open[e.TID]
+			if len(stack) == 0 {
+				return fmt.Errorf("%s: unbalanced trace: end event %q on lane %d without a begin",
+					path, e.Name, e.TID)
+			}
+			open[e.TID] = stack[:len(stack)-1]
+		}
+	}
+	var unended []string
+	for _, stack := range open {
+		unended = append(unended, stack...)
+	}
+	if len(unended) > 0 {
+		sort.Strings(unended)
+		return fmt.Errorf("%s: unbalanced trace: %d span(s) begun but never ended: %s",
+			path, len(unended), strings.Join(unended, ", "))
+	}
+	// Complete spans on one lane must form a forest: each pair is either
+	// disjoint or one contains the other. A partial overlap means two
+	// spans claim the same wall time without nesting — a corrupted or
+	// hand-edited trace. Sweep each lane in start order with a stack of
+	// enclosing interval ends (a sub-microsecond epsilon absorbs the
+	// nanosecond-to-microsecond rounding of the writer).
+	const eps = 1e-3
+	for tid, spans := range lanes {
+		sort.Slice(spans, func(i, j int) bool {
+			if spans[i].ts != spans[j].ts {
+				return spans[i].ts < spans[j].ts
+			}
+			return spans[i].dur > spans[j].dur // containers before contents
+		})
+		var ends []float64
+		for _, sp := range spans {
+			for len(ends) > 0 && ends[len(ends)-1] <= sp.ts+eps {
+				ends = ends[:len(ends)-1]
+			}
+			end := sp.ts + sp.dur
+			if len(ends) > 0 && end > ends[len(ends)-1]+eps {
+				return fmt.Errorf("%s: unbalanced trace: span %q on lane %d overlaps its neighbor without nesting",
+					path, sp.name, tid)
+			}
+			ends = append(ends, end)
 		}
 	}
 	var missing []string
@@ -637,7 +714,7 @@ func runTraceCheck(args []string) error {
 		return fmt.Errorf("%s: %d spans but missing stages: %s",
 			path, spans, strings.Join(missing, ", "))
 	}
-	fmt.Printf("%s: ok — %d spans, all %d pipeline stages present\n",
+	fmt.Printf("%s: ok — %d spans, balanced, all %d pipeline stages present\n",
 		path, spans, len(core.Stages()))
 	return nil
 }
@@ -901,6 +978,9 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	tenantWeights := fs.String("tenant-weights", "", "fair-dequeue weights as tenant=N pairs, comma-separated (e.g. \"alice=3,bob=1\"; unlisted tenants weigh 1)")
 	timeout := fs.Duration("timeout", 0, "per-job per-attempt deadline (0 = none)")
 	retries := fs.Int("retries", 0, "retry attempts for jobs failing with transient (retryable) errors")
+	metrics := fs.Bool("metrics", false, "record fleet latency histograms and per-tenant labeled series (GET /metrics serves the exposition either way; this flag adds the histogram families)")
+	sloSpec := fs.String("slo", "", `per-tenant SLOs as semicolon-separated "tenant=availability[/latency]" entries with availability in percent (e.g. "default=99.9/5m;alice=99.99"); exports error-budget and burn-rate gauges on /metrics`)
+	logFormat := fs.String("log-format", "text", `structured log line format for -v/-vv: "text" or "json"`)
 	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -912,6 +992,15 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	weights, err := parseTenantWeights(*tenantWeights)
 	if err != nil {
 		return err
+	}
+	var slos map[string]serve.SLOObjective
+	if *sloSpec != "" {
+		if slos, err = serve.ParseSLOs(*sloSpec); err != nil {
+			return err
+		}
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		return fmt.Errorf("bad -log-format %q (want \"text\" or \"json\")", *logFormat)
 	}
 	var store *ckpt.Store
 	if *cacheDir != "" {
@@ -928,25 +1017,40 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	}()
 	if ob == nil {
 		// The service always carries a metric registry: the fleet
-		// counters back /healthz and the dedupe assertions even when no
-		// observability flag is set.
+		// counters back /healthz, /metrics and the dedupe assertions even
+		// when no observability flag is set.
 		ob = &obs.Observer{Metrics: obs.NewMetrics()}
+	}
+	if ob.Log != nil && *logFormat == "json" {
+		lvl := slog.LevelInfo
+		if obf.vv {
+			lvl = slog.LevelDebug
+		}
+		ob.Log = slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 	}
 	ob.Metrics.PublishExpvar("hifidram.serve")
 
-	s, err := serve.NewServer(serve.Config{
+	s := serve.New(serve.Config{
 		Workers: *workers, Jobs: *jobs, QueueDepth: *queue,
 		Cache: store, CacheBytes: *cacheBytes, JournalPath: *journalPath,
 		TenantRate: *tenantRate, TenantBurst: *tenantBurst,
 		TenantInflight: *tenantInflight, TenantWeights: weights,
 		Timeout: *timeout, Retries: *retries, Obs: ob,
+		Metrics: *metrics, SLOs: slos,
 	})
-	if err != nil {
-		return err
-	}
+	// The listener comes up before Start so /healthz and /readyz answer
+	// during journal recovery: the server reports itself live but not
+	// ready until the recovered jobs are re-enqueued.
 	httpSrv := serve.NewHTTPServer(addr, s)
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if err := s.Start(); err != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+		_ = s.Close(sctx)
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "hifidram: serving on %s (jobs %d, queue %d, cache %q, journal %q, recovered %d)\n",
 		addr, *jobs, *queue, *cacheDir, *journalPath, s.Recovered())
 

@@ -27,17 +27,23 @@ type chromeDoc struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
-// WriteChrome exports the trace as Chrome trace-event JSON. Every span
-// becomes one complete ("X") event whose tid is the span's lane, so the
-// sequential pipeline stages render on lane 0 and each pool worker's
-// spans render on their own lane; timestamps are microseconds since the
-// trace epoch. Unended spans are exported with zero duration.
+// WriteChrome exports the trace as Chrome trace-event JSON. Every ended
+// span becomes one complete ("X") event whose tid is the span's lane,
+// so the sequential pipeline stages render on lane 0 and each pool
+// worker's spans render on their own lane; timestamps are microseconds
+// since the trace epoch. An UNENDED span is exported as a begin ("B")
+// event with no matching end — viewers render it open-ended, and
+// `hifidram tracecheck` rejects it as unbalanced: a healthy run ends
+// every span, so an unmatched B in a trace file is the signature of a
+// crashed or leaked span. A correlation ID set with SetCorrelation is
+// exported as a process-level metadata event.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	if t == nil {
 		return json.NewEncoder(w).Encode(chromeDoc{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"})
 	}
 	t.mu.Lock()
 	spans := append([]*Span(nil), t.spans...)
+	corr := t.corr
 	t.mu.Unlock()
 	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(spans)+4)}
 	lanes := map[int]bool{}
@@ -51,10 +57,20 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			PID:  1,
 			TID:  s.lane,
 		}
+		if !s.ended {
+			ev.Ph = "B"
+			ev.Dur = 0
+		}
 		if s.parent != nil {
 			ev.Args = map[string]any{"parent": s.parent.name}
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	if corr != "" {
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "correlation", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]any{"id": corr},
+		})
 	}
 	laneIDs := make([]int, 0, len(lanes))
 	for lane := range lanes {

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled series. The metric registry keys everything by a flat string
+// name; a labeled series encodes its labels into that name with the
+// Prometheus-style grammar
+//
+//	name{key="value",key2="value2"}
+//
+// built by Series and decoded by SplitSeries. Keys are emitted in
+// sorted order, so two label sets with equal content always produce
+// the same registry key — Series is a canonical form, not just a
+// formatter. Values are sanitized to a bounded alphabet rather than
+// escaped: a label value is an identity (tenant, profile, stage), not
+// a payload, and a bounded grammar keeps a client-controlled string
+// from minting unbounded or unparsable series. The grammar:
+//
+//	key:   [a-zA-Z_][a-zA-Z0-9_]*   (invalid keys collapse to "_")
+//	value: [a-zA-Z0-9._/-]{1,64}    (invalid runes become '_')
+//
+// Empty values drop the pair entirely — an absent label, not a
+// present-but-empty one, so the anonymous tenant produces an unlabeled
+// series rather than tenant="".
+
+// maxLabelValueLen bounds a sanitized label value.
+const maxLabelValueLen = 64
+
+// Label is one key/value pair of a labeled series.
+type Label struct {
+	Key, Value string
+}
+
+// Series renders the canonical registry key for name plus labels.
+// With no (non-empty) labels it returns name unchanged.
+func Series(name string, labels ...Label) string {
+	kept := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Value == "" {
+			continue
+		}
+		kept = append(kept, Label{Key: sanitizeLabelKey(l.Key), Value: SanitizeLabelValue(l.Value)})
+	}
+	if len(kept) == 0 {
+		return name
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Key < kept[j].Key })
+	var b strings.Builder
+	b.Grow(len(name) + 16*len(kept))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range kept {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitSeries decodes a registry key built by Series back into the
+// base name and its labels (nil for an unlabeled series). A malformed
+// suffix is not parsed: the whole key is returned as the name, which
+// keeps the renderer total on registries that never used labels.
+func SplitSeries(key string) (name string, labels []Label) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name = key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return key, nil // malformed: treat the whole key as a name
+		}
+		labels = append(labels, Label{Key: k, Value: v[1 : len(v)-1]})
+	}
+	return name, labels
+}
+
+// sanitizeLabelKey forces a valid Prometheus label name.
+func sanitizeLabelKey(k string) string {
+	if k == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// SanitizeLabelValue maps an arbitrary string onto the bounded label
+// value alphabet: letters, digits, '.', '_', '/' and '-' pass through,
+// anything else becomes '_', and the result is truncated to
+// maxLabelValueLen bytes. The mapping is deterministic, so equal
+// inputs always share a series.
+func SanitizeLabelValue(v string) string {
+	if len(v) > maxLabelValueLen {
+		v = v[:maxLabelValueLen]
+	}
+	var b []byte
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9') || c == '.' || c == '_' || c == '/' || c == '-'
+		if !ok {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// PromName maps a registry metric name onto the Prometheus metric-name
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: the registry's dotted names
+// ("serve.cache_hits") become underscore-joined ("serve_cache_hits"),
+// and any other invalid byte becomes '_'.
+func PromName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}

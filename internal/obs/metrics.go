@@ -17,6 +17,7 @@ type Metrics struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	durs     map[string]DurStats
+	hists    map[string]*Histogram
 }
 
 // DurStats summarizes a duration distribution in nanoseconds.
@@ -41,6 +42,7 @@ func NewMetrics() *Metrics {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		durs:     make(map[string]DurStats),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -84,6 +86,29 @@ func (m *Metrics) Observe(name string, d time.Duration) {
 	m.mu.Unlock()
 }
 
+// ObserveHist folds value v (canonically seconds) into the named
+// histogram, creating it on first use. Histograms use the package's
+// fixed exponential bucket scheme (see Histogram), so every histogram
+// with the same name is mergeable across jobs and processes.
+func (m *Metrics) ObserveHist(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.Observe(v)
+	m.mu.Unlock()
+}
+
+// ObserveHistDur is ObserveHist for a duration, recorded in seconds.
+func (m *Metrics) ObserveHistDur(name string, d time.Duration) {
+	m.ObserveHist(name, d.Seconds())
+}
+
 // Snapshot is a point-in-time copy of the registry — the structured
 // Telemetry record the pipeline attaches to its Result.
 type Snapshot struct {
@@ -96,6 +121,11 @@ type Snapshot struct {
 	// Durations hold all timing (worker busy/idle, queue wait); they are
 	// scheduling-dependent and excluded from the determinism contract.
 	Durations map[string]DurStats `json:"durations,omitempty"`
+	// Histograms hold fixed-bucket distributions (latencies in
+	// seconds). Like Durations they carry timing and are excluded from
+	// the determinism contract; unlike Durations their merge is exact,
+	// so fleet-level quantiles are well defined.
+	Histograms map[string]*Histogram `json:"histograms,omitempty"`
 }
 
 // Snapshot returns a copy of the current registry state.
@@ -106,9 +136,10 @@ func (m *Metrics) Snapshot() *Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	s := &Snapshot{
-		Counters:  make(map[string]int64, len(m.counters)),
-		Gauges:    make(map[string]float64, len(m.gauges)),
-		Durations: make(map[string]DurStats, len(m.durs)),
+		Counters:   make(map[string]int64, len(m.counters)),
+		Gauges:     make(map[string]float64, len(m.gauges)),
+		Durations:  make(map[string]DurStats, len(m.durs)),
+		Histograms: make(map[string]*Histogram, len(m.hists)),
 	}
 	for k, v := range m.counters {
 		s.Counters[k] = v
@@ -118,6 +149,9 @@ func (m *Metrics) Snapshot() *Snapshot {
 	}
 	for k, v := range m.durs {
 		s.Durations[k] = v
+	}
+	for k, h := range m.hists {
+		s.Histograms[k] = h.Clone()
 	}
 	return s
 }
@@ -155,26 +189,66 @@ func (m *Metrics) Merge(s *Snapshot) {
 		d.SumNS += v.SumNS
 		m.durs[k] = d
 	}
+	for k, v := range s.Histograms {
+		if v == nil || v.Count == 0 {
+			continue
+		}
+		h := m.hists[k]
+		if h == nil {
+			h = &Histogram{}
+			m.hists[k] = h
+		}
+		h.Merge(v)
+	}
 }
 
 // PublishExpvar exposes the registry under the given expvar name (served
 // on /debug/vars by the expvar HTTP handler, e.g. under the -pprof
-// address). Publishing the same name twice is a no-op rather than the
-// expvar.Publish duplicate panic, so repeated runs in one process are
-// safe; the variable always reads the registry it was first bound to.
+// address). expvar.Publish panics on a duplicate name and offers no
+// unpublish, so the name is registered exactly once with an
+// indirection the registry is rebound through: publishing the same
+// name again — a second server in one test process, a restarted serve
+// loop — atomically rebinds the variable to the newest registry
+// instead of panicking or silently keeping a dead one. Latest wins;
+// the expvar always reads the most recently published registry.
 func (m *Metrics) PublishExpvar(name string) {
 	if m == nil {
 		return
 	}
 	expvarMu.Lock()
 	defer expvarMu.Unlock()
-	if expvar.Get(name) != nil {
-		return
+	holder, ok := expvarBindings[name]
+	if !ok {
+		holder = &expvarBinding{}
+		expvarBindings[name] = holder
+		expvar.Publish(name, expvar.Func(func() any { return holder.load().Snapshot() }))
 	}
-	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+	holder.store(m)
 }
 
-// expvarMu serializes the Get/Publish pair: expvar itself panics on a
-// duplicate Publish, so the existence check and the registration must be
-// atomic.
-var expvarMu sync.Mutex
+// expvarBinding is the mutable indirection one published name reads
+// through.
+type expvarBinding struct {
+	mu sync.Mutex
+	m  *Metrics
+}
+
+func (b *expvarBinding) store(m *Metrics) {
+	b.mu.Lock()
+	b.m = m
+	b.mu.Unlock()
+}
+
+func (b *expvarBinding) load() *Metrics {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m
+}
+
+// expvarMu guards the bindings table; expvar itself panics on a
+// duplicate Publish, so the existence check and the registration must
+// be atomic.
+var (
+	expvarMu       sync.Mutex
+	expvarBindings = make(map[string]*expvarBinding)
+)

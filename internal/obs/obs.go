@@ -106,6 +106,16 @@ func (o *Observer) ObserveDur(name string, d time.Duration) {
 	o.Metrics.Observe(name, d)
 }
 
+// ObserveHist folds v (canonically seconds) into the named fixed-bucket
+// histogram. Histograms, like durations, carry timing and are outside
+// the determinism contract.
+func (o *Observer) ObserveHist(name string, v float64) {
+	if o == nil || o.Metrics == nil {
+		return
+	}
+	o.Metrics.ObserveHist(name, v)
+}
+
 // Snapshot returns the current metric snapshot, or nil when metrics are
 // disabled.
 func (o *Observer) Snapshot() *Snapshot {
@@ -186,6 +196,7 @@ type Trace struct {
 	mu    sync.Mutex
 	epoch time.Time
 	spans []*Span
+	corr  string
 }
 
 // NewTrace returns an empty trace whose epoch (Chrome ts zero) is now.
@@ -213,6 +224,29 @@ func (t *Trace) start(name string, parent *Span, lane int, log *slog.Logger) *Sp
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 	return s
+}
+
+// SetCorrelation tags the trace with a correlation ID — the request ID
+// of the submission that produced it. Every span of the trace belongs
+// to that ID; the Chrome export carries it as a metadata event so a
+// trace file can be joined back to the access and lifecycle logs.
+func (t *Trace) SetCorrelation(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.corr = id
+	t.mu.Unlock()
+}
+
+// Correlation returns the trace's correlation ID ("" when unset or nil).
+func (t *Trace) Correlation() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.corr
 }
 
 // Start opens a root span on lane 0.

@@ -251,7 +251,7 @@ func TestMetricsMerge(t *testing.T) {
 	if d.Count != 3 ||
 		d.MinNS != (2*time.Millisecond).Nanoseconds() ||
 		d.MaxNS != (20*time.Millisecond).Nanoseconds() ||
-		d.SumNS != (32 * time.Millisecond).Nanoseconds() {
+		d.SumNS != (32*time.Millisecond).Nanoseconds() {
 		t.Errorf("merged duration = %+v", d)
 	}
 	// Merging nil or into nil is inert.
@@ -328,19 +328,35 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	m.Add("c", 7)
 	m.PublishExpvar("obs_test_metrics")
 	// Publishing the same name again must not panic (expvar.Publish
-	// panics on duplicates); a second registry keeps the first binding.
+	// panics on duplicates) and must rebind the variable to the newest
+	// registry: a restarted server's metrics replace the dead one's.
 	m2 := NewMetrics()
+	m2.Add("c", 11)
 	m2.PublishExpvar("obs_test_metrics")
-	v := expvar.Get("obs_test_metrics")
-	if v == nil {
-		t.Fatal("expvar not published")
+	read := func() int64 {
+		t.Helper()
+		v := expvar.Get("obs_test_metrics")
+		if v == nil {
+			t.Fatal("expvar not published")
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+			t.Fatalf("expvar value is not snapshot JSON: %v", err)
+		}
+		return snap.Counters["c"]
 	}
-	var snap Snapshot
-	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
-		t.Fatalf("expvar value is not snapshot JSON: %v", err)
+	if got := read(); got != 11 {
+		t.Errorf("published counter = %d, want latest registry's 11", got)
 	}
-	if snap.Counters["c"] != 7 {
-		t.Errorf("published counter = %d, want first registry's 7", snap.Counters["c"])
+	// Rebinding is live: later writes to the bound registry show up.
+	m2.Add("c", 1)
+	if got := read(); got != 12 {
+		t.Errorf("after Add, published counter = %d, want 12", got)
+	}
+	// And the first registry can take the name back (latest wins again).
+	m.PublishExpvar("obs_test_metrics")
+	if got := read(); got != 7 {
+		t.Errorf("after rebind, published counter = %d, want 7", got)
 	}
 }
 

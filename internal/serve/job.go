@@ -73,6 +73,13 @@ type job struct {
 	// tenantKey is the sanitized tenant label — the admission bucket,
 	// fair-queue lane and metric key this job charges against.
 	tenantKey string
+	// corr is the correlation ID: the request ID of the HTTP submission
+	// that created the job ("" for direct Submit calls). It is
+	// journaled with the accept record, restored on recovery, tagged
+	// onto the job's trace, and surfaced in JobStatus — one ID joins
+	// the access log line, the lifecycle log lines, the journal records
+	// and the trace spans of a single piece of work.
+	corr string
 	// admitted is set while the job holds a tenant in-flight slot, so
 	// the single completion path releases it exactly once.
 	admitted bool
@@ -118,6 +125,7 @@ type JobStatus struct {
 	Profile     string           `json:"profile,omitempty"`
 	Tenant      string           `json:"tenant,omitempty"`
 	Fingerprint string           `json:"fingerprint"`
+	Correlation string           `json:"correlation,omitempty"`
 	CacheHit    bool             `json:"cache_hit"`
 	DedupedOf   string           `json:"deduped_of,omitempty"`
 	Error       string           `json:"error,omitempty"`
@@ -163,6 +171,7 @@ func (j *job) statusLocked() JobStatus {
 		Chip: j.req.Chip, Die: j.req.Die, Views: j.req.Views,
 		Profile: j.req.Profile, Tenant: j.req.Tenant,
 		Fingerprint: j.fp,
+		Correlation: j.corr,
 		CacheHit:    j.cacheHit,
 		DedupedOf:   j.dedupedOf,
 		Created:     j.created,

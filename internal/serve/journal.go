@@ -70,11 +70,14 @@ type JournalRecord struct {
 	Op   string    `json:"op"`
 	ID   string    `json:"id"`
 	Time time.Time `json:"time"`
-	// Accept fields.
+	// Accept fields. Corr is the job's correlation ID (the request ID
+	// of the HTTP submission); it rides the accept record so a
+	// recovered job keeps the ID its first life was submitted under.
 	Req         *Request `json:"req,omitempty"`
 	Unit        string   `json:"unit,omitempty"`
 	Fingerprint string   `json:"fp,omitempty"`
 	Dedupe      string   `json:"dedupe,omitempty"`
+	Corr        string   `json:"corr,omitempty"`
 	// State fields.
 	State State  `json:"state,omitempty"`
 	Cause string `json:"cause,omitempty"`

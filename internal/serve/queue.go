@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ckpt"
@@ -68,6 +69,22 @@ type Config struct {
 	// (every finished job's registry is merged in), its log receives
 	// job lifecycle lines.
 	Obs *obs.Observer
+	// Metrics enables service observability: latency histograms (queue
+	// wait, run duration, submit-to-done, per-stage wall time) labeled
+	// per tenant and profile in the fleet registry, and the /metrics
+	// Prometheus endpoint. Off, the server records only the counters it
+	// always did — observability must never perturb artifacts, and with
+	// Metrics false it does not even cost the histogram updates.
+	Metrics bool
+	// SLOs configures per-tenant service objectives (see ParseSLOs);
+	// the "default" entry covers tenants without their own. Empty
+	// disables SLO tracking and its gauges.
+	SLOs map[string]SLOObjective
+	// EventKeepalive is the idle interval after which the events stream
+	// emits a keepalive frame (a seq-less NDJSON record) so proxies and
+	// clients can distinguish a quiet job from a dead connection. Zero
+	// means the 15s default; negative disables keepalives.
+	EventKeepalive time.Duration
 	// runner overrides the pipeline runner. Test-only (unexported): it
 	// must be in place before the worker pool starts, because recovery
 	// can hand workers jobs before NewServer returns.
@@ -86,6 +103,10 @@ var ErrClosed = errors.New("serve: server closed")
 // cannot deliver, so the client gets a retryable 503 instead.
 var ErrJournal = errors.New("serve: journal write failed")
 
+// ErrNotReady rejects submissions before Start has finished journal
+// recovery and opened the worker pool (HTTP 503; /readyz mirrors it).
+var ErrNotReady = errors.New("serve: server not ready")
+
 // errShutdown is the cause recorded on jobs canceled by server
 // shutdown.
 var errShutdown = errors.New("server shutting down")
@@ -102,14 +123,22 @@ const stateNone State = ""
 type Server struct {
 	cfg   Config
 	inner int // per-job worker budget (Workers split across Jobs)
+	fan   int // worker pool size (cfg.Jobs after budget split)
 
 	queue   *fairQueue
 	adm     *admission
 	journal *Journal
+	slo     *sloTracker
 	ctx     context.Context // canceled by Close; parent of every job ctx
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 	runner  func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
+
+	// ready flips true once Start has recovered the journal and opened
+	// the worker pool; /readyz and Submit gate on it. started guards
+	// double Start.
+	ready   atomic.Bool
+	started atomic.Bool
 
 	// gcMu serializes cache sweeps: a publish that finds one already
 	// running skips its own (the running sweep sees the new bytes).
@@ -124,9 +153,13 @@ type Server struct {
 	closed    bool
 }
 
-// NewServer recovers the journal (when configured), starts the worker
-// pool and returns the server. Close must be called to release it.
-func NewServer(cfg Config) (*Server, error) {
+// New builds a server without starting it: the journal is not yet
+// recovered, the worker pool is not running, and Submit refuses with
+// ErrNotReady. The split lets the HTTP listener come up first and
+// answer /healthz (alive) and /readyz (not ready) while Start replays
+// a possibly large journal — the readiness window is real, not
+// cosmetic. Callers that don't care use NewServer.
+func New(cfg Config) *Server {
 	if cfg.Jobs <= 0 {
 		cfg.Jobs = 2
 	}
@@ -139,10 +172,12 @@ func NewServer(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		inner: inner,
+		fan:   fan,
 		queue: newFairQueue(cfg.QueueDepth, func(lane string) int {
 			return weights[lane]
 		}),
 		adm:      newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.TenantInflight),
+		slo:      newSLOTracker(cfg.SLOs),
 		ctx:      ctx,
 		stop:     stop,
 		jobs:     make(map[string]*job),
@@ -152,14 +187,24 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.runner != nil {
 		s.runner = cfg.runner
 	}
-	if cfg.JournalPath != "" {
-		if err := s.recoverJournal(cfg.JournalPath); err != nil {
-			stop()
-			return nil, err
+	return s
+}
+
+// Start recovers the journal (when configured), starts the worker pool
+// and marks the server ready. It runs at most once; calling it on an
+// already-started server is a no-op.
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return nil
+	}
+	if s.cfg.JournalPath != "" {
+		if err := s.recoverJournal(s.cfg.JournalPath); err != nil {
+			s.stop()
+			return err
 		}
 	}
-	s.wg.Add(fan)
-	for i := 0; i < fan; i++ {
+	s.wg.Add(s.fan)
+	for i := 0; i < s.fan; i++ {
 		go func() {
 			defer s.wg.Done()
 			for {
@@ -172,9 +217,32 @@ func NewServer(cfg Config) (*Server, error) {
 		}()
 	}
 	s.maybeGC()
-	s.cfg.Obs.Info("serve: pool started", "jobs", fan, "workers_per_job", inner,
-		"queue", cfg.QueueDepth, "journal", cfg.JournalPath, "recovered", s.recovered)
+	s.ready.Store(true)
+	s.cfg.Obs.Info("serve: pool started", "jobs", s.fan, "workers_per_job", s.inner,
+		"queue", s.cfg.QueueDepth, "journal", s.cfg.JournalPath, "recovered", s.recovered)
+	return nil
+}
+
+// NewServer is New followed by Start: recovers the journal, starts the
+// worker pool and returns a ready server. Close must be called to
+// release it.
+func NewServer(cfg Config) (*Server, error) {
+	s := New(cfg)
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// Ready reports whether the server accepts work: Start completed
+// (journal recovered, pool running) and Close has not begun.
+func (s *Server) Ready() bool {
+	if !s.ready.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 // recoverJournal replays the journal into the job table, compacts the
@@ -217,11 +285,15 @@ func (s *Server) recoverJournal(path string) error {
 			id: id, req: *r.accept.Req,
 			unit: r.accept.Unit, fp: r.accept.Fingerprint, dedupe: r.accept.Dedupe,
 			tenantKey: sanitizeTenant(r.accept.Req.Tenant),
+			corr:      r.accept.Corr,
 			state:     StateQueued, created: r.accept.Time,
 			recovered: true,
 			update:    make(chan struct{}),
 			metrics:   obs.NewMetrics(), trace: obs.NewTrace(),
 		}
+		// The correlation ID survives the crash with the accept record:
+		// a job's second life traces under the same ID as its first.
+		j.trace.SetCorrelation(j.corr)
 		s.jobs[id] = j
 		s.order = append(s.order, id)
 		switch r.state {
@@ -327,10 +399,23 @@ func (s *Server) Close(ctx context.Context) error {
 // when a journal is configured, an acknowledged job survives anything
 // short of losing the disk.
 func (s *Server) Submit(req Request) (JobStatus, error) {
+	return s.SubmitCorr(req, "")
+}
+
+// SubmitCorr is Submit with a correlation ID — the request ID of the
+// HTTP submission that created the job. The ID rides the job through
+// its whole life: it is journaled with the accept record (and restored
+// on recovery), tagged onto the job's trace so the Chrome export can
+// be joined back to the access log, and surfaced in JobStatus.
+func (s *Server) SubmitCorr(req Request, corr string) (JobStatus, error) {
+	if !s.ready.Load() {
+		return JobStatus{}, ErrNotReady
+	}
 	unit, fp, dedupe, err := req.identity()
 	if err != nil {
 		return JobStatus{}, err
 	}
+	corr = obs.SanitizeLabelValue(corr)
 	tenant := sanitizeTenant(req.Tenant)
 	// The rate gate runs before any disk work: a flooding tenant is
 	// bounced by a map lookup, not after a cache probe on its behalf.
@@ -351,11 +436,12 @@ func (s *Server) Submit(req Request) (JobStatus, error) {
 	j := &job{
 		id: newJobID(s.nextID), req: req,
 		unit: unit, fp: fp, dedupe: dedupe,
-		tenantKey: tenant,
-		state:     StateQueued, created: time.Now(),
+		tenantKey: tenant, corr: corr,
+		state: StateQueued, created: time.Now(),
 		update:  make(chan struct{}),
 		metrics: obs.NewMetrics(), trace: obs.NewTrace(),
 	}
+	j.trace.SetCorrelation(corr)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	j.eventLocked("queued", "fingerprint "+fp)
@@ -438,6 +524,7 @@ func (s *Server) journalAcceptLocked(j *job) error {
 	err := s.journal.Append(JournalRecord{
 		Op: opAccept, ID: j.id, Time: j.created,
 		Req: &j.req, Unit: j.unit, Fingerprint: j.fp, Dedupe: j.dedupe,
+		Corr: j.corr,
 	})
 	if err != nil {
 		s.cfg.Obs.Count("serve.journal_errors", 1)
@@ -482,7 +569,50 @@ func (s *Server) completeLocked(j *job, state State, cause error, jstate State) 
 	if jstate != stateNone {
 		s.journalStateLocked(j, jstate, cause)
 	}
+	s.cfg.Obs.Count("serve.jobs_"+string(state), 1)
+	latency := j.finished.Sub(j.created)
+	s.slo.record(j.tenantKey, state == StateDone, latency)
+	if s.cfg.Metrics {
+		s.observeCompletionLocked(j, latency)
+	}
 	s.mergeJobLocked(j)
+}
+
+// observeCompletionLocked folds a finished job's timings into the
+// fleet histograms: submit-to-done latency and run duration labeled by
+// tenant and profile, per-stage wall time labeled by stage. Caller
+// holds the mutex; the trace mutex is a leaf, so reading the summary
+// here is safe.
+func (s *Server) observeCompletionLocked(j *job, latency time.Duration) {
+	m := s.fleetMetrics()
+	if m == nil {
+		return
+	}
+	tenant := obs.Label{Key: "tenant", Value: j.tenantKey}
+	profile := j.req.Profile
+	if profile == "" {
+		profile = "default"
+	}
+	m.ObserveHistDur(obs.Series("serve.job_latency", tenant), latency)
+	if !j.started.IsZero() {
+		m.ObserveHistDur(obs.Series("serve.run_duration", tenant,
+			obs.Label{Key: "profile", Value: profile}), j.finished.Sub(j.started))
+	}
+	if stats, _ := j.trace.Summary(); len(stats) > 0 {
+		for _, st := range stats {
+			m.ObserveHistDur(obs.Series("serve.stage_wall",
+				obs.Label{Key: "stage", Value: st.Name}), st.Total)
+		}
+	}
+}
+
+// fleetMetrics returns the fleet metric registry (nil when metrics are
+// not attached; *obs.Metrics methods are nil-safe).
+func (s *Server) fleetMetrics() *obs.Metrics {
+	if s.cfg.Obs == nil {
+		return nil
+	}
+	return s.cfg.Obs.Metrics
 }
 
 // execute runs one leader job on a pool worker.
@@ -499,6 +629,10 @@ func (s *Server) execute(j *job) {
 	j.started = time.Now()
 	j.queueWait = j.started.Sub(j.created)
 	j.metrics.Observe("serve.queue_wait", j.queueWait)
+	if s.cfg.Metrics {
+		s.fleetMetrics().ObserveHistDur(obs.Series("serve.queue_wait",
+			obs.Label{Key: "tenant", Value: j.tenantKey}), j.queueWait)
+	}
 	ctx, cancel := context.WithCancel(s.ctx)
 	j.cancel = cancel
 	ob := &obs.Observer{Trace: j.trace, Metrics: j.metrics, Log: s.logger()}
@@ -509,7 +643,8 @@ func (s *Server) execute(j *job) {
 	defer cancel()
 
 	s.cfg.Obs.Count("serve.runs", 1)
-	s.cfg.Obs.Info("serve: job running", "job", j.id, "chip", req.Chip, "fp", j.fp)
+	s.cfg.Obs.Info("serve: job running", "job", j.id, "corr", j.corr,
+		"tenant", j.tenantKey, "chip", req.Chip, "fp", j.fp)
 	artifacts, err := s.runner(ctx, req, s.inner, ob)
 
 	published := false
@@ -571,7 +706,8 @@ func (s *Server) execute(j *job) {
 		}
 	}
 	j.followers = nil
-	s.cfg.Obs.Info("serve: job finished", "job", j.id, "state", string(j.state), "err", err)
+	s.cfg.Obs.Info("serve: job finished", "job", j.id, "corr", j.corr,
+		"tenant", j.tenantKey, "state", string(j.state), "err", err)
 	s.mu.Unlock()
 
 	if published {
@@ -799,6 +935,52 @@ func (s *Server) FleetSnapshot() *obs.Snapshot {
 		return &obs.Snapshot{}
 	}
 	return s.cfg.Obs.Metrics.Snapshot()
+}
+
+// MetricsSnapshot is the /metrics view: the fleet snapshot plus
+// point-in-time gauges computed at scrape (queue state, per-tenant
+// in-flight counts, readiness) and the SLO tracker's derived gauges.
+// The additions go into the snapshot copy, never the registry — a
+// scrape must not write metrics.
+func (s *Server) MetricsSnapshot() *obs.Snapshot {
+	snap := s.FleetSnapshot()
+	if snap == nil {
+		snap = &obs.Snapshot{}
+	}
+	if snap.Gauges == nil {
+		snap.Gauges = make(map[string]float64)
+	}
+	s.mu.Lock()
+	var queued, running int
+	perTenant := make(map[string]int)
+	for _, j := range s.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+		if !j.state.terminal() {
+			perTenant[j.tenantKey]++
+		}
+	}
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	snap.Gauges["serve.queue_depth"] = float64(s.cfg.QueueDepth)
+	snap.Gauges["serve.queued"] = float64(queued)
+	snap.Gauges["serve.running"] = float64(running)
+	snap.Gauges["serve.jobs"] = float64(jobs)
+	ready := 0.0
+	if s.Ready() {
+		ready = 1
+	}
+	snap.Gauges["serve.ready"] = ready
+	for tenant, n := range perTenant {
+		snap.Gauges[obs.Series("serve.inflight",
+			obs.Label{Key: "tenant", Value: tenant})] = float64(n)
+	}
+	s.slo.gauges(snap.Gauges)
+	return snap
 }
 
 // mergeJobLocked folds a finished job's private metrics into the fleet

@@ -16,10 +16,20 @@
 //	GET  /v1/jobs/{id}/events?from=N      NDJSON progress stream
 //	GET  /v1/jobs/{id}/artifacts/{name}   fetch report.json / extracted.gds / views/<layer>.pgm
 //	GET  /healthz                         liveness + queue stats
+//	GET  /readyz                          readiness (503 until journal recovery completes)
+//	GET  /metrics                         Prometheus text exposition of the fleet registry
 //	GET  /debug/vars                      expvar (fleet metrics under the published name)
+//
+// Every request carries a request ID: the sanitized X-Request-Id header
+// when the client sent one, a server-minted ID otherwise. The ID is
+// echoed in the response header, logged on the access line, and — for
+// submissions — becomes the job's correlation ID, which then appears in
+// the lifecycle log lines, the journal's accept record, the job's trace
+// and JobStatus. One grep joins everything a request touched.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -27,11 +37,15 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// NewMux builds the API routing for a server.
-func NewMux(s *Server) *http.ServeMux {
+// NewMux builds the API routing for a server, wrapped in the
+// request-ID / access-log middleware.
+func NewMux(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -40,8 +54,84 @@ func NewMux(s *Server) *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name...}", s.handleArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	return mux
+	return s.withRequestID(mux)
+}
+
+// reqIDKey carries the request ID through the request context.
+type reqIDKey struct{}
+
+// RequestID returns the request's ID ("" outside the middleware).
+func RequestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// reqSeq numbers server-minted request IDs process-wide.
+var reqSeq atomic.Uint64
+
+// reqEpoch distinguishes processes, so IDs stay unique across restarts
+// sharing a log stream.
+var reqEpoch = time.Now().UnixNano()
+
+// newRequestID mints a process-unique request ID.
+func newRequestID() string {
+	return fmt.Sprintf("req-%x-%06d", reqEpoch, reqSeq.Add(1))
+}
+
+// statusWriter captures the response code for the access log. It
+// implements http.Flusher unconditionally, delegating when the
+// underlying writer supports it, so the events stream keeps flushing
+// through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withRequestID is the access middleware: it resolves the request ID
+// (honoring a sanitized client X-Request-Id), echoes it in the
+// response, threads it through the context for handlers, and writes
+// one structured access-log line per request.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.SanitizeLabelValue(r.Header.Get("X-Request-Id"))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.cfg.Obs.Info("serve: http", "req_id", id, "method", r.Method,
+			"path", r.URL.Path, "status", code,
+			"dur_ms", float64(time.Since(start))/float64(time.Millisecond))
+	})
 }
 
 // NewHTTPServer wraps the API mux in an http.Server with explicit
@@ -83,7 +173,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	st, err := s.Submit(req)
+	st, err := s.SubmitCorr(req, RequestID(r))
 	var limit *TenantLimitError
 	switch {
 	case errors.As(err, &limit):
@@ -91,6 +181,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// this tenant needs to back off.
 		w.Header().Set("Retry-After", strconv.Itoa(limit.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrNotReady):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "5")
@@ -163,9 +257,25 @@ func artifactContentType(name string) string {
 	}
 }
 
+// keepaliveFrame is the NDJSON record the events stream emits on an
+// idle connection. It deliberately has no "seq" field: keepalives are
+// transport liveness, not job history — they never enter the event
+// log, so ?from=N resume cursors are unaffected and a client telling
+// events apart by the presence of "seq" (or "keepalive") skips them.
+type keepaliveFrame struct {
+	Keepalive bool      `json:"keepalive"`
+	Time      time.Time `json:"time"`
+}
+
+// defaultEventKeepalive is the idle interval before a keepalive frame
+// when Config.EventKeepalive is zero.
+const defaultEventKeepalive = 15 * time.Second
+
 // handleEvents streams the job's event log as NDJSON: a replay of
 // everything from ?from=N (default 0), then live events until the job
-// reaches a terminal state or the client disconnects.
+// reaches a terminal state or the client disconnects. While the job is
+// quiet the stream emits keepalive frames so proxies and clients can
+// tell an idle job from a dead connection.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	from := 0
@@ -183,6 +293,29 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
+	ka := s.cfg.EventKeepalive
+	if ka == 0 {
+		ka = defaultEventKeepalive
+	}
+	var timer *time.Timer
+	var kaC <-chan time.Time
+	if ka > 0 {
+		timer = time.NewTimer(ka)
+		defer timer.Stop()
+		kaC = timer.C
+	}
+	resetKA := func() {
+		if timer == nil {
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(ka)
+	}
 	for {
 		events, next, ok := s.Events(id, from)
 		if !ok {
@@ -197,11 +330,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
+		if len(events) > 0 {
+			resetKA() // real traffic restarts the idle clock
+		}
 		if next == nil {
 			return // terminal and fully replayed
 		}
 		select {
 		case <-next:
+		case <-kaC:
+			if err := enc.Encode(keepaliveFrame{Keepalive: true, Time: time.Now()}); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			timer.Reset(ka)
 		case <-r.Context().Done():
 			return
 		case <-s.ctx.Done():
@@ -210,9 +354,40 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// readiness is the /readyz body.
+type readiness struct {
+	Ready     bool `json:"ready"`
+	Recovered int  `json:"recovered"`
+}
+
+// handleReady reports readiness: 200 once Start has replayed the
+// journal and opened the worker pool, 503 before that and after Close
+// begins. Distinct from /healthz (liveness): a recovering server is
+// alive but must not receive traffic yet.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	body := readiness{Ready: s.Ready(), Recovered: s.Recovered()}
+	code := http.StatusOK
+	if !body.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// handleMetrics serves the fleet registry as Prometheus text
+// exposition: counters, duration summaries and latency histograms from
+// the registry, plus scrape-time gauges (queue state, per-tenant
+// in-flight, readiness) and the SLO tracker's error-budget and
+// burn-rate gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.MetricsSnapshot()
+	w.Header().Set("Content-Type", obs.ContentTypeProm)
+	_ = obs.WriteProm(w, snap)
+}
+
 // health is the /healthz body.
 type health struct {
 	OK         bool  `json:"ok"`
+	Ready      bool  `json:"ready"`
 	Jobs       int   `json:"jobs"`
 	Queued     int   `json:"queued"`
 	Running    int   `json:"running"`
@@ -230,9 +405,10 @@ type health struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	ready := s.Ready()
 	s.mu.Lock()
 	h := health{
-		OK: true, Jobs: len(s.jobs), QueueDepth: s.cfg.QueueDepth,
+		OK: true, Ready: ready, Jobs: len(s.jobs), QueueDepth: s.cfg.QueueDepth,
 		Journal: s.journal != nil, Recovered: s.recovered,
 	}
 	for _, j := range s.jobs {

@@ -46,12 +46,15 @@ REQ_bob='{"chip":"B4","profile":"fast","tenant":"bob","voxel_nm":12}'
 
 $GO build -o "$BIN" ./cmd/hifidram
 
-# wait_up: poll /healthz until the server answers. (sh functions share
-# the caller's variables — poll counters must not reuse the cycle
-# counter's name.)
+# wait_up: poll /readyz until the server reports ready — the listener
+# comes up before journal recovery finishes, and submissions before
+# ready draw a retryable 503, so gating on /healthz alone would race
+# recovery exactly like a load balancer that ignores the readiness
+# probe. (sh functions share the caller's variables — poll counters
+# must not reuse the cycle counter's name.)
 wait_up() {
     up_n=0
-    until curl -fsS "$BASE/healthz" > /dev/null 2>&1; do
+    until curl -fsS "$BASE/readyz" > /dev/null 2>&1; do
         up_n=$((up_n + 1))
         [ $up_n -gt 100 ] && { echo "server never came up"; tail -20 "$WORK/server.log"; exit 1; }
         kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died on startup"; tail -20 "$WORK/server.log"; exit 1; }

@@ -36,7 +36,7 @@ SERVER_PID=$!
 
 # Wait for the listener.
 i=0
-until curl -fsS "$BASE/healthz" > /dev/null 2>&1; do
+until curl -fsS "$BASE/readyz" > /dev/null 2>&1; do
     i=$((i + 1))
     [ $i -gt 50 ] && { echo "server never came up"; cat "$WORK/server.log"; exit 1; }
     kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died"; cat "$WORK/server.log"; exit 1; }
