@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke fuzz
+.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke overload-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,17 @@ serve-chaos-smoke:
 metrics-smoke:
 	./scripts/metrics_smoke.sh
 
+# overload-smoke proves the overload-resilience layer end to end with
+# deterministic failpoints: a wedged worker must shed fresh submissions
+# (503 + drain-rate Retry-After) and cancel queue-expired deadlines
+# without running them, soft disk pressure must brown default-profile
+# submissions out to the fast profile (flagged, opt-out honored), the
+# hard watermark must 507 while reads stay alive, and a poisoned chip
+# must trip its (chip,profile) circuit breaker — all visible in
+# `top -once` and asserted in /metrics via `metricscheck -require`.
+overload-smoke:
+	./scripts/overload_smoke.sh
+
 # alloc-check pins the allocation-free MI kernel: steady-state candidate
 # evaluation must stay at zero heap allocations per candidate.
 alloc-check:
@@ -75,8 +86,9 @@ alloc-check:
 
 # check is the CI gate: static analysis, the allocation regression
 # tests, race-checked tests, and the fault-injection, observability,
-# crash-recovery, job-service and service-metrics smoke runs.
-check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke
+# crash-recovery, job-service, service-metrics and overload-resilience
+# smoke runs.
+check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke overload-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.

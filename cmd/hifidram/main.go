@@ -67,6 +67,7 @@ import (
 	"repro/internal/chips"
 	"repro/internal/ckpt"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/fault"
 	"repro/internal/gds"
 	"repro/internal/img"
@@ -162,7 +163,16 @@ commands:
               latency histograms labeled by tenant and profile, -slo
               "tenant=avail[/latency];..." exports per-tenant error
               budget and burn-rate gauges, and -log-format json switches
-              the -v/-vv logs to JSON lines
+              the -v/-vv logs to JSON lines. Overload resilience:
+              -shed-target D browns out then sheds when standing queue
+              delay exceeds D / 2D (503 + drain-rate Retry-After);
+              -breaker-threshold N / -breaker-cooldown D fence a
+              persistently failing (chip, profile) behind a journaled
+              circuit breaker; -disk-soft/-disk-hard BYTES guard the
+              journal filesystem (GC + brownout, then HTTP 507); a job's
+              deadline_ms field or X-Job-Deadline-Ms header sheds work
+              nobody is waiting for. -failpoints SPEC (testing) injects
+              deterministic faults at named sites
   top         live fleet view of a serve instance: poll ADDR's /metrics
               and render queue occupancy, throughput and per-tenant
               latency quantiles + SLO burn (-interval, -once)
@@ -980,6 +990,13 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	retries := fs.Int("retries", 0, "retry attempts for jobs failing with transient (retryable) errors")
 	metrics := fs.Bool("metrics", false, "record fleet latency histograms and per-tenant labeled series (GET /metrics serves the exposition either way; this flag adds the histogram families)")
 	sloSpec := fs.String("slo", "", `per-tenant SLOs as semicolon-separated "tenant=availability[/latency]" entries with availability in percent (e.g. "default=99.9/5m;alice=99.99"); exports error-budget and burn-rate gauges on /metrics`)
+	shedTarget := fs.Duration("shed-target", 0, "adaptive overload target for standing queue delay: above it default-profile submissions brown out to the fast profile, above twice it fresh computations are shed with 503 (0 = disabled)")
+	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive non-deadline failures that open a per-(chip,profile) circuit breaker, fast-failing its submissions (0 = disabled)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 0, "open-circuit period before a single probe submission is admitted (0 = 30s)")
+	diskSoft := fs.Int64("disk-soft", 0, "soft disk watermark in free bytes on the journal/cache filesystem: below it the server sweeps the cache and browns out new work (0 = disabled)")
+	diskHard := fs.Int64("disk-hard", 0, "hard disk watermark in free bytes: below it submissions get HTTP 507 while reads and /metrics stay up (0 = disabled)")
+	failpoints := fs.String("failpoints", "", `fault-injection spec "SITE=KIND[(ARG)][:MOD=V];..." (e.g. "journal.sync=enospc:times=3"); testing only — overrides `+failpoint.EnvSpec)
+	failpointSeed := fs.Int64("failpoint-seed", 1, "deterministic seed for probabilistic failpoints")
 	logFormat := fs.String("log-format", "text", `structured log line format for -v/-vv: "text" or "json"`)
 	obf := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -1001,6 +1018,15 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 	}
 	if *logFormat != "text" && *logFormat != "json" {
 		return fmt.Errorf("bad -log-format %q (want \"text\" or \"json\")", *logFormat)
+	}
+	if *failpoints != "" {
+		if err := failpoint.Enable(*failpoints, *failpointSeed); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hifidram: failpoints armed: %s (seed %d)\n",
+			strings.Join(failpoint.Sites(), ","), *failpointSeed)
+	} else if err := failpoint.EnableFromEnv(); err != nil {
+		return err
 	}
 	var store *ckpt.Store
 	if *cacheDir != "" {
@@ -1037,6 +1063,9 @@ func runServe(ctx context.Context, args []string) (retErr error) {
 		TenantInflight: *tenantInflight, TenantWeights: weights,
 		Timeout: *timeout, Retries: *retries, Obs: ob,
 		Metrics: *metrics, SLOs: slos,
+		ShedTarget:       *shedTarget,
+		BreakerThreshold: *breakerThreshold, BreakerCooldown: *breakerCooldown,
+		DiskSoftBytes: *diskSoft, DiskHardBytes: *diskHard,
 	})
 	// The listener comes up before Start so /healthz and /readyz answer
 	// during journal recovery: the server reports itself live but not

@@ -30,12 +30,15 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
+
+	"repro/internal/failpoint"
 )
 
 const (
@@ -166,6 +169,19 @@ func (s *Store) Put(k Key, payload []byte) error {
 	path := s.path(k)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("ckpt: put %s: %w", k, err)
+	}
+	if ferr := failpoint.Inject("ckpt.put"); ferr != nil {
+		if errors.Is(ferr, failpoint.ErrTorn) {
+			// Tear for real: bypass the temp+rename discipline and leave
+			// half an entry at the final path — the torn visible artifact
+			// a lying filesystem produces. Get must degrade it to
+			// StateCorrupt, never to data.
+			var buf bytes.Buffer
+			if werr := writeEntry(&buf, k, payload); werr == nil {
+				_ = os.WriteFile(path, buf.Bytes()[:buf.Len()/2], 0o644)
+			}
+		}
+		return fmt.Errorf("ckpt: put %s: %w", k, ferr)
 	}
 	err := WriteFileAtomic(path, func(w io.Writer) error {
 		return writeEntry(w, k, payload)

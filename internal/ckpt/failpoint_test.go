@@ -1,0 +1,73 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"testing"
+
+	"repro/internal/failpoint"
+)
+
+// TestPutFailpointError proves the "ckpt.put" site fails the write
+// cleanly — no file appears at the final path — and that Put heals the
+// moment the failpoint is disarmed.
+func TestPutFailpointError(t *testing.T) {
+	defer failpoint.Disable()
+	if err := failpoint.Enable("ckpt.put=enospc", 1); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("aligned")
+	err = s.Put(k, []byte("payload"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put under enospc failpoint: err = %v, want ENOSPC", err)
+	}
+	if _, state := s.Get(k); state != StateMiss {
+		t.Fatalf("failed Put left an entry: state %v, want miss", state)
+	}
+	failpoint.Disable()
+	if err := s.Put(k, []byte("payload")); err != nil {
+		t.Fatalf("Put after disarm: %v", err)
+	}
+	if got, state := s.Get(k); state != StateHit || !bytes.Equal(got, []byte("payload")) {
+		t.Fatalf("Get after heal: state %v payload %q", state, got)
+	}
+}
+
+// TestPutFailpointTorn proves the torn kind leaves half an entry at the
+// FINAL path (a lying-filesystem artifact the atomic-rename discipline
+// normally forbids) and that Get degrades it to StateCorrupt, never to
+// data — so the caller recomputes and overwrites.
+func TestPutFailpointTorn(t *testing.T) {
+	defer failpoint.Disable()
+	if err := failpoint.Enable("ckpt.put=torn:times=1", 1); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("aligned")
+	payload := []byte("the aligned stack, serialized")
+	if err := s.Put(k, payload); !errors.Is(err, failpoint.ErrTorn) {
+		t.Fatalf("Put under torn failpoint: err = %v, want ErrTorn", err)
+	}
+	got, state := s.Get(k)
+	if state != StateCorrupt {
+		t.Fatalf("Get of torn entry: state %v, want corrupt", state)
+	}
+	if got != nil {
+		t.Fatalf("Get of torn entry returned data: %q", got)
+	}
+	// times=1 has expired: the recompute-and-overwrite heal works.
+	if err := s.Put(k, payload); err != nil {
+		t.Fatalf("healing Put: %v", err)
+	}
+	if got, state := s.Get(k); state != StateHit || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after heal: state %v payload %q", state, got)
+	}
+}

@@ -1,0 +1,240 @@
+package failpoint
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Every test that enables failpoints must restore the disabled default;
+// the registry is process-global.
+func reset(t *testing.T) {
+	t.Helper()
+	t.Cleanup(Disable)
+}
+
+func TestDisabledIsNil(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled() true after Disable")
+	}
+	if err := Inject("any.site"); err != nil {
+		t.Fatalf("disabled Inject returned %v", err)
+	}
+	if _, ok := Value("any.site"); ok {
+		t.Fatal("disabled Value returned ok")
+	}
+	if Hits("any.site") != 0 {
+		t.Fatal("disabled Hits nonzero")
+	}
+}
+
+func TestErrorKind(t *testing.T) {
+	reset(t)
+	if err := Enable("a.b=error(boom)", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := Inject("other.site"); err != nil {
+		t.Fatalf("unconfigured site returned %v", err)
+	}
+	_ = Inject("a.b")
+	if Hits("a.b") != 2 {
+		t.Fatalf("Hits = %d, want 2", Hits("a.b"))
+	}
+}
+
+func TestENOSPCKind(t *testing.T) {
+	reset(t)
+	if err := Enable("disk=enospc", 1); err != nil {
+		t.Fatal(err)
+	}
+	err := Inject("disk")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+}
+
+func TestTornKind(t *testing.T) {
+	reset(t)
+	if err := Enable("w=torn", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("w"); !errors.Is(err, ErrTorn) {
+		t.Fatalf("want ErrTorn, got %v", err)
+	}
+}
+
+func TestDelayKind(t *testing.T) {
+	reset(t)
+	if err := Enable("slow=delay(20ms)", 1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatalf("delay returned %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay slept only %v", d)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	reset(t)
+	if err := Enable("p=panic(kaboom)", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recover = %v, want kaboom", r)
+		}
+	}()
+	_ = Inject("p")
+	t.Fatal("Inject did not panic")
+}
+
+func TestValueKind(t *testing.T) {
+	reset(t)
+	if err := Enable("free=value(4096):times=2", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		v, ok := Value("free")
+		if !ok || v != 4096 {
+			t.Fatalf("eval %d: Value = %d,%v want 4096,true", i, v, ok)
+		}
+	}
+	if _, ok := Value("free"); ok {
+		t.Fatal("Value fired past times=2")
+	}
+	// Inject on a value site never errors.
+	if err := Inject("free"); err != nil {
+		t.Fatalf("Inject on value site returned %v", err)
+	}
+}
+
+func TestTimesAndAfter(t *testing.T) {
+	reset(t)
+	if err := Enable("s=error:after=2:times=3", 1); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Inject("s") != nil {
+			fired++
+			if i < 2 {
+				t.Fatalf("fired at evaluation %d despite after=2", i)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want 3", fired)
+	}
+}
+
+// Same seed → identical fire pattern; different seed → (for this spec)
+// a different one. This is the determinism the chaos smokes depend on.
+func TestProbabilityDeterministic(t *testing.T) {
+	reset(t)
+	pattern := func(seed int64) []bool {
+		if err := Enable("r=error:p=0.5", seed); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("r") != nil
+		}
+		return out
+	}
+	a1 := pattern(7)
+	a2 := pattern(7)
+	b := pattern(8)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at evaluation %d", i)
+		}
+	}
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical 64-evaluation patterns")
+	}
+}
+
+func TestMultiSiteSpecAndSites(t *testing.T) {
+	reset(t)
+	if err := Enable(" a=error ; b=enospc:times=1 ;; c=value(9) ", 1); err != nil {
+		t.Fatal(err)
+	}
+	got := Sites()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	reset(t)
+	for _, spec := range []string{
+		"noequals",
+		"=error",
+		"s=unknownkind",
+		"s=delay(notadur)",
+		"s=value(x)",
+		"s=error:p=2",
+		"s=error:times=0",
+		"s=error:after=-1",
+		"s=error:bogus=1",
+		"s=delay(1s",
+	} {
+		if err := Enable(spec, 1); err == nil {
+			t.Errorf("Enable(%q) accepted", spec)
+		}
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	reset(t)
+	t.Setenv(EnvSpec, "e=error")
+	t.Setenv(EnvSeed, "42")
+	if err := EnableFromEnv(); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("not enabled from env")
+	}
+	if err := Inject("e"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("env-enabled site returned %v", err)
+	}
+	t.Setenv(EnvSeed, "notanumber")
+	if err := EnableFromEnv(); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+}
+
+func TestEmptySpecDisables(t *testing.T) {
+	reset(t)
+	if err := Enable("x=error", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Enable("  ", 1); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec left failpoints enabled")
+	}
+}

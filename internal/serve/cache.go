@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/ckpt"
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 )
 
@@ -107,6 +108,11 @@ func cacheLookup(store *ckpt.Store, unit, fp string, views bool, ob *obs.Observe
 func cacheStore(store *ckpt.Store, unit, fp string, artifacts map[string][]byte) error {
 	if store == nil {
 		return nil
+	}
+	// The publish site fails the whole set before any entry is written;
+	// per-entry faults come from the ckpt.put site inside store.Put.
+	if err := failpoint.Inject("serve.publish"); err != nil {
+		return err
 	}
 	names := make([]string, 0, len(artifacts))
 	for name := range artifacts {

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/failpoint"
+)
+
+// Disk-pressure guard: a watchdog over the filesystem holding the
+// journal and cache. The journal's whole contract — never ack a job it
+// couldn't fsync — turns a silently filling disk into a hard outage, so
+// the guard degrades in two watermarks before that point:
+//
+//	soft (free < DiskSoftBytes)  trigger a cache GC sweep and force the
+//	                             brownout notch (new default-profile work
+//	                             degrades to fast, shrinking the bytes a
+//	                             job writes)
+//	hard (free < DiskHardBytes)  reject every submission with 507 (even
+//	                             would-be cache hits journal an accept
+//	                             record); /metrics, job reads and
+//	                             artifact fetches stay alive
+//
+// The free-bytes probe honors the "serve.disk.free" value failpoint, so
+// the smoke drives both watermarks deterministically on a healthy disk.
+
+// ErrDiskFull rejects submissions while free space is under the hard
+// watermark. Maps to HTTP 507 Insufficient Storage; retryable once GC
+// (or an operator) frees space.
+var ErrDiskFull = errors.New("serve: disk full")
+
+// Disk pressure levels (the serve.disk_pressure gauge).
+const (
+	diskOK   = 0
+	diskSoft = 1
+	diskHard = 2
+)
+
+// defaultDiskPoll is DiskPoll's zero-value default.
+const defaultDiskPoll = 2 * time.Second
+
+// diskGuardEnabled reports whether any watermark is configured.
+func (s *Server) diskGuardEnabled() bool {
+	return (s.cfg.DiskSoftBytes > 0 || s.cfg.DiskHardBytes > 0) && s.diskPath() != ""
+}
+
+// diskPath is the directory whose filesystem the guard watches: the
+// journal's (durability is the scarcer promise), else the cache's.
+func (s *Server) diskPath() string {
+	if s.cfg.JournalPath != "" {
+		return filepath.Dir(s.cfg.JournalPath)
+	}
+	if s.cfg.Cache != nil {
+		return s.cfg.Cache.Dir()
+	}
+	return ""
+}
+
+// diskWatch polls the watermarks until shutdown.
+func (s *Server) diskWatch() {
+	defer s.wg.Done()
+	poll := s.cfg.DiskPoll
+	if poll <= 0 {
+		poll = defaultDiskPoll
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.diskCheck()
+		}
+	}
+}
+
+// diskCheck measures free space and applies the watermarks. Also called
+// synchronously from Start (a server started on a full disk must reject
+// from its first request) and after a journal ENOSPC.
+func (s *Server) diskCheck() {
+	free, err := s.diskFreeBytes()
+	if err != nil {
+		s.cfg.Obs.Info("serve: disk probe failed", "path", s.diskPath(), "error", err)
+		return
+	}
+	s.diskFree.Store(free)
+	level := int32(diskOK)
+	switch {
+	case s.cfg.DiskHardBytes > 0 && free < s.cfg.DiskHardBytes:
+		level = diskHard
+	case s.cfg.DiskSoftBytes > 0 && free < s.cfg.DiskSoftBytes:
+		level = diskSoft
+	}
+	prev := s.diskPressure.Swap(level)
+	if level != prev {
+		s.cfg.Obs.Count(fmt.Sprintf("serve.disk_pressure_%d", level), 1)
+		s.cfg.Obs.Info("serve: disk pressure changed", "path", s.diskPath(),
+			"free_bytes", free, "level", level, "was", prev)
+	}
+	if level >= diskSoft {
+		// Reclaim what the budgeted sweep can; pinned entries stay.
+		s.maybeGC()
+	}
+}
+
+// diskFreeBytes probes free space on the guarded filesystem: the
+// "serve.disk.free" value failpoint when armed, the test hook when set,
+// else statfs.
+func (s *Server) diskFreeBytes() (int64, error) {
+	if v, ok := failpoint.Value("serve.disk.free"); ok {
+		return v, nil
+	}
+	probe := s.cfg.diskFree
+	if probe == nil {
+		probe = diskFreeBytes
+	}
+	return probe(s.diskPath())
+}

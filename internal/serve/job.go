@@ -70,6 +70,18 @@ type job struct {
 	queueWait time.Duration
 	artifacts map[string][]byte
 
+	// pushedAt is when the job entered its fair-queue lane; the overload
+	// controller reads the oldest one as the head-of-line age.
+	pushedAt time.Time
+	// deadline is the client's absolute completion deadline (zero when
+	// none was requested): created + DeadlineMS, journaled implicitly via
+	// the request's relative field.
+	deadline time.Time
+	// brownout marks a submission the overload controller degraded from
+	// the default profile to fast; surfaced in JobStatus so clients can
+	// tell a browned-out artifact from the one they asked for.
+	brownout bool
+
 	// tenantKey is the sanitized tenant label — the admission bucket,
 	// fair-queue lane and metric key this job charges against.
 	tenantKey string
@@ -126,6 +138,8 @@ type JobStatus struct {
 	Tenant      string           `json:"tenant,omitempty"`
 	Fingerprint string           `json:"fingerprint"`
 	Correlation string           `json:"correlation,omitempty"`
+	Brownout    bool             `json:"brownout,omitempty"`
+	DeadlineMS  int64            `json:"deadline_ms,omitempty"`
 	CacheHit    bool             `json:"cache_hit"`
 	DedupedOf   string           `json:"deduped_of,omitempty"`
 	Error       string           `json:"error,omitempty"`
@@ -172,6 +186,8 @@ func (j *job) statusLocked() JobStatus {
 		Profile: j.req.Profile, Tenant: j.req.Tenant,
 		Fingerprint: j.fp,
 		Correlation: j.corr,
+		Brownout:    j.brownout,
+		DeadlineMS:  j.req.DeadlineMS,
 		CacheHit:    j.cacheHit,
 		DedupedOf:   j.dedupedOf,
 		Created:     j.created,

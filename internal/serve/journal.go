@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/failpoint"
 )
 
 // The job journal is the server's write-ahead log: every accepted job is
@@ -55,6 +57,11 @@ const (
 	opAccept = "accept"
 	// opState records a lifecycle transition for an accepted job.
 	opState = "state"
+	// opBreaker records a circuit-breaker transition (open or closed) for
+	// a (unit, profile) key, so a persistently failing unit stays fenced
+	// across a restart. Last writer wins on replay; compaction keeps one
+	// record per non-closed key.
+	opBreaker = "breaker"
 )
 
 // StateInterrupted is a journal-only state: the job was observed running
@@ -81,6 +88,11 @@ type JournalRecord struct {
 	// State fields.
 	State State  `json:"state,omitempty"`
 	Cause string `json:"cause,omitempty"`
+	// Breaker fields (op "breaker"): the key ("unit|profile"), the new
+	// state name and the consecutive-failure count at the transition.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerState string `json:"breaker_state,omitempty"`
+	Fails        int    `json:"fails,omitempty"`
 }
 
 // Journal is an open append handle. Append serializes, writes and
@@ -89,6 +101,16 @@ type Journal struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+	// off is the durable length: bytes through the last fully fsynced
+	// frame. A failed write or sync rolls the file back to off so bytes
+	// of a record the caller will report as failed can never replay as
+	// an acked job.
+	off int64
+	// broken poisons the handle after a failed write whose rollback also
+	// failed: the on-disk tail is untrusted, so every further Append
+	// errors immediately (submissions surface retryable 503s) until a
+	// restart recovers and truncates the tail.
+	broken bool
 }
 
 // frameRecord renders one framed record.
@@ -171,6 +193,7 @@ func CreateJournal(path string, recs []JournalRecord) (*Journal, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: journal: %w", err)
 	}
+	var off int64
 	err := ckpt.WriteFileAtomic(path, func(w io.Writer) error {
 		for _, rec := range recs {
 			frame, err := frameRecord(rec)
@@ -180,6 +203,7 @@ func CreateJournal(path string, recs []JournalRecord) (*Journal, error) {
 			if _, err := w.Write(frame); err != nil {
 				return err
 			}
+			off += int64(len(frame))
 		}
 		return nil
 	})
@@ -191,7 +215,7 @@ func CreateJournal(path string, recs []JournalRecord) (*Journal, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: journal: %w", err)
 	}
-	return &Journal{f: f, path: path}, nil
+	return &Journal{f: f, path: path, off: off}, nil
 }
 
 // Append writes one record and fsyncs it. On return the record is
@@ -210,13 +234,58 @@ func (j *Journal) Append(rec JournalRecord) error {
 	if j.f == nil {
 		return fmt.Errorf("serve: journal: closed")
 	}
+	if j.broken {
+		return fmt.Errorf("serve: journal: disabled after unrepaired write failure")
+	}
+	if ferr := failpoint.Inject("journal.append"); ferr != nil {
+		if errors.Is(ferr, failpoint.ErrTorn) {
+			// Tear for real: persist half the frame and poison the handle
+			// — the on-disk state a crash mid-append leaves when even the
+			// rollback never ran. The next recovery truncates the tail.
+			_, _ = j.f.Write(frame[:len(frame)/2])
+			_ = j.f.Sync()
+			j.broken = true
+			return fmt.Errorf("serve: journal append: %w", ferr)
+		}
+		return j.failLocked("append", ferr)
+	}
 	if _, err := j.f.Write(frame); err != nil {
-		return fmt.Errorf("serve: journal append: %w", err)
+		return j.failLocked("append", err)
+	}
+	if ferr := failpoint.Inject("journal.sync"); ferr != nil {
+		return j.failLocked("sync", ferr)
 	}
 	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("serve: journal sync: %w", err)
+		return j.failLocked("sync", err)
 	}
+	j.off += int64(len(frame))
 	return nil
+}
+
+// failLocked rolls the file back to the last durable frame after a
+// failed write or fsync: the record being appended was (or may have
+// been) partially persisted without the fsync that acking requires, so
+// its bytes must not survive to replay as an acked job. O_APPEND writes
+// land at the current EOF, so appending continues correctly after the
+// truncate. If even the rollback fails the handle is poisoned — see
+// Journal.broken.
+func (j *Journal) failLocked(op string, err error) error {
+	if terr := j.f.Truncate(j.off); terr != nil {
+		j.broken = true
+		return fmt.Errorf("serve: journal %s: %w (rollback failed: %v; journal disabled)", op, err, terr)
+	}
+	return fmt.Errorf("serve: journal %s: %w", op, err)
+}
+
+// Broken reports whether the handle was poisoned by an unrepaired write
+// failure (false for nil).
+func (j *Journal) Broken() bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.broken
 }
 
 // Close releases the append handle.
@@ -331,6 +400,38 @@ func replayJournal(recs []JournalRecord) map[string]*replayedJob {
 		}
 	}
 	return jobs
+}
+
+// replayBreakers folds breaker records into the per-key last-writer-wins
+// state, dropping keys whose final state is closed.
+func replayBreakers(recs []JournalRecord) map[string]JournalRecord {
+	out := make(map[string]JournalRecord)
+	for _, rec := range recs {
+		if rec.Op != opBreaker || rec.Breaker == "" {
+			continue
+		}
+		if rec.BreakerState == BreakerClosed {
+			delete(out, rec.Breaker)
+			continue
+		}
+		out[rec.Breaker] = rec
+	}
+	return out
+}
+
+// compactBreakers renders one record per surviving (non-closed) breaker
+// key, in key order.
+func compactBreakers(breakers map[string]JournalRecord) []JournalRecord {
+	keys := make([]string, 0, len(breakers))
+	for k := range breakers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]JournalRecord, 0, len(keys))
+	for _, k := range keys {
+		recs = append(recs, breakers[k])
+	}
+	return recs
 }
 
 // compactRecords renders the minimal journal for a replayed table: one

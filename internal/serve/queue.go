@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/ckpt"
@@ -85,10 +87,35 @@ type Config struct {
 	// clients can distinguish a quiet job from a dead connection. Zero
 	// means the 15s default; negative disables keepalives.
 	EventKeepalive time.Duration
+	// ShedTarget enables the adaptive overload controller: when the
+	// standing queue delay (windowed minimum of measured waits, or the
+	// head-of-line age) exceeds it, new default-profile submissions are
+	// browned out to the fast profile; past twice the target, fresh
+	// computations are shed with 503 and a drain-rate Retry-After. Zero
+	// disables both notches (the honest Retry-After for a full queue
+	// still works).
+	ShedTarget time.Duration
+	// BreakerThreshold enables the per-(unit, profile) circuit breaker:
+	// that many consecutive non-deadline failures open the circuit and
+	// fast-fail fresh submissions for the unit until a post-cooldown
+	// probe succeeds. Zero disables it. BreakerCooldown is the open
+	// period before a probe is admitted (0 = 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// DiskSoftBytes and DiskHardBytes are the disk-pressure watermarks
+	// on the journal/cache filesystem: below soft, the server sweeps the
+	// cache and forces the brownout notch; below hard, submissions are
+	// rejected with 507 while reads and /metrics stay alive. Zero
+	// disables a watermark. DiskPoll is the probe interval (0 = 2s).
+	DiskSoftBytes int64
+	DiskHardBytes int64
+	DiskPoll      time.Duration
 	// runner overrides the pipeline runner. Test-only (unexported): it
 	// must be in place before the worker pool starts, because recovery
 	// can hand workers jobs before NewServer returns.
 	runner func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
+	// diskFree overrides the free-space probe. Test-only (unexported).
+	diskFree func(path string) (int64, error)
 }
 
 // ErrQueueFull rejects a submission when the pending queue is at
@@ -111,6 +138,11 @@ var ErrNotReady = errors.New("serve: server not ready")
 // shutdown.
 var errShutdown = errors.New("server shutting down")
 
+// errDeadline is the cause recorded on jobs shed because their client
+// deadline passed while they were still queued (or before recovery
+// could requeue them): canceled without consuming a worker.
+var errDeadline = errors.New("deadline expired before the job ran")
+
 // stateNone tells completeLocked to journal nothing for this
 // transition: used for queued jobs at shutdown (they stay queued in the
 // journal, which is exactly what makes the queue durable) and for
@@ -129,10 +161,18 @@ type Server struct {
 	adm     *admission
 	journal *Journal
 	slo     *sloTracker
-	ctx     context.Context // canceled by Close; parent of every job ctx
-	stop    context.CancelFunc
-	wg      sync.WaitGroup
-	runner  func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
+	ovl     *overloadController
+	brk     *breakerSet
+
+	// diskFree (bytes; -1 before the first probe) and diskPressure
+	// (diskOK/diskSoft/diskHard) are the disk watchdog's outputs, read
+	// on every submission and at scrape.
+	diskFree     atomic.Int64
+	diskPressure atomic.Int32
+	ctx          context.Context // canceled by Close; parent of every job ctx
+	stop         context.CancelFunc
+	wg           sync.WaitGroup
+	runner       func(ctx context.Context, req Request, inner int, ob *obs.Observer) (map[string][]byte, error)
 
 	// ready flips true once Start has recovered the journal and opened
 	// the worker pool; /readyz and Submit gate on it. started guards
@@ -178,11 +218,14 @@ func New(cfg Config) *Server {
 		}),
 		adm:      newAdmission(cfg.TenantRate, cfg.TenantBurst, cfg.TenantInflight),
 		slo:      newSLOTracker(cfg.SLOs),
+		ovl:      newOverloadController(cfg.ShedTarget),
+		brk:      newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		ctx:      ctx,
 		stop:     stop,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*job),
 	}
+	s.diskFree.Store(-1)
 	s.runner = s.runPipeline
 	if cfg.runner != nil {
 		s.runner = cfg.runner
@@ -217,6 +260,13 @@ func (s *Server) Start() error {
 		}()
 	}
 	s.maybeGC()
+	if s.diskGuardEnabled() {
+		// Probe once before readiness — a server started under the hard
+		// watermark must reject from its first submission — then watch.
+		s.diskCheck()
+		s.wg.Add(1)
+		go s.diskWatch()
+	}
 	s.ready.Store(true)
 	s.cfg.Obs.Info("serve: pool started", "jobs", s.fan, "workers_per_job", s.inner,
 		"queue", s.cfg.QueueDepth, "journal", s.cfg.JournalPath, "recovered", s.recovered)
@@ -263,11 +313,18 @@ func (s *Server) recoverJournal(path string) error {
 		s.cfg.Obs.Info("serve: truncating torn journal tail", "bytes", torn)
 	}
 	replayed := replayJournal(recs)
+	breakers := replayBreakers(recs)
 	// Compact first: the rewrite both truncates any torn tail and bounds
-	// the file before fresh records append behind it.
-	s.journal, err = CreateJournal(path, compactRecords(replayed))
+	// the file before fresh records append behind it. Non-closed breaker
+	// states ride the compacted journal, one record per key.
+	s.journal, err = CreateJournal(path, append(compactRecords(replayed), compactBreakers(breakers)...))
 	if err != nil {
 		return err
+	}
+	for key, rec := range breakers {
+		// A persistently failing unit stays fenced across the restart; the
+		// cooldown counts from the journaled transition time.
+		s.brk.restore(key, rec.BreakerState, rec.Fails, rec.Time)
 	}
 	ids := make([]string, 0, len(replayed))
 	for id := range replayed {
@@ -290,6 +347,11 @@ func (s *Server) recoverJournal(path string) error {
 			recovered: true,
 			update:    make(chan struct{}),
 			metrics:   obs.NewMetrics(), trace: obs.NewTrace(),
+		}
+		if r.accept.Req.DeadlineMS > 0 {
+			// The deadline is anchored to the original acceptance, not the
+			// restart: the client's clock kept running through the outage.
+			j.deadline = r.accept.Time.Add(time.Duration(r.accept.Req.DeadlineMS) * time.Millisecond)
 		}
 		// The correlation ID survives the crash with the accept record:
 		// a job's second life traces under the same ID as its first.
@@ -339,6 +401,14 @@ func (s *Server) requeueRecoveredLocked(j *job) {
 		s.cfg.Obs.Count("serve.cache_hits", 1)
 		j.eventLocked("cache_hit", "published before crash; completed from cache")
 		s.completeLocked(j, StateDone, nil, StateDone)
+		return
+	}
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		// The outage outlived the client's deadline: requeueing would run
+		// a job nobody is waiting for.
+		s.cfg.Obs.Count("serve.deadline_shed", 1)
+		j.eventLocked("deadline", "deadline expired before recovery; shed")
+		s.completeLocked(j, StateCanceled, errDeadline, StateCanceled)
 		return
 	}
 	s.recovered++
@@ -411,9 +481,26 @@ func (s *Server) SubmitCorr(req Request, corr string) (JobStatus, error) {
 	if !s.ready.Load() {
 		return JobStatus{}, ErrNotReady
 	}
+	// Hard disk pressure rejects every submission — even a would-be
+	// cache hit journals an accept record — while reads, artifact
+	// fetches and /metrics stay alive.
+	if s.diskPressure.Load() >= diskHard {
+		s.cfg.Obs.Count("serve.disk_rejected", 1)
+		return JobStatus{}, fmt.Errorf("%w (%d bytes free on %s)", ErrDiskFull, s.diskFree.Load(), s.diskPath())
+	}
+	// Brownout: one notch before shedding (or under soft disk pressure),
+	// new default-profile work degrades to the fast profile unless the
+	// client opted out. Applied before identity resolution, so the
+	// browned-out job dedupes and caches as a genuine fast-profile run.
+	level := s.overloadLevel()
+	brownout := false
+	if level >= levelBrownout && !req.NoBrownout && effectiveProfile(req.Profile) == "default" {
+		req.Profile = "fast"
+		brownout = true
+	}
 	unit, fp, dedupe, err := req.identity()
 	if err != nil {
-		return JobStatus{}, err
+		return JobStatus{}, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 	corr = obs.SanitizeLabelValue(corr)
 	tenant := sanitizeTenant(req.Tenant)
@@ -441,10 +528,19 @@ func (s *Server) SubmitCorr(req Request, corr string) (JobStatus, error) {
 		update:  make(chan struct{}),
 		metrics: obs.NewMetrics(), trace: obs.NewTrace(),
 	}
+	if req.DeadlineMS > 0 {
+		j.deadline = j.created.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
 	j.trace.SetCorrelation(corr)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	j.eventLocked("queued", "fingerprint "+fp)
+	if brownout {
+		j.brownout = true
+		j.metrics.Add("serve.brownout", 1)
+		s.cfg.Obs.Count("serve.brownout", 1)
+		j.eventLocked("brownout", "default profile degraded to fast under overload")
+	}
 	s.cfg.Obs.Count("serve.jobs_submitted", 1)
 	if tenant != "" {
 		s.cfg.Obs.Count("serve.tenant."+tenant+".jobs", 1)
@@ -474,8 +570,32 @@ func (s *Server) SubmitCorr(req Request, corr string) (JobStatus, error) {
 		s.forgetLocked(j)
 		return JobStatus{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, s.cfg.QueueDepth)
 	}
+	// Adaptive shedding and the circuit breaker gate only fresh leaders:
+	// cache hits cost no computation and a follower rides one already
+	// admitted, so rejecting either would refuse nearly free work.
+	brkKey := ""
+	if !hasLeader {
+		if level >= levelShed {
+			s.cfg.Obs.Count("serve.shed", 1)
+			s.forgetLocked(j)
+			return JobStatus{}, fmt.Errorf("%w (standing queue delay over %s)", ErrShed, 2*s.cfg.ShedTarget)
+		}
+		if s.brk.enabled() {
+			brkKey = breakerKeyOf(unit, req.Profile)
+			if ra, ok := s.brk.allow(brkKey); !ok {
+				s.cfg.Obs.Count("serve.breaker_rejected", 1)
+				s.forgetLocked(j)
+				return JobStatus{}, &BreakerOpenError{
+					Unit: unit, Profile: effectiveProfile(req.Profile), RetryAfter: ra,
+				}
+			}
+		}
+	}
 	if lerr := s.adm.acquire(tenant, false); lerr != nil {
 		s.cfg.Obs.Count("serve.tenant_rejected", 1)
+		if brkKey != "" {
+			s.brk.cancelProbe(brkKey)
+		}
 		s.forgetLocked(j)
 		return JobStatus{}, lerr
 	}
@@ -483,6 +603,9 @@ func (s *Server) SubmitCorr(req Request, corr string) (JobStatus, error) {
 	if err := s.journalAcceptLocked(j); err != nil {
 		s.adm.release(tenant)
 		j.admitted = false
+		if brkKey != "" {
+			s.brk.cancelProbe(brkKey)
+		}
 		s.forgetLocked(j)
 		return JobStatus{}, err
 	}
@@ -498,11 +621,40 @@ func (s *Server) SubmitCorr(req Request, corr string) (JobStatus, error) {
 	// Cannot fail: capacity was verified above and every push runs under
 	// s.mu, so no competing push can steal the slot (pop only shrinks).
 	if err := s.queue.push(j, true); err != nil {
+		if brkKey != "" {
+			s.brk.cancelProbe(brkKey)
+		}
 		s.completeLocked(j, StateFailed, err, StateFailed)
 		delete(s.inflight, j.dedupe)
 		return JobStatus{}, err
 	}
 	return j.statusLocked(), nil
+}
+
+// overloadLevel is the combined degradation notch: the adaptive
+// controller's verdict on standing queue delay, floored at brownout
+// while the disk is under the soft watermark (less written per job is
+// exactly what a filling disk needs).
+func (s *Server) overloadLevel() int {
+	level := levelHealthy
+	if s.ovl != nil {
+		var headAge time.Duration
+		if at, ok := s.queue.oldest(); ok {
+			headAge = time.Since(at)
+		}
+		level = s.ovl.level(headAge)
+	}
+	if s.diskPressure.Load() >= diskSoft && level < levelBrownout {
+		level = levelBrownout
+	}
+	return level
+}
+
+// retryAfterHint estimates the Retry-After seconds for a shed or
+// queue-full rejection from the current backlog and the drain-rate
+// EWMA.
+func (s *Server) retryAfterHint() int {
+	return s.ovl.retryAfter(s.queue.pending(), s.fan)
 }
 
 // forgetLocked erases a job that was never acknowledged: the client got
@@ -528,9 +680,48 @@ func (s *Server) journalAcceptLocked(j *job) error {
 	})
 	if err != nil {
 		s.cfg.Obs.Count("serve.journal_errors", 1)
+		if errors.Is(err, syscall.ENOSPC) {
+			// The disk just proved fuller than the last poll saw: re-probe
+			// the watermarks (and sweep) without waiting for the ticker.
+			// Async — diskCheck takes s.mu via the GC pin snapshot.
+			if s.diskGuardEnabled() {
+				go s.diskCheck()
+			} else {
+				go s.maybeGC()
+			}
+		}
 		return fmt.Errorf("%w: %v", ErrJournal, err)
 	}
 	return nil
+}
+
+// breakerResultLocked feeds one completed run's verdict to the breaker
+// and, when the key's journaled state changed, counts, logs and
+// persists the transition. Caller holds the mutex.
+func (s *Server) breakerResultLocked(key string, success bool) {
+	state, fails, changed := s.brk.onResult(key, success)
+	if !changed {
+		return
+	}
+	unit, profile, _ := strings.Cut(key, "|")
+	s.cfg.Obs.Count("serve.breaker_"+state, 1)
+	s.cfg.Obs.Info("serve: breaker "+state, "unit", unit, "profile", profile, "fails", fails)
+	s.journalBreakerLocked(key, state, fails)
+}
+
+// journalBreakerLocked appends a breaker transition. Best effort, like
+// state transitions: the in-memory breaker is already correct, and a
+// logging failure must not fail the job that tripped it.
+func (s *Server) journalBreakerLocked(key, state string, fails int) {
+	if s.journal == nil {
+		return
+	}
+	rec := JournalRecord{Op: opBreaker, Time: time.Now(),
+		Breaker: key, BreakerState: state, Fails: fails}
+	if err := s.journal.Append(rec); err != nil {
+		s.cfg.Obs.Count("serve.journal_errors", 1)
+		s.cfg.Obs.Info("serve: journal breaker append failed", "key", key, "state", state, "error", err)
+	}
 }
 
 // journalStateLocked appends a state transition. Transition records are
@@ -625,15 +816,40 @@ func (s *Server) execute(j *job) {
 		s.mu.Unlock()
 		return
 	}
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		// The client's deadline passed while the job sat in the queue:
+		// running it now would burn a worker on an answer nobody is
+		// waiting for. Shed it as canceled; followers (which may carry
+		// laxer deadlines) promote and recompute.
+		s.cfg.Obs.Count("serve.deadline_shed", 1)
+		j.eventLocked("deadline", "deadline expired while queued; shed without running")
+		s.completeLocked(j, StateCanceled, errDeadline, StateCanceled)
+		if s.inflight[j.dedupe] == j {
+			s.promoteLocked(j)
+		}
+		s.mu.Unlock()
+		return
+	}
 	j.state = StateRunning
 	j.started = time.Now()
 	j.queueWait = j.started.Sub(j.created)
 	j.metrics.Observe("serve.queue_wait", j.queueWait)
+	s.ovl.observeDelay(time.Since(j.pushedAt))
 	if s.cfg.Metrics {
 		s.fleetMetrics().ObserveHistDur(obs.Series("serve.queue_wait",
 			obs.Label{Key: "tenant", Value: j.tenantKey}), j.queueWait)
 	}
-	ctx, cancel := context.WithCancel(s.ctx)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.deadline.IsZero() {
+		ctx, cancel = context.WithCancel(s.ctx)
+	} else {
+		// The remaining client deadline bounds the whole run: supervise's
+		// per-attempt timeout still applies inside it, and expiry surfaces
+		// as context.DeadlineExceeded → the job fails (HTTP 504 for a
+		// synchronous wait; "failed" with the cause for pollers).
+		ctx, cancel = context.WithDeadline(s.ctx, j.deadline)
+	}
 	j.cancel = cancel
 	ob := &obs.Observer{Trace: j.trace, Metrics: j.metrics, Log: s.logger()}
 	j.eventLocked("running", "")
@@ -646,6 +862,11 @@ func (s *Server) execute(j *job) {
 	s.cfg.Obs.Info("serve: job running", "job", j.id, "corr", j.corr,
 		"tenant", j.tenantKey, "chip", req.Chip, "fp", j.fp)
 	artifacts, err := s.runner(ctx, req, s.inner, ob)
+	if s.ctx.Err() == nil {
+		// Feed the drain-rate EWMA with how long the worker was occupied
+		// (shutdown truncates runs and would skew the estimate low).
+		s.ovl.observeService(time.Since(j.started))
+	}
 
 	published := false
 	if err == nil {
@@ -665,8 +886,10 @@ func (s *Server) execute(j *job) {
 	if s.inflight[j.dedupe] == j {
 		delete(s.inflight, j.dedupe)
 	}
+	brkKey := breakerKeyOf(j.unit, req.Profile)
 	switch {
 	case err == nil:
+		s.breakerResultLocked(brkKey, true)
 		j.artifacts = artifacts
 		s.completeLocked(j, StateDone, nil, StateDone)
 		for _, f := range j.followers {
@@ -686,16 +909,25 @@ func (s *Server) execute(j *job) {
 		// its merits, so the next life resubmits it (supervise reports
 		// the same taxonomy via Status.Interrupted). Followers get no
 		// record: they replay as queued and re-attach on recovery.
+		s.brk.cancelProbe(brkKey)
 		s.completeLocked(j, StateCanceled, errShutdown, StateInterrupted)
 		for _, f := range j.followers {
 			s.completeLocked(f, StateCanceled, errShutdown, stateNone)
 		}
 	case j.cancelRequested:
+		s.brk.cancelProbe(brkKey)
 		s.completeLocked(j, StateCanceled, errors.New("canceled by client"), StateCanceled)
 		// The followers did not ask to be canceled: the first live one
 		// becomes the new leader and recomputes.
 		s.promoteLocked(j)
 	default:
+		if !j.deadline.IsZero() && errors.Is(err, context.DeadlineExceeded) {
+			// A client's too-tight deadline says nothing about the unit's
+			// health; don't charge the breaker for it.
+			s.brk.cancelProbe(brkKey)
+		} else {
+			s.breakerResultLocked(brkKey, false)
+		}
 		s.completeLocked(j, StateFailed, err, StateFailed)
 		// The computation is deterministic, so an identical submission
 		// fails identically: propagate rather than recompute.
@@ -978,6 +1210,16 @@ func (s *Server) MetricsSnapshot() *obs.Snapshot {
 	for tenant, n := range perTenant {
 		snap.Gauges[obs.Series("serve.inflight",
 			obs.Label{Key: "tenant", Value: tenant})] = float64(n)
+	}
+	snap.Gauges["serve.shed_level"] = float64(s.overloadLevel())
+	if free := s.diskFree.Load(); free >= 0 {
+		snap.Gauges["serve.disk_free_bytes"] = float64(free)
+		snap.Gauges["serve.disk_pressure"] = float64(s.diskPressure.Load())
+	}
+	for _, b := range s.brk.snapshot() {
+		snap.Gauges[obs.Series("serve.breaker_state",
+			obs.Label{Key: "unit", Value: b.Unit},
+			obs.Label{Key: "profile", Value: b.Profile})] = float64(breakerStateNum(b.State))
 	}
 	s.slo.gauges(snap.Gauges)
 	return snap

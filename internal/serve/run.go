@@ -11,6 +11,7 @@ import (
 	"repro/internal/chipgen"
 	"repro/internal/chips"
 	"repro/internal/core"
+	"repro/internal/failpoint"
 	"repro/internal/fault"
 	"repro/internal/gds"
 	"repro/internal/img"
@@ -51,6 +52,18 @@ type Request struct {
 	// (FaultSeed selects the draw; 0 means seed 1), like extract -faults.
 	Faults    bool  `json:"faults,omitempty"`
 	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// DeadlineMS, when positive, is the client's completion deadline in
+	// milliseconds from acceptance. It is not a result-affecting option —
+	// it never enters the fingerprint or the dedupe key — but it rides
+	// the journaled request, so a recovered job keeps its deadline. A job
+	// still queued past its deadline is shed as canceled without
+	// consuming a worker; a running one has its context expire
+	// (HTTP 504).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// NoBrownout opts this submission out of overload brownout: under
+	// pressure the server degrades default-profile submissions to the
+	// fast profile unless this is set.
+	NoBrownout bool `json:"no_brownout,omitempty"`
 }
 
 // Artifact names every completed job serves; views jobs add one
@@ -73,6 +86,9 @@ func (r Request) resolve() (*chips.Chip, core.Options, string, error) {
 	}
 	if r.Units < 0 || r.VoxelNM < 0 || r.DwellUS < 0 || r.Pyramid < 0 {
 		return nil, core.Options{}, "", fmt.Errorf("negative option override")
+	}
+	if r.DeadlineMS < 0 {
+		return nil, core.Options{}, "", fmt.Errorf("negative deadline_ms")
 	}
 	var o core.Options
 	switch r.Profile {
@@ -247,6 +263,13 @@ func (s *Server) runPipeline(ctx context.Context, req Request, inner int, ob *ob
 	var res *core.Result
 	var dres *core.DieResult
 	_, err = supervise.Run(ctx, []string{chip.ID}, func(ctx context.Context, _ int) error {
+		// Per-unit poisoning: a "serve.run.<chip>=error" failpoint makes
+		// exactly this unit fail deterministically (not retryable — a
+		// deterministic pipeline error), which is how the breaker smoke
+		// opens a circuit on one chip without touching the others.
+		if ferr := failpoint.Inject("serve.run." + chip.ID); ferr != nil {
+			return ferr
+		}
 		if req.Die {
 			d, err := core.RunOnDieCtx(ctx, chip, o)
 			if err != nil {

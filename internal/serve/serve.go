@@ -165,6 +165,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+// deadlineHeader carries a client job deadline in milliseconds as an
+// alternative to the request body's deadline_ms field; the body wins
+// when both are set.
+const deadlineHeader = "X-Job-Deadline-Ms"
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -173,8 +178,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	if h := r.Header.Get(deadlineHeader); h != "" && req.DeadlineMS == 0 {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s header %q", deadlineHeader, h))
+			return
+		}
+		req.DeadlineMS = ms
+	}
 	st, err := s.SubmitCorr(req, RequestID(r))
 	var limit *TenantLimitError
+	var open *BreakerOpenError
 	switch {
 	case errors.As(err, &limit):
 		// Per-tenant limit: 429, distinct from the global 503 — only
@@ -182,19 +196,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", strconv.Itoa(limit.RetryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 		return
+	case errors.As(err, &open):
+		// Circuit open for this (unit, profile): other units are fine,
+		// but retrying this one before the cooldown is pointless.
+		w.Header().Set("Retry-After", strconv.Itoa(open.RetryAfterSeconds()))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
 	case errors.Is(err, ErrNotReady):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShed):
+		// The honest hint: backlog over drain rate, not a constant.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterHint()))
 		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrDiskFull):
+		// 507: not the client's fault and not load — space. Retry once
+		// GC (or an operator) has freed some.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterFallback))
+		writeError(w, http.StatusInsufficientStorage, err)
 		return
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrJournal):
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
-	case err != nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+		return
+	case errors.Is(err, ErrBadRequest):
 		writeError(w, http.StatusBadRequest, err)
+		return
+	case err != nil:
+		// Unknown failure: the server's fault until classified. 500, not
+		// a blanket 400/503 — clients must not be told to fix a request
+		// that was fine or retry an error that isn't transient.
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	// A cache hit is complete at submit time; report it as 200 rather

@@ -263,6 +263,7 @@ func (q *fairQueue) push(j *job, force bool) error {
 	if len(q.lanes[lane]) == 0 {
 		q.ring = append(q.ring, lane)
 	}
+	j.pushedAt = time.Now()
 	q.lanes[lane] = append(q.lanes[lane], j)
 	q.size++
 	q.cond.Signal()
@@ -331,6 +332,27 @@ func (q *fairQueue) pending() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.size
+}
+
+// oldest returns the enqueue time of the longest-waiting pending job
+// (ok=false when empty) — the head-of-line age the overload controller
+// folds in, so a stalled pool registers as standing delay even while
+// nothing is being popped. Lanes are FIFO, so only heads need checking.
+func (q *fairQueue) oldest() (time.Time, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var at time.Time
+	found := false
+	for _, jobs := range q.lanes {
+		if len(jobs) == 0 {
+			continue
+		}
+		if !found || jobs[0].pushedAt.Before(at) {
+			at = jobs[0].pushedAt
+			found = true
+		}
+	}
+	return at, found
 }
 
 // full reports whether a non-forced push would be rejected right now.

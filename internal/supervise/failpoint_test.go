@@ -1,0 +1,65 @@
+package supervise
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+)
+
+// TestAttemptFailpointRetried proves the "supervise.attempt" site marks
+// injected faults retryable: with times=2 and Retries=2 every unit
+// eventually succeeds, and the fn only observes the post-fault attempts.
+func TestAttemptFailpointRetried(t *testing.T) {
+	defer failpoint.Disable()
+	if err := failpoint.Enable("supervise.attempt=error(injected flake):times=2", 1); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	var ran atomic.Int32
+	sts, err := Run(context.Background(), []string{"a", "b"}, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	}, Options{Backoff: time.Microsecond, Workers: 1, Retries: 2})
+	if err != nil {
+		t.Fatalf("campaign failed despite retry budget: %v", err)
+	}
+	// Two injected faults are spread across the first attempts; the
+	// total attempt count is units + injected faults.
+	var attempts int
+	for _, st := range sts {
+		if st.Err != nil {
+			t.Fatalf("unit %s: %v", st.Name, st.Err)
+		}
+		attempts += st.Attempts
+	}
+	if attempts != 4 {
+		t.Fatalf("total attempts = %d, want 4 (2 units + 2 injected flakes)", attempts)
+	}
+	if got := ran.Load(); got != 2 {
+		t.Fatalf("fn ran %d times, want 2 (injected faults fire before fn)", got)
+	}
+}
+
+// TestAttemptFailpointExhaustsRetries proves a persistent injected fault
+// consumes the whole retry budget and surfaces as the campaign error.
+func TestAttemptFailpointExhaustsRetries(t *testing.T) {
+	defer failpoint.Disable()
+	if err := failpoint.Enable("supervise.attempt=error(injected outage)", 1); err != nil {
+		t.Fatalf("enable: %v", err)
+	}
+	sts, err := Run(context.Background(), []string{"a"}, func(ctx context.Context, i int) error {
+		t.Error("fn ran despite a persistent attempt fault")
+		return nil
+	}, Options{Backoff: time.Microsecond, Workers: 1, Retries: 1})
+	if err == nil {
+		t.Fatal("campaign succeeded under a persistent fault")
+	}
+	if sts[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (initial + 1 retry)", sts[0].Attempts)
+	}
+	if hits := failpoint.Hits("supervise.attempt"); hits != 2 {
+		t.Fatalf("failpoint hits = %d, want 2", hits)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -215,6 +216,13 @@ func attempt(ctx context.Context, i int, fn func(ctx context.Context, i int) err
 			err = &par.PanicError{Index: i, Value: r, Stack: string(debug.Stack())}
 		}
 	}()
+	// Injected attempt failures are transient by definition: they
+	// exercise the retry/backoff loop deterministically. A panic-kind
+	// failpoint lands in the recover above and stays terminal, matching
+	// the real taxonomy.
+	if ferr := failpoint.Inject("supervise.attempt"); ferr != nil {
+		return MarkRetryable(ferr)
+	}
 	err = fn(actx, i)
 	// A deterministic pipeline surfaces a blown deadline as whatever
 	// stage error wrapped ctx.Err(); normalize so the caller's taxonomy

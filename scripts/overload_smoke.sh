@@ -1,0 +1,190 @@
+#!/bin/sh
+# overload-smoke: end-to-end validation of the service's overload
+# resilience (make overload-smoke). Every round drives a real server
+# over real HTTP into a distinct degraded regime using deterministic
+# failpoints, and asserts the documented client-visible contract:
+#
+#  1. Shed round: with -shed-target tiny and the worker wedged by a
+#     delay failpoint, a fresh submission is shed with 503 and an
+#     honest drain-rate Retry-After; a queued job whose deadline lapses
+#     is canceled with a deadline cause without consuming the worker;
+#     `top -once` renders the SHEDDING state and `metricscheck
+#     -require` proves the overload gauges are exported.
+#  2. Brownout round: soft disk pressure (disk-free failpoint between
+#     the watermarks) degrades a default-profile submission to the fast
+#     profile with the brownout flag set in JobStatus, while an
+#     explicit no_brownout opt-out runs unmodified.
+#  3. Disk-full round: free space pinned below the hard watermark
+#     rejects submissions with 507 + Retry-After while /metrics and
+#     /readyz stay alive.
+#  4. Breaker round: a per-chip error failpoint fails enough runs to
+#     trip the (chip,profile) circuit; the next submission fast-fails
+#     503 with Retry-After, other chips are not fenced, and `top -once`
+#     shows the open circuit.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d /tmp/hifidram-overload-smoke.XXXXXX)
+SERVER_PID=
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+BIN="$WORK/hifidram"
+ADDR="127.0.0.1:18752"
+BASE="http://$ADDR"
+
+$GO build -o "$BIN" ./cmd/hifidram
+
+wait_up() {
+    up_n=0
+    until curl -fsS "$BASE/readyz" > /dev/null 2>&1; do
+        up_n=$((up_n + 1))
+        [ $up_n -gt 100 ] && { echo "server never came up"; tail -20 "$WORK/server.log"; exit 1; }
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "server died on startup"; tail -20 "$WORK/server.log"; exit 1; }
+        sleep 0.1
+    done
+}
+
+stop_server() {
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+    SERVER_PID=
+}
+
+# submit BODY OUTFILE [HEADER] -> http code
+submit() {
+    if [ -n "${3:-}" ]; then
+        curl -sS -o "$2" -w '%{http_code}' -H "$3" -X POST -d "$1" "$BASE/v1/jobs"
+    else
+        curl -sS -o "$2" -w '%{http_code}' -X POST -d "$1" "$BASE/v1/jobs"
+    fi
+}
+
+job_id() {
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$1" | head -1
+}
+
+# wait_state JOB STATE POLLS
+wait_state() {
+    ws_n=0
+    while :; do
+        curl -fsS "$BASE/v1/jobs/$1" > "$WORK/status.json"
+        STATE=$(sed -n 's/.*"state": "\([^"]*\)".*/\1/p' "$WORK/status.json" | head -1)
+        [ "$STATE" = "$2" ] && return 0
+        case "$STATE" in
+        done | failed | canceled)
+            echo "job $1 ended $STATE, want $2:"; cat "$WORK/status.json"; exit 1 ;;
+        esac
+        ws_n=$((ws_n + 1))
+        [ $ws_n -gt "$3" ] && { echo "job $1 stuck in $STATE, want $2"; exit 1; }
+        sleep 0.5
+    done
+}
+
+echo "overload-smoke: round 1 — shed + deadline under a wedged worker"
+"$BIN" serve -cache-dir "$WORK/cache1" -jobs 1 -shed-target 50ms \
+    -failpoints 'serve.run.B4=delay(4s)' "$ADDR" 2> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+CODE=$(submit '{"chip":"B4","profile":"fast"}' "$WORK/s1.json")
+[ "$CODE" = "202" ] || { echo "submit 1 returned $CODE, want 202:"; cat "$WORK/s1.json"; exit 1; }
+S1=$(job_id "$WORK/s1.json")
+CODE=$(submit '{"chip":"B4","profile":"fast","voxel_nm":12,"deadline_ms":500}' "$WORK/s2.json")
+[ "$CODE" = "202" ] || { echo "submit 2 returned $CODE, want 202:"; cat "$WORK/s2.json"; exit 1; }
+S2=$(job_id "$WORK/s2.json")
+grep -q '"deadline_ms": 500' "$WORK/s2.json" || { echo "deadline not in JobStatus:"; cat "$WORK/s2.json"; exit 1; }
+# Let the queued job age past 2x the shed target, then a fresh leader
+# must bounce with an honest Retry-After.
+sleep 1
+CODE=$(curl -sS -D "$WORK/s3.hdr" -o "$WORK/s3.json" -w '%{http_code}' -X POST \
+    -d '{"chip":"B4","profile":"fast","voxel_nm":16}' "$BASE/v1/jobs")
+[ "$CODE" = "503" ] || { echo "shed submit returned $CODE, want 503:"; cat "$WORK/s3.json"; exit 1; }
+grep -qi '^retry-after:' "$WORK/s3.hdr" || { echo "shed 503 lacks Retry-After:"; cat "$WORK/s3.hdr"; exit 1; }
+
+echo "overload-smoke: overload gauges + top view under shed"
+"$BIN" metricscheck -require 'serve_shed_level,serve_shed_total,serve_ready' "$BASE/metrics"
+"$BIN" top -once "$ADDR" > "$WORK/top1.txt"
+grep -q 'SHEDDING' "$WORK/top1.txt" || { echo "top does not show SHEDDING:"; cat "$WORK/top1.txt"; exit 1; }
+
+# The queued job's 500ms deadline lapsed while it waited; when the
+# worker frees it must be shed as canceled(deadline), never run.
+wait_state "$S2" canceled 60
+grep -q 'deadline' "$WORK/status.json" || { echo "canceled without deadline cause:"; cat "$WORK/status.json"; exit 1; }
+"$BIN" metricscheck -require 'serve_deadline_shed_total' "$BASE/metrics"
+wait_state "$S1" done 120
+stop_server
+
+echo "overload-smoke: round 2 — brownout under soft disk pressure"
+"$BIN" serve -cache-dir "$WORK/cache2" -journal "$WORK/j2.journal" -jobs 1 \
+    -disk-soft 1000000 -disk-hard 1000 \
+    -failpoints 'serve.disk.free=value(500000)' "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+# Wait for the watchdog to register soft pressure.
+bp_n=0
+until curl -fsS "$BASE/metrics" | grep -q '^serve_disk_pressure 1'; do
+    bp_n=$((bp_n + 1))
+    [ $bp_n -gt 50 ] && { echo "soft disk pressure never registered"; curl -fsS "$BASE/metrics" | grep disk; exit 1; }
+    sleep 0.2
+done
+CODE=$(submit '{"chip":"B4"}' "$WORK/b1.json")
+case "$CODE" in 200 | 202) ;; *) echo "brownout submit returned $CODE:"; cat "$WORK/b1.json"; exit 1 ;; esac
+grep -q '"brownout": true' "$WORK/b1.json" || { echo "submission not browned out:"; cat "$WORK/b1.json"; exit 1; }
+grep -q '"profile": "fast"' "$WORK/b1.json" || { echo "brownout did not degrade profile:"; cat "$WORK/b1.json"; exit 1; }
+B1=$(job_id "$WORK/b1.json")
+wait_state "$B1" done 240
+CODE=$(submit '{"chip":"B4","no_brownout":true}' "$WORK/b2.json")
+case "$CODE" in 200 | 202) ;; *) echo "opt-out submit returned $CODE:"; cat "$WORK/b2.json"; exit 1 ;; esac
+grep -q '"brownout": true' "$WORK/b2.json" && { echo "no_brownout ignored:"; cat "$WORK/b2.json"; exit 1; }
+"$BIN" metricscheck -require 'serve_brownout_total,serve_disk_free_bytes,serve_disk_pressure' "$BASE/metrics"
+stop_server
+
+echo "overload-smoke: round 3 — hard disk watermark rejects with 507, reads stay alive"
+"$BIN" serve -cache-dir "$WORK/cache3" -journal "$WORK/j3.journal" -jobs 1 \
+    -disk-soft 1000000 -disk-hard 100000 \
+    -failpoints 'serve.disk.free=value(50000)' "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+hp_n=0
+until curl -fsS "$BASE/metrics" | grep -q '^serve_disk_pressure 2'; do
+    hp_n=$((hp_n + 1))
+    [ $hp_n -gt 50 ] && { echo "hard disk pressure never registered"; exit 1; }
+    sleep 0.2
+done
+CODE=$(curl -sS -D "$WORK/d1.hdr" -o "$WORK/d1.json" -w '%{http_code}' -X POST \
+    -d '{"chip":"B4","profile":"fast"}' "$BASE/v1/jobs")
+[ "$CODE" = "507" ] || { echo "full-disk submit returned $CODE, want 507:"; cat "$WORK/d1.json"; exit 1; }
+grep -qi '^retry-after:' "$WORK/d1.hdr" || { echo "507 lacks Retry-After:"; cat "$WORK/d1.hdr"; exit 1; }
+curl -fsS "$BASE/metrics" > /dev/null || { echo "/metrics down under hard pressure"; exit 1; }
+curl -fsS "$BASE/v1/jobs" > /dev/null || { echo "job list down under hard pressure"; exit 1; }
+"$BIN" top -once "$ADDR" > "$WORK/top3.txt"
+grep -q 'pressure HARD' "$WORK/top3.txt" || { echo "top does not show hard pressure:"; cat "$WORK/top3.txt"; exit 1; }
+stop_server
+
+echo "overload-smoke: round 4 — circuit breaker fences a poisoned chip"
+"$BIN" serve -cache-dir "$WORK/cache4" -jobs 1 \
+    -breaker-threshold 2 -breaker-cooldown 1m \
+    -failpoints 'serve.run.B4=error(poisoned chip)' "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+for n in 1 2; do
+    CODE=$(submit "{\"chip\":\"B4\",\"profile\":\"fast\",\"voxel_nm\":$((4 + 4 * n))}" "$WORK/f$n.json")
+    [ "$CODE" = "202" ] || { echo "poisoned submit $n returned $CODE:"; cat "$WORK/f$n.json"; exit 1; }
+    F=$(job_id "$WORK/f$n.json")
+    wait_state "$F" failed 60
+done
+CODE=$(curl -sS -D "$WORK/f3.hdr" -o "$WORK/f3.json" -w '%{http_code}' -X POST \
+    -d '{"chip":"B4","profile":"fast","voxel_nm":16}' "$BASE/v1/jobs")
+[ "$CODE" = "503" ] || { echo "open-breaker submit returned $CODE, want 503:"; cat "$WORK/f3.json"; exit 1; }
+grep -qi '^retry-after:' "$WORK/f3.hdr" || { echo "breaker 503 lacks Retry-After:"; cat "$WORK/f3.hdr"; exit 1; }
+# Other chips are not fenced by B4's circuit.
+CODE=$(submit '{"chip":"C4","profile":"fast"}' "$WORK/c1.json")
+[ "$CODE" = "202" ] || { echo "healthy chip rejected with $CODE:"; cat "$WORK/c1.json"; exit 1; }
+"$BIN" metricscheck -require 'serve_breaker_rejected_total,serve_breaker_state' "$BASE/metrics"
+"$BIN" top -once "$ADDR" > "$WORK/top4.txt"
+grep -q 'B4/fast=OPEN' "$WORK/top4.txt" || { echo "top does not show the open circuit:"; cat "$WORK/top4.txt"; exit 1; }
+stop_server
+
+echo "overload-smoke: OK (shed 503 + Retry-After, deadline shed, brownout flag + opt-out, 507 hard watermark, breaker fence + top/metrics views)"

@@ -25,6 +25,11 @@
 #     job), its artifacts must be byte-identical to the reference, a
 #     resubmission must be served from cache (no recompute), the cache's
 #     *.ckpt bytes must fit the budget, and SIGTERM must exit 130.
+#  4. Failpoint rounds: deterministic ENOSPC and torn-write faults
+#     injected at the journal append site itself (-failpoints) prove
+#     the ack contract at the fault boundary — a submission the journal
+#     could not persist is refused with 503 and never resurrected,
+#     while acked jobs survive the faults and a SIGKILL.
 set -eu
 
 GO=${GO:-go}
@@ -187,5 +192,64 @@ wait "$SERVER_PID" || RC=$?
 SERVER_PID=
 [ "$RC" = "130" ] || { echo "server exit status $RC, want 130"; tail -20 "$WORK/server.log"; exit 1; }
 
+# Failpoint rounds: inject journal faults deterministically (a fresh
+# scratch journal so recovery replay can't consume the armed hit) and
+# assert the durability contract at the fault site itself:
+#  - ENOSPC on the accept append: the submission gets a clean 503 and
+#    is NOT acknowledged; once the fault clears, a resubmission is
+#    acked, survives a SIGKILL, and replays to done.
+#  - Torn accept append: the half frame is really on disk, the handle
+#    is poisoned (even healthy appends refuse until restart), fsck
+#    detects the torn tail without failing, and the next life truncates
+#    it — recovering exactly the acked jobs.
+FPJOURNAL="$WORK/failpoint.journal"
+FPCACHE="$WORK/fpcache"
+FPREQ='{"chip":"B4","profile":"fast","tenant":"fp"}'
+
+echo "serve-chaos: failpoint round — ENOSPC on journal append"
+"$BIN" serve -cache-dir "$FPCACHE" -journal "$FPJOURNAL" -jobs 1 \
+    -failpoints 'journal.append=enospc:times=1' "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+CODE=$(curl -sS -o "$WORK/fp1.json" -w '%{http_code}' -X POST -d "$FPREQ" "$BASE/v1/jobs")
+[ "$CODE" = "503" ] || { echo "submit under ENOSPC returned $CODE, want 503:"; cat "$WORK/fp1.json"; exit 1; }
+CODE=$(curl -sS -o "$WORK/fp2.json" -w '%{http_code}' -X POST -d "$FPREQ" "$BASE/v1/jobs")
+[ "$CODE" = "202" ] || { echo "resubmit after fault returned $CODE, want 202:"; cat "$WORK/fp2.json"; exit 1; }
+FPJOB=$(sed -n 's/.*"id": "\([^"]*\)".*/\1/p' "$WORK/fp2.json" | head -1)
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+"$BIN" journal fsck "$FPJOURNAL" > /dev/null || { echo "fsck failed after ENOSPC round"; exit 1; }
+
+echo "serve-chaos: failpoint round — torn journal append"
+"$BIN" serve -cache-dir "$FPCACHE" -journal "$FPJOURNAL" -jobs 1 \
+    -failpoints 'journal.append=torn:times=1' "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+CODE=$(curl -sS -o "$WORK/fp3.json" -w '%{http_code}' -X POST -d '{"chip":"B4","profile":"fast","tenant":"fp","voxel_nm":12}' "$BASE/v1/jobs")
+[ "$CODE" = "503" ] || { echo "torn submit returned $CODE, want 503:"; cat "$WORK/fp3.json"; exit 1; }
+# The poisoned handle must refuse even healthy submissions until a
+# restart re-verifies the file.
+CODE=$(curl -sS -o "$WORK/fp4.json" -w '%{http_code}' -X POST -d '{"chip":"B4","profile":"fast","tenant":"fp","voxel_nm":16}' "$BASE/v1/jobs")
+[ "$CODE" = "503" ] || { echo "submit on poisoned journal returned $CODE, want 503:"; cat "$WORK/fp4.json"; exit 1; }
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+"$BIN" journal fsck "$FPJOURNAL" > "$WORK/fp.fsck" || { echo "fsck failed after torn round:"; cat "$WORK/fp.fsck"; exit 1; }
+
+echo "serve-chaos: failpoint round — recovery after injected faults"
+"$BIN" serve -cache-dir "$FPCACHE" -journal "$FPJOURNAL" -jobs 1 "$ADDR" 2>> "$WORK/server.log" &
+SERVER_PID=$!
+wait_up
+wait_done "$FPJOB" 600
+# Exactly one job was ever acknowledged on this journal; the torn and
+# refused submissions must not have been resurrected.
+curl -fsS "$BASE/v1/jobs" > "$WORK/fpjobs.json"
+NJOBS=$(grep -c '"id":' "$WORK/fpjobs.json" || true)
+[ "$NJOBS" = "1" ] || { echo "recovered $NJOBS jobs, want 1 (un-acked submissions replayed?):"; cat "$WORK/fpjobs.json"; exit 1; }
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
 N=$(wc -l < "$WORK/acked")
-echo "serve-chaos: OK ($N acknowledged jobs across $CYCLES kills: none lost, none recomputed, artifacts byte-identical, cache $FINAL <= $BUDGET bytes)"
+echo "serve-chaos: OK ($N acknowledged jobs across $CYCLES kills: none lost, none recomputed, artifacts byte-identical, cache $FINAL <= $BUDGET bytes; journal failpoint rounds: un-acked 503s never resurrected, acked survived ENOSPC and torn tails)"
