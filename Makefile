@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke overload-smoke fuzz
+.PHONY: build test vet race bench benchcmp alloc-check check faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke overload-smoke memory-smoke fuzz
 
 build:
 	$(GO) build ./...
@@ -84,11 +84,18 @@ overload-smoke:
 alloc-check:
 	$(GO) test ./internal/register -run 'AllocFree' -count=1
 
+# memory-smoke proves the streaming pipeline's bounded-memory contract
+# end to end: a 384-slice reconstruction must complete under a hard
+# GOMEMLIMIT the barrier path's materialized stacks exceed, with output
+# byte-identical to an unlimited barrier reference run.
+memory-smoke:
+	./scripts/memory_smoke.sh
+
 # check is the CI gate: static analysis, the allocation regression
 # tests, race-checked tests, and the fault-injection, observability,
-# crash-recovery, job-service, service-metrics and overload-resilience
-# smoke runs.
-check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke overload-smoke
+# crash-recovery, job-service, service-metrics, overload-resilience
+# and bounded-memory smoke runs.
+check: vet alloc-check race faults-smoke trace-smoke crash-smoke serve-smoke serve-chaos-smoke metrics-smoke overload-smoke memory-smoke
 
 # bench prints benchstat-compatible output and writes the reconstruction
 # benchmark results to BENCH_recon.json for machine comparison.

@@ -1,13 +1,18 @@
 // Command benchcmp compares two BENCH_recon.json files (as written by
 // `make bench` via the BENCH_JSON hook in bench_test.go) and prints a
-// per-benchmark table of old vs new ns/op with the speedup factor.
+// per-benchmark table of old vs new ns/op and B/op with the change
+// factors.
 //
-//	benchcmp [-threshold 1.1] OLD.json NEW.json
+//	benchcmp [-threshold 1.1] [-alloc-threshold 1.25] OLD.json NEW.json
 //
 // Benchmarks present in only one file are listed but not compared.
-// With -threshold T > 0, the command exits nonzero when any benchmark
-// regressed by more than a factor of T (new > T*old), making it usable
-// as a CI perf gate; the default 0 only reports.
+// With -threshold T > 0, the command exits nonzero when any benchmark's
+// ns/op regressed by more than a factor of T (new > T*old); with
+// -alloc-threshold A > 0 it does the same for bytes/op, making it
+// usable as a CI gate on both time and allocation volume (the axis the
+// pooled streaming pipeline optimizes). The defaults of 0 only report.
+// Records written before the alloc fields existed carry zeros there;
+// zero-valued sides are shown as "-" and never gated on.
 package main
 
 import (
@@ -19,13 +24,17 @@ import (
 	"time"
 )
 
-// record mirrors the benchRecord schema of bench_test.go.
+// record mirrors the benchRecord schema of bench_test.go. Older files
+// without the alloc fields unmarshal with zeros, which the comparison
+// treats as "not measured".
 type record struct {
-	Name    string `json:"name"`
-	NsPerOp int64  `json:"ns_per_op"`
-	Workers int    `json:"workers"`
-	Slices  int    `json:"slices"`
-	N       int    `json:"n"`
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Workers     int    `json:"workers"`
+	Slices      int    `json:"slices"`
+	N           int    `json:"n"`
 }
 
 func load(path string) ([]record, error) {
@@ -40,11 +49,35 @@ func load(path string) ([]record, error) {
 	return recs, nil
 }
 
+// fmtBytes renders a bytes/op value ("-" when not measured).
+func fmtBytes(v int64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(v)/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(v)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", v)
+	}
+}
+
+// ratio renders old/new as a change factor, "-" when either side is
+// unmeasured.
+func ratio(old, new int64) string {
+	if old <= 0 || new <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(old)/float64(new))
+}
+
 func main() {
-	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any benchmark regresses by more than this factor (0 = report only)")
+	threshold := flag.Float64("threshold", 0, "fail (exit 1) when any benchmark's ns/op regresses by more than this factor (0 = report only)")
+	allocThreshold := flag.Float64("alloc-threshold", 0, "fail (exit 1) when any benchmark's bytes/op regresses by more than this factor (0 = report only; records without alloc data are skipped)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold T] OLD.json NEW.json")
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold T] [-alloc-threshold A] OLD.json NEW.json")
 		os.Exit(2)
 	}
 	oldRecs, err := load(flag.Arg(0))
@@ -62,14 +95,15 @@ func main() {
 		oldBy[r.Name] = r
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "benchmark\told\tnew\tspeedup")
+	fmt.Fprintln(w, "benchmark\told\tnew\tspeedup\told B/op\tnew B/op\talloc gain")
 	regressed := 0
 	seen := make(map[string]bool, len(newRecs))
 	for _, nr := range newRecs {
 		seen[nr.Name] = true
 		or, ok := oldBy[nr.Name]
 		if !ok {
-			fmt.Fprintf(w, "%s\t-\t%v\t(new)\n", nr.Name, time.Duration(nr.NsPerOp))
+			fmt.Fprintf(w, "%s\t-\t%v\t(new)\t-\t%s\t-\n",
+				nr.Name, time.Duration(nr.NsPerOp), fmtBytes(nr.BytesPerOp))
 			continue
 		}
 		speedup := float64(or.NsPerOp) / float64(nr.NsPerOp)
@@ -78,12 +112,20 @@ func main() {
 			mark = "  REGRESSED"
 			regressed++
 		}
-		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx%s\n",
-			nr.Name, time.Duration(or.NsPerOp), time.Duration(nr.NsPerOp), speedup, mark)
+		if *allocThreshold > 0 && or.BytesPerOp > 0 && nr.BytesPerOp > 0 &&
+			float64(nr.BytesPerOp) > *allocThreshold*float64(or.BytesPerOp) {
+			mark += "  ALLOC-REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%s\t%v\t%v\t%.2fx\t%s\t%s\t%s%s\n",
+			nr.Name, time.Duration(or.NsPerOp), time.Duration(nr.NsPerOp), speedup,
+			fmtBytes(or.BytesPerOp), fmtBytes(nr.BytesPerOp),
+			ratio(or.BytesPerOp, nr.BytesPerOp), mark)
 	}
 	for _, or := range oldRecs {
 		if !seen[or.Name] {
-			fmt.Fprintf(w, "%s\t%v\t-\t(removed)\n", or.Name, time.Duration(or.NsPerOp))
+			fmt.Fprintf(w, "%s\t%v\t-\t(removed)\t%s\t-\t-\n",
+				or.Name, time.Duration(or.NsPerOp), fmtBytes(or.BytesPerOp))
 		}
 	}
 	if err := w.Flush(); err != nil {
@@ -91,7 +133,8 @@ func main() {
 		os.Exit(1)
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed past %.2fx\n", regressed, *threshold)
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) past the thresholds (time %.2fx, alloc %.2fx)\n",
+			regressed, *threshold, *allocThreshold)
 		os.Exit(1)
 	}
 }

@@ -476,6 +476,11 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 	for i, c := range list {
 		names[i] = c.ID
 	}
+	// One shared buffer pool across the chip fan-out: the streaming
+	// reconstructions recycle slice buffers between chips as well as
+	// between slices (the pool is concurrency-safe, and pooling never
+	// changes results).
+	pool := img.NewPool()
 	statuses, runErr := supervise.Run(ctx, names, func(ctx context.Context, i int) error {
 		// A retried attempt rebuilds its row from scratch.
 		rows[i].Reset()
@@ -487,15 +492,17 @@ func runExtract(ctx context.Context, args []string) (retErr error) {
 		o.Register.Pyramid = *pyramid
 		o.Ckpt = store
 		o.Resume = *resume
+		o.Pool = pool
 		if *faults {
 			p := fault.DefaultPlan()
 			p.Seed = *faultSeed
 			o.Faults = &p
 		}
 		// Each chip's spans nest under a per-chip span and render on
-		// their own block of trace lanes (1 pipeline lane + inner worker
-		// lanes per chip), so concurrent -all runs stay readable.
-		co := ob.WithLane(i * (inner + 2))
+		// their own block of trace lanes (1 pipeline lane, the streaming
+		// stage lanes and inner worker lanes per chip), so concurrent
+		// -all runs stay readable.
+		co := ob.WithLane(i * (inner + 8))
 		chipSpan := co.StartSpan("chip " + c.ID)
 		defer chipSpan.End()
 		o.Obs = co.WithSpan(chipSpan)

@@ -138,6 +138,9 @@ func renderFleet(url string, now time.Time, scr, prev *obs.PromScrape, dt time.D
 	if brk := renderBreakers(scr); brk != "" {
 		fmt.Fprintf(&b, "breakers: %s\n", brk)
 	}
+	if pool := renderImgPool(scr); pool != "" {
+		fmt.Fprintf(&b, "img pool: %s\n", pool)
+	}
 	b.WriteString("\n")
 
 	// One row per tenant, discovered from every per-tenant series so a
@@ -222,6 +225,37 @@ func renderBreakers(scr *obs.PromScrape) string {
 	}
 	sort.Strings(parts)
 	return strings.Join(parts, " ")
+}
+
+// renderImgPool summarizes the shared image-buffer pool gauges
+// (img_pool_*) that streaming reconstructions publish at completion.
+// Each finished job re-reports the shared pool, so the series with the
+// largest hit count is the freshest snapshot; hits and misses only grow
+// over the pool's lifetime. Returns "" before any streaming job has
+// finished.
+func renderImgPool(scr *obs.PromScrape) string {
+	maxOf := func(name string) (float64, bool) {
+		var best float64
+		found := false
+		for _, s := range scr.Series(name) {
+			if !found || s.Value > best {
+				best, found = s.Value, true
+			}
+		}
+		return best, found
+	}
+	hits, ok := maxOf("img_pool_hits")
+	if !ok {
+		return ""
+	}
+	misses, _ := maxOf("img_pool_misses")
+	peak, _ := maxOf("img_pool_peak_live")
+	reuse := 0.0
+	if hits+misses > 0 {
+		reuse = 100 * hits / (hits + misses)
+	}
+	return fmt.Sprintf("%d hits / %d misses (%.0f%% reuse), peak %d live buffers",
+		int64(hits), int64(misses), reuse, int64(peak))
 }
 
 // topQuantile formats a latency quantile of the per-tenant job-latency

@@ -1,0 +1,132 @@
+package chipgen
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+)
+
+// planeFill is one shape's rasterized footprint: the voxel box it paints
+// (lateral columns [x0,x1), slicing positions [z0,z1), depth rows
+// [y0,y1)) and the material it paints with. Fills are stored in the
+// cell's shape order so later shapes overwrite earlier ones exactly as
+// Voxelize does.
+type planeFill struct {
+	x0, x1 int
+	z0, z1 int
+	y0, y1 int
+	m      Material
+}
+
+// PlaneSource rasterizes a cell one FIB plane at a time instead of
+// materializing the full MatVolume. Its planes are byte-identical to
+// the corresponding MatVolume cross-sections (same validation, same
+// voxel arithmetic, same later-shape-wins overwrite order), but the
+// footprint is O(shapes + one plane) rather than O(nx·ny·nz) — the
+// streaming acquisition producer renders from it so an arbitrarily deep
+// slice stack never holds the whole volume in memory.
+type PlaneSource struct {
+	nx, nz   int
+	voxelNM  int64
+	boundsNM geom.Rect
+	fills    []planeFill
+	buf      []Material // reused by PlaneZ; see its doc comment
+}
+
+// NewPlaneSource prepares lazy plane rasterization of the cell within
+// the window at the given lateral voxel size. Validation and dimension
+// arithmetic match Voxelize exactly, so the two are interchangeable for
+// any valid input.
+func NewPlaneSource(cell *layout.Cell, window geom.Rect, voxelNM int64) (*PlaneSource, error) {
+	if voxelNM <= 0 {
+		return nil, fmt.Errorf("chipgen: non-positive voxel size %d", voxelNM)
+	}
+	if window.Empty() {
+		return nil, fmt.Errorf("chipgen: empty voxelization window")
+	}
+	nx := int((window.W() + voxelNM - 1) / voxelNM)
+	nz := int((window.H() + voxelNM - 1) / voxelNM)
+	if nx <= 0 || nz <= 0 {
+		return nil, fmt.Errorf("chipgen: window too small for voxel size")
+	}
+	p := &PlaneSource{
+		nx: nx, nz: nz,
+		voxelNM: voxelNM, boundsNM: window,
+		buf: make([]Material, nx*StackDepth),
+	}
+	for _, s := range cell.Shapes {
+		band, ok := depthBands[s.Layer]
+		if !ok {
+			continue
+		}
+		r := s.Rect.Intersect(window)
+		if r.Empty() {
+			continue
+		}
+		m := MaterialOf(s.Layer)
+		x0 := int((r.Min.X - window.Min.X) / voxelNM)
+		x1 := int((r.Max.X - window.Min.X + voxelNM - 1) / voxelNM)
+		z0 := int((r.Min.Y - window.Min.Y) / voxelNM)
+		z1 := int((r.Max.Y - window.Min.Y + voxelNM - 1) / voxelNM)
+		if x1 > nx {
+			x1 = nx
+		}
+		if z1 > nz {
+			z1 = nz
+		}
+		p.fills = append(p.fills, planeFill{
+			x0: x0, x1: x1, z0: z0, z1: z1,
+			y0: band.Y0, y1: band.Y1, m: m,
+		})
+	}
+	return p, nil
+}
+
+// Dims returns the voxel dimensions (nx lateral, ny depth, nz slicing
+// positions) the source rasterizes.
+func (p *PlaneSource) Dims() (nx, ny, nz int) {
+	return p.nx, StackDepth, p.nz
+}
+
+// PlaneZ returns the material plane exposed by the FIB cut at slicing
+// position z, indexed plane[y*nx+x] (depth-major, like MatVolume's
+// in-plane layout). The returned slice is an internal buffer reused by
+// the next PlaneZ call — callers must consume (or copy) it before
+// asking for another plane. That contract fits the sequential
+// acquisition producer, the only consumer.
+func (p *PlaneSource) PlaneZ(z int) ([]Material, error) {
+	if z < 0 || z >= p.nz {
+		return nil, fmt.Errorf("chipgen: slice z=%d out of [0,%d)", z, p.nz)
+	}
+	for i := range p.buf {
+		p.buf[i] = MatOxide
+	}
+	for _, f := range p.fills {
+		if z < f.z0 || z >= f.z1 {
+			continue
+		}
+		for y := f.y0; y < f.y1; y++ {
+			row := p.buf[y*p.nx : (y+1)*p.nx]
+			for x := f.x0; x < f.x1; x++ {
+				row[x] = f.m
+			}
+		}
+	}
+	return p.buf, nil
+}
+
+// Dims makes MatVolume interchangeable with PlaneSource for consumers
+// that iterate planes.
+func (v *MatVolume) Dims() (nx, ny, nz int) {
+	return v.NX, v.NY, v.NZ
+}
+
+// PlaneZ returns the material plane at slicing position z as a direct
+// (read-only) view into the volume's data, indexed plane[y*NX+x].
+func (v *MatVolume) PlaneZ(z int) ([]Material, error) {
+	if z < 0 || z >= v.NZ {
+		return nil, fmt.Errorf("chipgen: slice z=%d out of [0,%d)", z, v.NZ)
+	}
+	return v.Data[z*v.NY*v.NX : (z+1)*v.NY*v.NX], nil
+}

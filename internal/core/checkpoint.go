@@ -124,6 +124,13 @@ func FingerprintOptions(o Options) (string, error) {
 	clean.Denoise.Obs = nil
 	clean.Register.Obs = nil
 	clean.Register.Workers = 0
+	// The streaming/barrier switch, window and pool change scheduling
+	// and allocation only, never artifact bytes — the two paths are
+	// byte-identical by contract — so both modes share checkpoint keys
+	// (and the pool, holding runtime state, must never reach gob).
+	clean.Barrier = false
+	clean.StreamWindow = 0
+	clean.Pool = nil
 	fp, err := ckpt.Fingerprint(fpOptions{Schema: ckptSchema, Opts: clean})
 	if err != nil {
 		return "", fmt.Errorf("core: checkpoint fingerprint: %w", err)

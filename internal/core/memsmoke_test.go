@@ -1,0 +1,89 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/layout"
+	"repro/internal/netex"
+)
+
+// TestMemorySmoke is the process under scripts/memory_smoke.sh (`make
+// memory-smoke`), not a normal unit test: it runs only when the
+// HIFIDRAM_MEMORY_SMOKE environment variable selects a mode, so plain
+// `go test ./internal/core` skips it. The script runs the compiled test
+// binary twice on the same deterministic 384-slice stack —
+//
+//	mode "barrier": the materialize-everything reference path, in a
+//	process with no memory limit;
+//	mode "stream":  the pooled streaming path, in a process under a
+//	hard GOMEMLIMIT a barrier-sized heap would thrash against;
+//
+// — each writing a canonical result fingerprint to the file named by
+// HIFIDRAM_MEMORY_SMOKE_OUT. The script asserts both processes exit 0
+// and the fingerprints match: the streaming pipeline completes inside
+// the limit and stays byte-identical to the reference.
+func TestMemorySmoke(t *testing.T) {
+	mode := os.Getenv("HIFIDRAM_MEMORY_SMOKE")
+	if mode == "" {
+		t.Skip("set HIFIDRAM_MEMORY_SMOKE=barrier|stream (driven by scripts/memory_smoke.sh)")
+	}
+	out := os.Getenv("HIFIDRAM_MEMORY_SMOKE_OUT")
+	if out == "" {
+		t.Fatal("HIFIDRAM_MEMORY_SMOKE_OUT not set")
+	}
+	const depth, width = 384, 48
+	acq := syntheticStack(depth, width)
+	window := geom.R(0, 0, width*8, depth*8)
+	o := deepOptions()
+	switch mode {
+	case "barrier":
+		o.Barrier = true
+		o.Workers = 1
+	case "stream":
+		o.Workers = 4
+		o.Pool = img.NewPool()
+	default:
+		t.Fatalf("HIFIDRAM_MEMORY_SMOKE = %q, want barrier or stream", mode)
+	}
+	plan, info, err := Reconstruct(acq, window, o)
+	if err != nil {
+		t.Fatalf("%s reconstruction: %v", mode, err)
+	}
+	if o.Pool != nil {
+		if live := o.Pool.Stats().Live; live != 0 {
+			t.Fatalf("%d pool buffers leaked", live)
+		}
+	}
+	fp := smokeFingerprint(plan, info)
+	if err := os.WriteFile(out, []byte(fp+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: %s", mode, fp)
+}
+
+// smokeFingerprint hashes a reconstruction result canonically: layers
+// in sorted order (Plan.ByLayer is a map, so gob order would not
+// reproduce across processes), rectangles in their deterministic plan
+// order, and the full ReconInfo including every repair record.
+func smokeFingerprint(plan *netex.Plan, info ReconInfo) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "info %+v\nbounds %v\n", info, plan.Bounds)
+	layers := make([]int, 0, len(plan.ByLayer))
+	for l := range plan.ByLayer {
+		layers = append(layers, int(l))
+	}
+	sort.Ints(layers)
+	for _, l := range layers {
+		fmt.Fprintf(h, "layer %d\n", l)
+		for _, r := range plan.ByLayer[layout.Layer(l)] {
+			fmt.Fprintf(h, "%d %d %d %d\n", r.Min.X, r.Min.Y, r.Max.X, r.Max.Y)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}

@@ -94,6 +94,28 @@ type Options struct {
 	// empty, checkpointing is disabled for safety (an acquisition the
 	// options cannot reproduce must not share keys with one they can).
 	CkptUnit string
+	// Barrier forces the original materialize-everything reconstruction,
+	// in which every stage completes over the whole stack before the
+	// next starts. The default (false) streams slices through
+	// gate → denoise → align → view fold with bounded lookahead, holding
+	// a window of slices instead of four full stacks. The two paths are
+	// byte-identical by contract for every worker count (pinned by the
+	// stream identity tests), so Barrier exists as the reference
+	// implementation and for A/B benchmarking, not as a semantic switch.
+	Barrier bool
+	// StreamWindow caps the in-flight slice window of the streaming
+	// reconstruction (the capacity of its inter-stage rings). Values < 1
+	// mean 2*workers+2. Larger windows smooth worker imbalance at the
+	// cost of proportionally more live buffers; the output is identical
+	// for any value.
+	StreamWindow int
+	// Pool, when non-nil, recycles the streaming reconstruction's image
+	// buffers (denoised and aligned slices) across slices — and, when
+	// shared, across runs — instead of allocating each fresh. Pooling
+	// changes allocation behavior only, never results; the pool's
+	// hit/miss/peak-live statistics surface as gauges ("img.pool.*").
+	// Nil allocates per slice and lets the GC reclaim.
+	Pool *img.Pool
 }
 
 // DefaultOptions returns a configuration that survives the default noise
@@ -206,11 +228,6 @@ func RunCtx(ctx context.Context, chip *chips.Chip, o Options) (*Result, error) {
 	o.SEM.Detector = chip.Detector
 
 	window := region.Cell.Bounds()
-	vol, err := chipgen.Voxelize(region.Cell, window, o.VoxelNM)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: voxelize: %w", err)
-	}
 	// Ground truth generation stays outside the checkpoint scheme: it is
 	// cheap, deterministic, and its Truth is needed for scoring either
 	// way. The fingerprint is taken after the detector is resolved so it
@@ -220,7 +237,27 @@ func RunCtx(ctx context.Context, chip *chips.Chip, o Options) (*Result, error) {
 	}
 	ck, err := newCkptRef(o.CkptUnit, o)
 	if err != nil {
+		sp.End()
 		return nil, err
+	}
+	if !o.Barrier && ck == nil && o.Faults == nil {
+		// Fully streaming run: rasterize ground-truth planes lazily and
+		// feed acquisition, gate, denoise, alignment and the view fold
+		// slice by slice — neither the material volume nor any slice
+		// stack is ever materialized. Checkpointing needs stage
+		// artifacts and fault injection needs the whole stack, so those
+		// runs take the materialized path below.
+		planes, err := chipgen.NewPlaneSource(region.Cell, window, o.VoxelNM)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("core: voxelize: %w", err)
+		}
+		return runStream(ctx, chip, region.Truth, planes, window, o)
+	}
+	vol, err := chipgen.Voxelize(region.Cell, window, o.VoxelNM)
+	sp.End()
+	if err != nil {
+		return nil, fmt.Errorf("core: voxelize: %w", err)
 	}
 	// Fast path: a run killed after the extraction boundary resumes
 	// without touching a single imaging stage.
@@ -361,6 +398,11 @@ func ReconstructCtx(ctx context.Context, acq *sem.Acquisition, window geom.Rect,
 // alignment), and recomputes from the acquisition only when neither
 // verifies.
 func reconstructCkpt(ctx context.Context, acq *sem.Acquisition, window geom.Rect, o Options, ck *ckptRef) (*netex.Plan, ReconInfo, error) {
+	if !o.Barrier && ck == nil {
+		// No checkpoint boundaries to materialize: reconstruct in a
+		// single bounded-memory streaming pass.
+		return reconstructStream(ctx, len(acq.Slices), streamAcqSource(acq), acq.Options.DwellUS, window, o)
+	}
 	var pa planArtifact
 	if ck.load(CkptPlan, &pa) {
 		return pa.Plan, pa.Info, nil
@@ -376,7 +418,16 @@ func reconstructCkpt(ctx context.Context, acq *sem.Acquisition, window geom.Rect
 			AlignFallbacks:  la.AlignFallbacks,
 		}
 	} else {
-		pre, err := preprocessCtx(ctx, acq, o)
+		var pre preOut
+		var err error
+		if o.Barrier {
+			pre, err = preprocessCtx(ctx, acq, o)
+		} else {
+			// Checkpointed runs must materialize the aligned stack for
+			// the artifact either way; stream the gate + denoise
+			// prologue and keep the barrier alignment.
+			pre, err = streamPreprocess(ctx, acq, o)
+		}
 		if err != nil {
 			return nil, ReconInfo{}, err
 		}

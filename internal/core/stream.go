@@ -1,0 +1,561 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/chipgen"
+	"repro/internal/chips"
+	"repro/internal/denoise"
+	"repro/internal/geom"
+	"repro/internal/img"
+	"repro/internal/layout"
+	"repro/internal/netex"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/register"
+	"repro/internal/sem"
+	"repro/internal/volume"
+)
+
+// streamSource produces the raw slice stack in ascending index order,
+// calling emit once per slice. The producer owns nothing after emit
+// returns; emitted images are never mutated downstream, so a source may
+// emit long-lived slices (acq.Slices) by pointer.
+type streamSource func(ctx context.Context, emit func(i int, g *img.Gray) error) error
+
+// streamAcqSource adapts a materialized acquisition into a stream
+// source, checking the context between slices like every barrier stage.
+func streamAcqSource(acq *sem.Acquisition) streamSource {
+	return func(ctx context.Context, emit func(int, *img.Gray) error) error {
+		for i, g := range acq.Slices {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := emit(i, g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// denoiseSliceInto is denoiseSlice writing into a caller-provided
+// buffer of the source's dimensions, with per-worker scratch reuse. The
+// caller has already rejected unknown denoiser names.
+func denoiseSliceInto(ctx context.Context, dst, src *img.Gray, o Options, s *denoise.Scratch) error {
+	den := o.Denoise
+	if den.Obs == nil {
+		den.Obs = o.Obs
+	}
+	switch o.Denoiser {
+	case "split-bregman":
+		return denoise.SplitBregmanInto(ctx, dst, src, den, s)
+	case "none", "":
+		copy(dst.Pix, src.Pix)
+		return nil
+	default: // "chambolle"
+		return denoise.ChambolleInto(ctx, dst, src, den, s)
+	}
+}
+
+// streamItem is one slice in flight between pipeline stages.
+type streamItem struct {
+	i int
+	g *img.Gray
+}
+
+// streamCore is the bounded-memory screen + denoise engine shared by
+// the streaming reconstruction and the streaming preprocess: a feeder
+// goroutine runs the source through the incremental quality gate, a
+// fan-out of denoise workers pulls gated slices off a bounded ring,
+// denoises each into a pooled buffer (per-worker scratch, flat-field
+// applied) and a reordering consumer hands them to consume in strict
+// index order. Back-pressure is structural: both rings hold at most
+// window items, so a slow consumer stalls the producer instead of
+// letting slices pile up.
+//
+// consume owns each buffer it is handed (Put it back, keep it, or pass
+// it on) — including on the call that returns an error. Buffers still
+// in flight when the pipeline aborts are returned to the pool here.
+//
+// The output is byte-identical to the barrier stages for any worker
+// count and window: the gate is sequential, each slice's denoise result
+// depends only on that slice, and consume observes ascending order.
+func streamCore(ctx context.Context, n int, src streamSource, dwellUS float64, o Options, pool *img.Pool,
+	consume func(ctx context.Context, i int, g *img.Gray) error) (RepairReport, error) {
+	ob := o.Obs
+	W := par.Count(o.Workers)
+	window := o.StreamWindow
+	if window < 1 {
+		window = 2*W + 2
+	}
+	ectx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var failOnce sync.Once
+	var failErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			cancel()
+		})
+	}
+
+	gateCh := make(chan streamItem, window)
+	denCh := make(chan streamItem, window)
+
+	send := func(i int, g *img.Gray) error {
+		select {
+		case gateCh <- streamItem{i, g}:
+			return nil
+		case <-ectx.Done():
+			return ectx.Err()
+		}
+	}
+	var gate *gateStream
+	var gateSp *obs.Span
+	if !o.Quality.Disabled {
+		gateSp = ob.WithLaneOffset(1).StartSpan(StageQualityGate)
+		gate = newGateStream(o, n, dwellUS, send)
+	}
+	denSp := ob.WithLaneOffset(2).StartSpan(StageDenoise)
+
+	go func() {
+		defer close(gateCh)
+		defer gateSp.End()
+		emit := send
+		if gate != nil {
+			emit = gate.push
+		}
+		if err := src(ectx, emit); err != nil {
+			fail(err)
+			return
+		}
+		if gate != nil {
+			if err := gate.finish(); err != nil {
+				fail(err)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := denSp.ChildWorker(fmt.Sprintf("%s/worker%d", StageDenoise, w), ob.Lane()+3+w)
+			defer ws.End()
+			scratch := &denoise.Scratch{}
+			for item := range gateCh {
+				dst := pool.Get(item.g.W, item.g.H)
+				if err := denoiseSliceInto(ectx, dst, item.g, o, scratch); err != nil {
+					pool.Put(dst)
+					fail(fmt.Errorf("core: denoise slice %d: %w", item.i, err))
+					return
+				}
+				flatField(dst)
+				select {
+				case denCh <- streamItem{item.i, dst}:
+				case <-ectx.Done():
+					pool.Put(dst)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(denCh)
+	}()
+
+	pending := make(map[int]*img.Gray, window)
+	next := 0
+	for item := range denCh {
+		if ectx.Err() != nil {
+			pool.Put(item.g)
+			continue
+		}
+		pending[item.i] = item.g
+		for {
+			g, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if err := consume(ectx, next, g); err != nil {
+				fail(err)
+				break
+			}
+			next++
+		}
+	}
+	denSp.End()
+	for _, g := range pending {
+		pool.Put(g)
+	}
+	// Every goroutine has exited (denCh closes after the workers, which
+	// exit after the feeder closes gateCh), so failErr and the gate's
+	// report are stable here.
+	if failErr != nil {
+		return RepairReport{}, failErr
+	}
+	var rep RepairReport
+	if gate != nil {
+		rep = gate.rep
+		if k := len(rep.Repairs); k > 0 {
+			ob.Info("quality gate", "checked", rep.Checked, "repaired", k)
+		}
+	}
+	if next != n {
+		return rep, fmt.Errorf("core: stream: delivered %d of %d slices", next, n)
+	}
+	return rep, nil
+}
+
+// streamPreprocess is preprocessCtx rebuilt on the streaming engine: it
+// produces the identical preOut (gate report, denoised + aligned stack)
+// while the gate and the denoise fan-out overlap slice by slice. The
+// stack alignment itself stays the barrier's sequential AlignStackCtx —
+// this path exists for checkpointed runs, whose aligned-stack artifact
+// must materialize anyway, so the denoised slices are collected rather
+// than pooled.
+func streamPreprocess(ctx context.Context, acq *sem.Acquisition, o Options) (preOut, error) {
+	var out preOut
+	switch o.Denoiser {
+	case "chambolle", "split-bregman", "none", "":
+	default:
+		return out, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
+	}
+	ob := o.Obs
+	n := len(acq.Slices)
+	slices := make([]*img.Gray, n)
+	rep, err := streamCore(ctx, n, streamAcqSource(acq), acq.Options.DwellUS, o, nil,
+		func(_ context.Context, i int, g *img.Gray) error {
+			slices[i] = g
+			return nil
+		})
+	if err != nil {
+		return out, err
+	}
+	out.repairs = rep
+	if o.Register.MaxShift > 0 && n > 1 {
+		sp := ob.StartSpan(StageAlign)
+		aligned, sres, err := register.AlignStackCtx(ctx, slices, regOptions(o))
+		sp.End()
+		if err != nil {
+			return out, fmt.Errorf("core: align: %w", err)
+		}
+		out.slices, out.didAlign = aligned, true
+		out.alignFallbacks = sres.Fallbacks()
+		if out.alignFallbacks > 0 {
+			ob.Info("alignment degraded", "fallbacks", out.alignFallbacks)
+		}
+		return out, nil
+	}
+	out.slices = slices
+	return out, nil
+}
+
+// streamFold folds denoised slices into the reconstruction's per-layer
+// planar views as they arrive: pairwise alignment against the previous
+// denoised slice, residual-drift estimation on the aligned pair, and
+// the depth-band column sums of the planar average — all without ever
+// materializing the denoised stack, the aligned stack or the volume.
+// The arithmetic mirrors AlignStackCtx, ResidualDriftCtx and
+// volume.PlanarAverage operation for operation (same accumulation
+// order, same multiply-by-reciprocal), so the folded views are
+// bit-identical to the barrier's.
+type streamFold struct {
+	o       Options
+	regOpts register.Options
+	pool    *img.Pool
+	doAlign bool
+	n       int
+
+	layers []layout.Layer
+	bands  [][2]int
+	inv    []float64
+	views  []*img.Gray
+	w, h   int
+
+	prevDen     *img.Gray // last denoised slice (alignment reference)
+	prevAligned *img.Gray // last aligned slice (residual reference)
+	acc         register.Shift
+	fallbacks   int
+	residSum    float64
+}
+
+// consume implements the streamCore contract: it owns den on every
+// path, returning it to the pool once no longer needed (or on error).
+func (f *streamFold) consume(ctx context.Context, i int, den *img.Gray) error {
+	if !f.doAlign {
+		if err := f.checkSlice(i, den); err != nil {
+			f.pool.Put(den)
+			return err
+		}
+		f.fold(i, den)
+		f.pool.Put(den)
+		return nil
+	}
+	if i == 0 {
+		if err := f.checkSlice(0, den); err != nil {
+			f.pool.Put(den)
+			return err
+		}
+		// AlignStackCtx emits slice 0 as a clone with zero shift.
+		a := f.pool.Get(den.W, den.H)
+		copy(a.Pix, den.Pix)
+		f.prevDen = den
+		f.fold(0, a)
+		f.prevAligned = a
+		return nil
+	}
+	// Pairwise on the raw denoised slices, exactly like AlignStackCtx:
+	// the absolute correction is the running shift sum.
+	r, err := register.AlignRobustCtx(ctx, f.prevDen, den, f.regOpts)
+	if err != nil {
+		f.pool.Put(den)
+		return fmt.Errorf("core: align: %w", fmt.Errorf("register: slice %d: %w", i, err))
+	}
+	f.acc = f.acc.Add(r.Shift)
+	if r.Fallback {
+		f.fallbacks++
+	}
+	f.pool.Put(f.prevDen)
+	f.prevDen = den
+	a := f.pool.Get(den.W, den.H)
+	if err := den.TranslateInto(a, f.acc.DX, f.acc.DY); err != nil {
+		f.pool.Put(a)
+		return err
+	}
+	if err := f.checkSlice(i, a); err != nil {
+		f.pool.Put(a)
+		return err
+	}
+	// Residual drift re-aligns the *aligned* pair, ascending, exactly
+	// like ResidualDriftCtx.
+	s, _, err := register.AlignCtx(ctx, f.prevAligned, a, f.regOpts)
+	if err != nil {
+		f.pool.Put(a)
+		return fmt.Errorf("core: residual: %w", err)
+	}
+	f.residSum += math.Hypot(float64(s.DX), float64(s.DY))
+	f.fold(i, a)
+	f.pool.Put(f.prevAligned)
+	f.prevAligned = a
+	return nil
+}
+
+// checkSlice mirrors volume.FromStack's validation (same error chain)
+// and, on the first slice, sizes the views and checks every layer's
+// depth band against the slice height exactly as resliceLayer would.
+func (f *streamFold) checkSlice(i int, g *img.Gray) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("core: stack: %w", fmt.Errorf("volume: slice %d: %w", i, err))
+	}
+	if i == 0 {
+		f.w, f.h = g.W, g.H
+		return f.initViews()
+	}
+	if g.W != f.w || g.H != f.h {
+		return fmt.Errorf("core: stack: %w", &volume.SliceSizeError{
+			Index: i, W: g.W, H: g.H, WantW: f.w, WantH: f.h,
+		})
+	}
+	return nil
+}
+
+func (f *streamFold) initViews() error {
+	f.views = make([]*img.Gray, len(f.layers))
+	f.bands = make([][2]int, len(f.layers))
+	f.inv = make([]float64, len(f.layers))
+	for li, layer := range f.layers {
+		band, _ := chipgen.Band(layer)
+		// Average over the band interior, like resliceLayer: residual
+		// slice misalignment only bleeds into the band's edge rows.
+		y0, y1 := band.Y0, band.Y1
+		if y1-y0 > 2 {
+			y0, y1 = y0+1, y1-1
+		}
+		if y0 < 0 || y1 > f.h || y0 >= y1 {
+			return fmt.Errorf("core: planar view of %s: %w", layer,
+				fmt.Errorf("volume: depth band [%d,%d) out of [0,%d)", y0, y1, f.h))
+		}
+		f.bands[li] = [2]int{y0, y1}
+		f.inv[li] = 1.0 / float64(y1-y0)
+		f.views[li] = img.New(f.w, f.n)
+	}
+	return nil
+}
+
+// fold accumulates slice z into every layer view: per column, the
+// ascending-y sum over the band times the precomputed reciprocal —
+// volume.PlanarAverage's exact expression, one z row at a time.
+func (f *streamFold) fold(z int, g *img.Gray) {
+	for li := range f.layers {
+		y0, y1 := f.bands[li][0], f.bands[li][1]
+		view, inv := f.views[li], f.inv[li]
+		for x := 0; x < f.w; x++ {
+			var s float64
+			for y := y0; y < y1; y++ {
+				s += g.Pix[y*f.w+x]
+			}
+			view.Set(x, z, s*inv)
+		}
+	}
+}
+
+// release returns the fold's held references to the pool; safe to call
+// on any partial state.
+func (f *streamFold) release() {
+	if f.prevDen != nil {
+		f.pool.Put(f.prevDen)
+		f.prevDen = nil
+	}
+	if f.prevAligned != nil {
+		f.pool.Put(f.prevAligned)
+		f.prevAligned = nil
+	}
+}
+
+// runStream is RunCtx's fully streaming tail: acquisition renders from
+// the lazy plane source inside the pipeline's feeder (under the acquire
+// stage span) and flows straight into reconstructStream, so slice count
+// — not stack depth — bounds the live set. Slice count and cost are
+// derived up front from the source dimensions; they match the
+// materialized acquisition's exactly.
+func runStream(ctx context.Context, chip *chips.Chip, truth chipgen.GroundTruth,
+	planes *chipgen.PlaneSource, window geom.Rect, o Options) (*Result, error) {
+	ob := o.Obs
+	nx, ny, nz := planes.Dims()
+	n := sem.SliceCount(nz, o.SEM.SliceStep)
+	cost := sem.CostHoursFor(nx, ny, n, o.SEM.DwellUS)
+	src := func(ctx context.Context, emit func(int, *img.Gray) error) error {
+		sp := ob.StartSpan(StageAcquire)
+		defer sp.End()
+		var emitErr error
+		err := sem.StreamStackCtx(ctx, planes, o.SEM, func(i, z int, g *img.Gray, drift [2]float64) error {
+			if err := emit(i, g); err != nil {
+				emitErr = err
+				return err
+			}
+			return nil
+		})
+		if err != nil {
+			if err == emitErr {
+				// Downstream failures (gate, cancellation) pass through
+				// with their own context; only acquisition's own errors
+				// carry the acquire wrap.
+				return err
+			}
+			return fmt.Errorf("core: acquire: %w", err)
+		}
+		ob.Info("acquired", "chip", chip.ID, "slices", n, "cost_hours", cost)
+		return nil
+	}
+	plan, info, err := reconstructStream(ctx, n, src, o.SEM.DwellUS, window, o)
+	if err != nil {
+		return nil, err
+	}
+	ext, err := extractPlan(plan, o)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult(chip, truth, ext, plan, info, nil, n, cost, o), nil
+}
+
+// reconstructStream is the non-checkpointed reconstruction as a single
+// bounded-memory pass: source → incremental quality gate → denoise
+// fan-out → pairwise alignment → incremental view fold, then the
+// per-layer median, segmentation and plan assembly of PlanFromVolume on
+// the folded views. Peak memory holds the pipeline window plus the
+// per-layer views instead of four stack-sized intermediates; the
+// returned plan and ReconInfo are byte-identical to the Barrier path
+// for any worker count and window.
+func reconstructStream(ctx context.Context, n int, src streamSource, dwellUS float64,
+	window geom.Rect, o Options) (*netex.Plan, ReconInfo, error) {
+	var info ReconInfo
+	switch o.Denoiser {
+	case "chambolle", "split-bregman", "none", "":
+	default:
+		return nil, info, fmt.Errorf("core: unknown denoiser %q", o.Denoiser)
+	}
+	ob := o.Obs
+	W := par.Count(o.Workers)
+	doAlign := o.Register.MaxShift > 0 && n > 1
+
+	// Each concurrently-open stage span gets a private lane relative to
+	// the run's base lane (gate +1, denoise +2, denoise workers +3..,
+	// then the consumer-side stages), keeping per-lane intervals
+	// disjoint-or-nested for the trace.
+	var alignSp, residSp *obs.Span
+	if doAlign {
+		alignSp = ob.WithLaneOffset(3 + W).StartSpan(StageAlign)
+		residSp = ob.WithLaneOffset(4 + W).StartSpan("align/residual")
+	}
+	assembleSp := ob.WithLaneOffset(5 + W).StartSpan(StageAssemble)
+	defer assembleSp.End()
+	defer residSp.End()
+	defer alignSp.End()
+
+	f := &streamFold{
+		o:       o,
+		regOpts: regOptions(o),
+		pool:    o.Pool,
+		doAlign: doAlign,
+		n:       n,
+		layers:  bandedLayers(),
+	}
+	rep, err := streamCore(ctx, n, src, dwellUS, o, o.Pool, f.consume)
+	f.release()
+	if err != nil {
+		return nil, info, err
+	}
+	if n == 0 {
+		return nil, info, fmt.Errorf("core: stack: %w", fmt.Errorf("volume: empty stack"))
+	}
+	info.Repairs = rep
+	info.AlignFallbacks = f.fallbacks
+	if doAlign {
+		if f.fallbacks > 0 {
+			ob.Info("alignment degraded", "fallbacks", f.fallbacks)
+		}
+		info.ResidualDriftPx = f.residSum / float64(n-1)
+	}
+	alignSp.End()
+	residSp.End()
+	assembleSp.End()
+	if pool := o.Pool; pool != nil {
+		st := pool.Stats()
+		ob.Gauge("img.pool.hits", float64(st.Hits))
+		ob.Gauge("img.pool.misses", float64(st.Misses))
+		ob.Gauge("img.pool.peak_live", float64(st.PeakLive))
+	}
+
+	// The PlanFromVolume tail on the folded views: per-layer median,
+	// then segmentation, then plan assembly in layout order.
+	err = ob.ForEachCtx(ctx, StageReslice, o.Workers, len(f.layers), func(_ context.Context, i int) error {
+		f.views[i] = img.MedianFilter(f.views[i], 1)
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	perLayer := make([][]geom.Rect, len(f.layers))
+	err = ob.ForEachCtx(ctx, StageSegment, o.Workers, len(f.layers), func(_ context.Context, i int) error {
+		perLayer[i] = segmentLayer(f.views[i], window, o)
+		return nil
+	})
+	if err != nil {
+		return nil, info, err
+	}
+	plan := netex.NewPlan()
+	for i, layer := range f.layers {
+		for _, r := range perLayer[i] {
+			plan.Add(layer, r)
+		}
+	}
+	return plan, info, nil
+}

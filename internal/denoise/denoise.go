@@ -68,58 +68,13 @@ func ChambolleCtx(ctx context.Context, f *img.Gray, o Options) (*img.Gray, error
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	w, h := f.W, f.H
-	// Dual variables p = (px, py).
-	px := make([]float64, w*h)
-	py := make([]float64, w*h)
-	div := make([]float64, w*h)
-	u := make([]float64, w*h)
-	const tau = 0.125
-	invLambda := 1.0 / o.Lambda
-
-	iters := 0
-	for it := 0; it < o.Iterations; it++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		iters++
-		// u = f - div(p)/lambda
-		divergence(px, py, w, h, div)
-		var change float64
-		for i := range u {
-			nu := f.Pix[i] + div[i]*invLambda
-			change += abs(nu - u[i])
-			u[i] = nu
-		}
-		// Gradient ascent on the dual with reprojection onto |p|<=1.
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				i := y*w + x
-				gx, gy := 0.0, 0.0
-				if x < w-1 {
-					gx = u[i+1] - u[i]
-				}
-				if y < h-1 {
-					gy = u[i+w] - u[i]
-				}
-				npx := px[i] + tau*o.Lambda*gx
-				npy := py[i] + tau*o.Lambda*gy
-				norm := max1(hyp(npx, npy))
-				px[i] = npx / norm
-				py[i] = npy / norm
-			}
-		}
-		if o.Tol > 0 && it > 0 && change/float64(len(u)) < o.Tol {
-			break
-		}
+	out := img.New(f.W, f.H)
+	// The whole algorithm lives in ChambolleInto (the streaming
+	// pipeline's scratch-reusing entry point); delegating keeps the two
+	// paths bit-identical by construction.
+	if err := ChambolleInto(ctx, out, f, o, nil); err != nil {
+		return nil, err
 	}
-	divergence(px, py, w, h, div)
-	out := img.New(w, h)
-	for i := range u {
-		out.Pix[i] = f.Pix[i] + div[i]*invLambda
-	}
-	o.Obs.Count("denoise.slices", 1)
-	o.Obs.Count("denoise.iterations", int64(iters))
 	return out, nil
 }
 
@@ -163,90 +118,15 @@ func SplitBregmanCtx(ctx context.Context, f *img.Gray, o Options) (*img.Gray, er
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	w, h := f.W, f.H
-	n := w * h
-	u := make([]float64, n)
-	copy(u, f.Pix)
-	dx := make([]float64, n)
-	dy := make([]float64, n)
-	bx := make([]float64, n)
-	by := make([]float64, n)
-	// mu is the fidelity weight, gamma the splitting weight. gamma is
-	// tied to mu per the usual heuristic gamma = 2*mu.
-	mu := o.Lambda
-	gamma := 2 * o.Lambda
-	iters := 0
-
-	for it := 0; it < o.Iterations; it++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		iters++
-		// Gauss-Seidel sweep for u. Neighbor reads clamp to the border
-		// (replicate padding) via precomputed indices instead of a
-		// bounds-checking closure per access: xl/xr are the left/right
-		// neighbors (self at the border), iu/id the up/down ones. The
-		// operand order of every sum matches the closure-based original
-		// exactly, so the iterates are bit-identical (pinned by
-		// TestSplitBregmanMatchesReference).
-		var change float64
-		denom := mu + 4*gamma
-		for y := 0; y < h; y++ {
-			rowOff := y * w
-			upOff := rowOff - w
-			if y == 0 {
-				upOff = rowOff
-			}
-			downOff := rowOff + w
-			if y == h-1 {
-				downOff = rowOff
-			}
-			for x := 0; x < w; x++ {
-				i := rowOff + x
-				xl := i - 1
-				if x == 0 {
-					xl = i
-				}
-				xr := i + 1
-				if x == w-1 {
-					xr = i
-				}
-				iu := upOff + x
-				id := downOff + x
-				sumN := u[xl] + u[xr] + u[iu] + u[id]
-				dTerm := dx[xl] - dx[i] + dy[iu] - dy[i]
-				bTerm := bx[i] - bx[xl] + by[i] - by[iu]
-				nu := (mu*f.Pix[i] + gamma*(sumN+dTerm+bTerm)) / denom
-				change += abs(nu - u[i])
-				u[i] = nu
-			}
-		}
-		// Shrinkage of d and Bregman update of b.
-		thr := 1.0 / gamma
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				i := y*w + x
-				gx, gy := 0.0, 0.0
-				if x < w-1 {
-					gx = u[y*w+x+1] - u[i]
-				}
-				if y < h-1 {
-					gy = u[(y+1)*w+x] - u[i]
-				}
-				dx[i] = shrink(gx+bx[i], thr)
-				dy[i] = shrink(gy+by[i], thr)
-				bx[i] += gx - dx[i]
-				by[i] += gy - dy[i]
-			}
-		}
-		if o.Tol > 0 && it > 0 && change/float64(n) < o.Tol {
-			break
-		}
+	out := img.New(f.W, f.H)
+	// Delegates to SplitBregmanInto for the same reason ChambolleCtx
+	// delegates: one algorithm body, bit-identical on both paths. The
+	// Gauss-Seidel sweep's border handling uses precomputed clamped
+	// indices whose operand order matches the closure-based original
+	// exactly (pinned by TestSplitBregmanMatchesReference).
+	if err := SplitBregmanInto(ctx, out, f, o, nil); err != nil {
+		return nil, err
 	}
-	out := img.New(w, h)
-	copy(out.Pix, u)
-	o.Obs.Count("denoise.slices", 1)
-	o.Obs.Count("denoise.iterations", int64(iters))
 	return out, nil
 }
 

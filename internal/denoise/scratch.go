@@ -1,0 +1,212 @@
+package denoise
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/img"
+)
+
+// Scratch holds the per-slice float64 work planes a TV denoising run
+// needs (four for Chambolle, five for split-Bregman), so a streaming
+// pipeline worker can denoise slice after slice without allocating
+// fresh planes each time. A Scratch is reusable across slices of any
+// size — planes grow on demand and are re-zeroed before every run, so
+// results are bit-identical to the allocate-fresh path. The zero value
+// is ready to use. A Scratch must not be shared between concurrent
+// denoising runs; give each worker its own.
+type Scratch struct {
+	bufs [5][]float64
+}
+
+// plane returns work plane i with exactly n zeroed entries, reusing the
+// previous backing array when it is large enough. Zeroing reproduces
+// make's semantics, which the iteration math depends on (the dual and
+// Bregman variables start at zero).
+func (s *Scratch) plane(i, n int) []float64 {
+	if cap(s.bufs[i]) < n {
+		s.bufs[i] = make([]float64, n)
+		return s.bufs[i]
+	}
+	b := s.bufs[i][:n]
+	for j := range b {
+		b[j] = 0
+	}
+	s.bufs[i] = b
+	return b
+}
+
+// checkInto validates an Into-variant call: options first (matching the
+// Ctx variants' error order), then the destination geometry.
+func checkInto(dst, f *img.Gray, o Options) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+	if err := f.Validate(); err != nil {
+		return fmt.Errorf("denoise: input: %w", err)
+	}
+	if dst.W != f.W || dst.H != f.H || len(dst.Pix) != dst.W*dst.H {
+		return fmt.Errorf("denoise: dst %dx%d does not match input %dx%d", dst.W, dst.H, f.W, f.H)
+	}
+	return nil
+}
+
+// ChambolleInto denoises f into dst (which must match f's dimensions)
+// using caller-owned scratch planes instead of fresh allocations. The
+// iteration math, operation order and early-stopping rule are exactly
+// ChambolleCtx's, so dst ends up bit-identical to ChambolleCtx's
+// result; dst's prior contents are fully overwritten. A nil Scratch
+// allocates locally (equivalent to ChambolleCtx).
+func ChambolleInto(ctx context.Context, dst, f *img.Gray, o Options, s *Scratch) error {
+	if err := checkInto(dst, f, o); err != nil {
+		return err
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	w, h := f.W, f.H
+	n := w * h
+	// Dual variables p = (px, py).
+	px := s.plane(0, n)
+	py := s.plane(1, n)
+	div := s.plane(2, n)
+	u := s.plane(3, n)
+	const tau = 0.125
+	invLambda := 1.0 / o.Lambda
+
+	iters := 0
+	for it := 0; it < o.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		iters++
+		// u = f - div(p)/lambda
+		divergence(px, py, w, h, div)
+		var change float64
+		for i := range u {
+			nu := f.Pix[i] + div[i]*invLambda
+			change += abs(nu - u[i])
+			u[i] = nu
+		}
+		// Gradient ascent on the dual with reprojection onto |p|<=1.
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				gx, gy := 0.0, 0.0
+				if x < w-1 {
+					gx = u[i+1] - u[i]
+				}
+				if y < h-1 {
+					gy = u[i+w] - u[i]
+				}
+				npx := px[i] + tau*o.Lambda*gx
+				npy := py[i] + tau*o.Lambda*gy
+				norm := max1(hyp(npx, npy))
+				px[i] = npx / norm
+				py[i] = npy / norm
+			}
+		}
+		if o.Tol > 0 && it > 0 && change/float64(n) < o.Tol {
+			break
+		}
+	}
+	divergence(px, py, w, h, div)
+	for i := 0; i < n; i++ {
+		dst.Pix[i] = f.Pix[i] + div[i]*invLambda
+	}
+	o.Obs.Count("denoise.slices", 1)
+	o.Obs.Count("denoise.iterations", int64(iters))
+	return nil
+}
+
+// SplitBregmanInto denoises f into dst with caller-owned scratch, the
+// split-Bregman counterpart of ChambolleInto: bit-identical to
+// SplitBregmanCtx, dst fully overwritten, nil Scratch allocates
+// locally.
+func SplitBregmanInto(ctx context.Context, dst, f *img.Gray, o Options, s *Scratch) error {
+	if err := checkInto(dst, f, o); err != nil {
+		return err
+	}
+	if s == nil {
+		s = &Scratch{}
+	}
+	w, h := f.W, f.H
+	n := w * h
+	u := s.plane(0, n)
+	copy(u, f.Pix)
+	dx := s.plane(1, n)
+	dy := s.plane(2, n)
+	bx := s.plane(3, n)
+	by := s.plane(4, n)
+	// mu is the fidelity weight, gamma the splitting weight. gamma is
+	// tied to mu per the usual heuristic gamma = 2*mu.
+	mu := o.Lambda
+	gamma := 2 * o.Lambda
+	iters := 0
+
+	for it := 0; it < o.Iterations; it++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		iters++
+		// Gauss-Seidel sweep for u; see SplitBregmanCtx for the border
+		// handling and the operand-order contract.
+		var change float64
+		denom := mu + 4*gamma
+		for y := 0; y < h; y++ {
+			rowOff := y * w
+			upOff := rowOff - w
+			if y == 0 {
+				upOff = rowOff
+			}
+			downOff := rowOff + w
+			if y == h-1 {
+				downOff = rowOff
+			}
+			for x := 0; x < w; x++ {
+				i := rowOff + x
+				xl := i - 1
+				if x == 0 {
+					xl = i
+				}
+				xr := i + 1
+				if x == w-1 {
+					xr = i
+				}
+				iu := upOff + x
+				id := downOff + x
+				sumN := u[xl] + u[xr] + u[iu] + u[id]
+				dTerm := dx[xl] - dx[i] + dy[iu] - dy[i]
+				bTerm := bx[i] - bx[xl] + by[i] - by[iu]
+				nu := (mu*f.Pix[i] + gamma*(sumN+dTerm+bTerm)) / denom
+				change += abs(nu - u[i])
+				u[i] = nu
+			}
+		}
+		// Shrinkage of d and Bregman update of b.
+		thr := 1.0 / gamma
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				i := y*w + x
+				gx, gy := 0.0, 0.0
+				if x < w-1 {
+					gx = u[y*w+x+1] - u[i]
+				}
+				if y < h-1 {
+					gy = u[(y+1)*w+x] - u[i]
+				}
+				dx[i] = shrink(gx+bx[i], thr)
+				dy[i] = shrink(gy+by[i], thr)
+				bx[i] += gx - dx[i]
+				by[i] += gy - dy[i]
+			}
+		}
+		if o.Tol > 0 && it > 0 && change/float64(n) < o.Tol {
+			break
+		}
+	}
+	copy(dst.Pix, u)
+	o.Obs.Count("denoise.slices", 1)
+	o.Obs.Count("denoise.iterations", int64(iters))
+	return nil
+}

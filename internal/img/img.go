@@ -272,6 +272,24 @@ func (g *Gray) Translate(dx, dy int) *Gray {
 	return out
 }
 
+// TranslateInto is Translate writing into a caller-provided destination
+// (which must match g's dimensions), so a pooled buffer can absorb the
+// shifted image without a fresh allocation. Every pixel of dst is
+// overwritten; the sampling order and edge clamping are exactly
+// Translate's, so the result is bit-identical.
+func (g *Gray) TranslateInto(dst *Gray, dx, dy int) error {
+	if dst.W != g.W || dst.H != g.H || len(dst.Pix) != dst.W*dst.H {
+		return fmt.Errorf("img: translate dst %dx%d does not match source %dx%d",
+			dst.W, dst.H, g.W, g.H)
+	}
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			dst.Set(x, y, g.AtClamp(x-dx, y-dy))
+		}
+	}
+	return nil
+}
+
 // BilinearAt samples the image at real coordinates (x, y) with bilinear
 // interpolation and edge clamping.
 func (g *Gray) BilinearAt(x, y float64) float64 {

@@ -1,0 +1,125 @@
+package img
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool recycles Gray image buffers between pipeline slices so a
+// streaming reconstruction's peak heap is set by the pipeline window,
+// not the stack depth. Get hands out a zeroed image with exactly the
+// semantics of New (so a pooled buffer is substitutable for a fresh
+// allocation bit for bit), and Put returns it for reuse.
+//
+// Ownership is explicit: every buffer obtained from Get is outstanding
+// until exactly one Put. The pool tracks outstanding buffers and panics
+// on a double release or on a Put of an image it never handed out —
+// both are use-after-free bugs in the caller that would otherwise
+// surface as silent pixel corruption far from the cause.
+//
+// A nil *Pool is fully functional and simply does not reuse: Get
+// allocates via New and Put is a no-op. Callers never need to guard.
+//
+// Pool is safe for concurrent use.
+type Pool struct {
+	mu   sync.Mutex
+	free map[[2]int][]*Gray
+	out  map[*Gray]bool
+
+	hits, misses, puts int64
+	live, peakLive     int64
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		free: make(map[[2]int][]*Gray),
+		out:  make(map[*Gray]bool),
+	}
+}
+
+// Get returns a zeroed W×H image, reusing a released buffer of the same
+// dimensions when one is available. Reused buffers are cleared before
+// being handed out, so Get is observationally identical to New.
+func (p *Pool) Get(w, h int) *Gray {
+	if p == nil {
+		return New(w, h)
+	}
+	p.mu.Lock()
+	key := [2]int{w, h}
+	var g *Gray
+	if stack := p.free[key]; len(stack) > 0 {
+		g = stack[len(stack)-1]
+		stack[len(stack)-1] = nil
+		p.free[key] = stack[:len(stack)-1]
+		p.hits++
+	} else {
+		p.misses++
+	}
+	p.live++
+	if p.live > p.peakLive {
+		p.peakLive = p.live
+	}
+	if g != nil {
+		p.out[g] = true
+		p.mu.Unlock()
+		for i := range g.Pix {
+			g.Pix[i] = 0
+		}
+		return g
+	}
+	p.mu.Unlock()
+	g = New(w, h)
+	p.mu.Lock()
+	p.out[g] = true
+	p.mu.Unlock()
+	return g
+}
+
+// Put releases a buffer obtained from Get back to the pool. Releasing
+// the same buffer twice, or a buffer the pool never handed out, panics:
+// after a Put the caller must not touch the image again.
+func (p *Pool) Put(g *Gray) {
+	if p == nil {
+		return
+	}
+	if g == nil {
+		panic("img: pool: Put of nil image")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.out[g] {
+		panic(fmt.Sprintf("img: pool: Put of %dx%d buffer not outstanding (double release or foreign image)", g.W, g.H))
+	}
+	delete(p.out, g)
+	p.live--
+	p.puts++
+	key := [2]int{g.W, g.H}
+	p.free[key] = append(p.free[key], g)
+}
+
+// PoolStats is a snapshot of a pool's accounting.
+type PoolStats struct {
+	// Hits counts Gets served from a recycled buffer; Misses counts
+	// Gets that had to allocate.
+	Hits, Misses int64
+	// Puts counts releases.
+	Puts int64
+	// Live is the number of currently outstanding buffers; PeakLive is
+	// the high-water mark, the pool's bound on simultaneously held
+	// images (the streaming pipeline's working-set size).
+	Live, PeakLive int64
+}
+
+// Stats returns a snapshot of the pool's counters (zero for nil).
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{
+		Hits: p.hits, Misses: p.misses, Puts: p.puts,
+		Live: p.live, PeakLive: p.peakLive,
+	}
+}

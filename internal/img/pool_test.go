@@ -1,0 +1,105 @@
+package img
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReuseAndStats(t *testing.T) {
+	p := NewPool()
+	a := p.Get(8, 4)
+	b := p.Get(8, 4)
+	if a == b {
+		t.Fatal("two outstanding Gets returned the same buffer")
+	}
+	if got := p.Stats(); got.Hits != 0 || got.Misses != 2 || got.Live != 2 || got.PeakLive != 2 {
+		t.Fatalf("after two fresh Gets: %+v", got)
+	}
+	a.Fill(3.5)
+	p.Put(a)
+	c := p.Get(8, 4)
+	if c != a {
+		t.Fatal("Get did not reuse the released same-size buffer")
+	}
+	for i, v := range c.Pix {
+		if v != 0 {
+			t.Fatalf("reused buffer not zeroed: Pix[%d]=%v", i, v)
+		}
+	}
+	// A different size must not reuse the 8x4 buffer.
+	d := p.Get(4, 8)
+	if d == a || d == b {
+		t.Fatal("Get reused a buffer of different dimensions")
+	}
+	got := p.Stats()
+	if got.Hits != 1 || got.Misses != 3 || got.Puts != 1 {
+		t.Fatalf("stats after reuse: %+v", got)
+	}
+	if got.Live != 3 || got.PeakLive != 3 {
+		t.Fatalf("live accounting: %+v", got)
+	}
+	p.Put(b)
+	p.Put(c)
+	p.Put(d)
+	if got := p.Stats(); got.Live != 0 || got.PeakLive != 3 {
+		t.Fatalf("after releasing all: %+v", got)
+	}
+}
+
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	p := NewPool()
+	g := p.Get(2, 2)
+	p.Put(g)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Put did not panic")
+		}
+	}()
+	p.Put(g)
+}
+
+func TestPoolForeignPutPanics(t *testing.T) {
+	p := NewPool()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put of a foreign image did not panic")
+		}
+	}()
+	p.Put(New(2, 2))
+}
+
+func TestPoolNilSafe(t *testing.T) {
+	var p *Pool
+	g := p.Get(3, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("nil pool Get: %v", err)
+	}
+	p.Put(g) // no-op, must not panic
+	if got := p.Stats(); got != (PoolStats{}) {
+		t.Fatalf("nil pool stats: %+v", got)
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g := p.Get(16, 16)
+				g.Fill(1)
+				p.Put(g)
+			}
+		}()
+	}
+	wg.Wait()
+	got := p.Stats()
+	if got.Live != 0 {
+		t.Fatalf("buffers leaked: %+v", got)
+	}
+	if got.Hits+got.Misses != 8*200 || got.Puts != 8*200 {
+		t.Fatalf("lost operations: %+v", got)
+	}
+}

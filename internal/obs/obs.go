@@ -69,6 +69,27 @@ func (o *Observer) WithLane(lane int) *Observer {
 	return &c
 }
 
+// WithLaneOffset returns a copy of the observer shifted d lanes from its
+// current lane. The streaming reconstruction uses it to give each of its
+// concurrently-open stage spans a private lane relative to the run's
+// base lane, so per-lane span intervals stay disjoint-or-nested.
+func (o *Observer) WithLaneOffset(d int) *Observer {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	c.lane += d
+	return &c
+}
+
+// Lane returns the observer's current Chrome-trace lane (0 for nil).
+func (o *Observer) Lane() int {
+	if o == nil {
+		return 0
+	}
+	return o.lane
+}
+
 // StartSpan opens a span named name — a child of the configured parent
 // span if any, a root span otherwise. Returns nil (safe to use) when the
 // observer or its trace is nil.
@@ -263,6 +284,14 @@ func (s *Span) Child(name string) *Span {
 		return nil
 	}
 	return s.trace.start(name, s, s.lane, s.log)
+}
+
+// ChildWorker opens a per-worker sub-span on the given lane. Worker
+// spans are excluded from the stage summary (they overlap their stage);
+// long-lived pipeline workers that are not driven through ForEachCtx use
+// this to attach themselves to their stage span.
+func (s *Span) ChildWorker(name string, lane int) *Span {
+	return s.childWorker(name, lane)
 }
 
 // childWorker opens a per-worker sub-span on its own lane; worker spans

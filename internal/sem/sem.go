@@ -136,19 +136,44 @@ func NoiseSigma(dwellUS float64) float64 {
 	return 0.05 * math.Sqrt(3/dwellUS)
 }
 
+// MaterialPlanes is the ground truth a FIB/SEM acquisition mills
+// through, seen one slicing plane at a time. A fully materialized
+// *chipgen.MatVolume satisfies it, as does the lazy
+// *chipgen.PlaneSource — which is what lets the streaming acquisition
+// image arbitrarily deep stacks without holding the whole volume.
+type MaterialPlanes interface {
+	// Dims returns (nx lateral, ny depth, nz slicing positions).
+	Dims() (nx, ny, nz int)
+	// PlaneZ returns the material plane at slicing position z, indexed
+	// plane[y*nx+x]. The returned slice may be a buffer reused by the
+	// next PlaneZ call.
+	PlaneZ(z int) ([]chipgen.Material, error)
+}
+
+// renderPlane converts one material plane into the ideal SEM image; the
+// single shared loop keeps RenderCrossSection and the streaming path
+// pixel-identical by construction.
+func renderPlane(plane []chipgen.Material, nx, ny int, detector string) *img.Gray {
+	g := img.New(nx, ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			g.Set(x, y, Intensity(detector, plane[y*nx+x]))
+		}
+	}
+	return g
+}
+
 // RenderCrossSection produces the ideal (artifact-free) SEM image of the
 // material cross-section at slicing position z.
 func RenderCrossSection(v *chipgen.MatVolume, z int, detector string) (*img.Gray, error) {
 	if z < 0 || z >= v.NZ {
 		return nil, fmt.Errorf("sem: slice z=%d out of [0,%d)", z, v.NZ)
 	}
-	g := img.New(v.NX, v.NY)
-	for y := 0; y < v.NY; y++ {
-		for x := 0; x < v.NX; x++ {
-			g.Set(x, y, Intensity(detector, v.At(x, y, z)))
-		}
+	plane, err := v.PlaneZ(z)
+	if err != nil {
+		return nil, err
 	}
-	return g, nil
+	return renderPlane(plane, v.NX, v.NY, detector), nil
 }
 
 // Acquisition is the output of a FIB/SEM run.
@@ -176,33 +201,56 @@ func AcquireStack(v *chipgen.MatVolume, o Options) (*Acquisition, error) {
 // campaigns run >24 h), so a cancelled run must stop at the next FIB cut
 // rather than mill the remaining volume.
 func AcquireStackCtx(ctx context.Context, v *chipgen.MatVolume, o Options) (*Acquisition, error) {
-	if err := o.Validate(); err != nil {
+	acq := &Acquisition{Options: o}
+	err := StreamStackCtx(ctx, v, o, func(i, z int, g *img.Gray, drift [2]float64) error {
+		acq.Slices = append(acq.Slices, g)
+		acq.SliceZ = append(acq.SliceZ, z)
+		acq.TrueDrift = append(acq.TrueDrift, drift)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
+	return acq, nil
+}
+
+// StreamStackCtx runs the FIB/SEM acquisition loop but hands each
+// acquired slice to emit (with its index, voxel position, and cumulative
+// true drift) instead of accumulating a stack — the bounded-memory
+// producer for the streaming reconstruction. The artifact model,
+// operation order and RNG consumption are exactly AcquireStackCtx's
+// (which delegates here), so the emitted slices are bit-identical to a
+// materialized acquisition. A non-nil error from emit aborts the mill
+// and is returned as-is.
+func StreamStackCtx(ctx context.Context, src MaterialPlanes, o Options, emit func(i, z int, g *img.Gray, drift [2]float64) error) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	nx, ny, nz := src.Dims()
 	rng := rand.New(rand.NewSource(o.Seed))
 	sigma := NoiseSigma(o.DwellUS)
-	acq := &Acquisition{Options: o}
 	var dx, dy float64
-	for z := 0; z < v.NZ; z += o.SliceStep {
+	n := 0
+	for z := 0; z < nz; z += o.SliceStep {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return err
 		}
-		ideal, err := RenderCrossSection(v, z, o.Detector)
+		plane, err := src.PlaneZ(z)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		g := ideal
+		g := renderPlane(plane, nx, ny, o.Detector)
 		if o.BlurSigmaPx > 0 {
 			g = img.GaussianBlur(g, o.BlurSigmaPx)
 		}
 		// Cumulative stage drift (skip the first slice: it defines the
 		// reference frame). Drift is mostly lateral; the vertical
 		// component is a quarter of the lateral one.
-		if len(acq.Slices) > 0 && o.DriftSigmaPx > 0 {
+		if n > 0 && o.DriftSigmaPx > 0 {
 			dx += rng.NormFloat64() * o.DriftSigmaPx
 			dy += rng.NormFloat64() * o.DriftSigmaPx / 4
 		}
-		if len(acq.Slices) > 0 {
+		if n > 0 {
 			dx += o.DriftTrendPx
 		}
 		if dx != 0 || dy != 0 {
@@ -219,14 +267,25 @@ func AcquireStackCtx(ctx context.Context, v *chipgen.MatVolume, o Options) (*Acq
 			}
 		}
 		g.Clamp(0, ClampMax)
-		acq.Slices = append(acq.Slices, g)
-		acq.SliceZ = append(acq.SliceZ, z)
-		acq.TrueDrift = append(acq.TrueDrift, [2]float64{dx, dy})
+		if err := emit(n, z, g, [2]float64{dx, dy}); err != nil {
+			return err
+		}
+		n++
 	}
-	if len(acq.Slices) == 0 {
-		return nil, fmt.Errorf("sem: volume produced no slices")
+	if n == 0 {
+		return fmt.Errorf("sem: volume produced no slices")
 	}
-	return acq, nil
+	return nil
+}
+
+// SliceCount returns how many slices milling nz slicing positions at the
+// given step produces — the stack depth a streaming consumer must expect
+// before the first slice arrives.
+func SliceCount(nz, step int) int {
+	if nz <= 0 || step < 1 {
+		return 0
+	}
+	return (nz + step - 1) / step
 }
 
 // CostHours estimates the acquisition wall-clock cost in hours: dwell
@@ -236,9 +295,16 @@ func (a *Acquisition) CostHours() float64 {
 	if len(a.Slices) == 0 {
 		return 0
 	}
-	px := float64(a.Slices[0].W*a.Slices[0].H) * float64(len(a.Slices))
-	// Dwell plus fixed per-slice FIB milling overhead (around 90 s).
-	return (px*a.Options.DwellUS*1e-6 + float64(len(a.Slices))*90) / 3600
+	return CostHoursFor(a.Slices[0].W, a.Slices[0].H, len(a.Slices), a.Options.DwellUS)
+}
+
+// CostHoursFor is the acquisition cost model on raw dimensions, for
+// streaming runs that never hold an Acquisition: dwell time per pixel
+// across all slices plus fixed per-slice FIB milling overhead (around
+// 90 s), identical to Acquisition.CostHours.
+func CostHoursFor(nx, ny, n int, dwellUS float64) float64 {
+	px := float64(nx*ny) * float64(n)
+	return (px*dwellUS*1e-6 + float64(n)*90) / 3600
 }
 
 // PlanDwell returns the dwell time (µs) needed to reach a target additive

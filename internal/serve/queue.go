@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/ckpt"
+	"repro/internal/img"
 	"repro/internal/obs"
 	"repro/internal/par"
 )
@@ -164,6 +165,12 @@ type Server struct {
 	ovl     *overloadController
 	brk     *breakerSet
 
+	// pool is the shared image-buffer pool handed to every job's
+	// reconstruction: slice buffers recycled across jobs instead of
+	// reallocated per run. Safe for concurrent jobs (the pool is
+	// lock-protected) and sized by use, not configuration.
+	pool *img.Pool
+
 	// diskFree (bytes; -1 before the first probe) and diskPressure
 	// (diskOK/diskSoft/diskHard) are the disk watchdog's outputs, read
 	// on every submission and at scrape.
@@ -220,6 +227,7 @@ func New(cfg Config) *Server {
 		slo:      newSLOTracker(cfg.SLOs),
 		ovl:      newOverloadController(cfg.ShedTarget),
 		brk:      newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		pool:     img.NewPool(),
 		ctx:      ctx,
 		stop:     stop,
 		jobs:     make(map[string]*job),
@@ -1212,6 +1220,13 @@ func (s *Server) MetricsSnapshot() *obs.Snapshot {
 			obs.Label{Key: "tenant", Value: tenant})] = float64(n)
 	}
 	snap.Gauges["serve.shed_level"] = float64(s.overloadLevel())
+	// Shared image-pool health at scrape time (authoritative and fresher
+	// than the per-job gauges merged at completion, which the same keys
+	// overwrite here).
+	ps := s.pool.Stats()
+	snap.Gauges["img.pool.hits"] = float64(ps.Hits)
+	snap.Gauges["img.pool.misses"] = float64(ps.Misses)
+	snap.Gauges["img.pool.peak_live"] = float64(ps.PeakLive)
 	if free := s.diskFree.Load(); free >= 0 {
 		snap.Gauges["serve.disk_free_bytes"] = float64(free)
 		snap.Gauges["serve.disk_pressure"] = float64(s.diskPressure.Load())

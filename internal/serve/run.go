@@ -252,6 +252,10 @@ func (s *Server) runPipeline(ctx context.Context, req Request, inner int, ob *ob
 	}
 	o.Workers = inner
 	o.Obs = ob
+	// Shared across jobs: slice buffers freed by one reconstruction are
+	// reused by the next instead of re-allocated, and the pool gauges
+	// (img.pool.*) land in /metrics via the job observer.
+	o.Pool = s.pool
 	// The shared store plays both of its roles here: stage boundaries
 	// checkpoint into it as the run goes (so a second job with the same
 	// fingerprint but a wider artifact set resumes instead of

@@ -1,0 +1,46 @@
+#!/bin/sh
+# memory-smoke: end-to-end bounded-memory validation for the streaming
+# reconstruction pipeline (make memory-smoke).
+#
+#  1. Build the core test binary once (both runs share it).
+#  2. Reference run: the retained barrier implementation reconstructs a
+#     deterministic 384-slice stack in a process with no memory limit
+#     and writes a canonical result fingerprint (its peak heap goal on
+#     this stack measures ~23 MB; see TestMemorySmoke).
+#  3. Streaming run: the pooled streaming pipeline reconstructs the
+#     same stack in a process under GOMEMLIMIT=16MiB — a ceiling the
+#     barrier path's materialized stacks exceed — and must complete.
+#  4. The two fingerprints must match byte for byte: bounding the
+#     memory changed nothing about the output.
+#
+# GOMEMLIMIT is the hard backstop here: if the streaming path held
+# live buffers proportional to stack depth, the run would degrade into
+# a GC death spiral against the limit instead of finishing in seconds,
+# and the timeout (or a wrong fingerprint) fails the smoke.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d /tmp/hifidram-memory-smoke.XXXXXX)
+trap 'rm -rf "$WORK"' EXIT
+BIN="$WORK/core.test"
+
+$GO test -c -o "$BIN" ./internal/core
+
+echo "memory-smoke: barrier reference (no memory limit)"
+HIFIDRAM_MEMORY_SMOKE=barrier \
+HIFIDRAM_MEMORY_SMOKE_OUT="$WORK/barrier.fp" \
+    "$BIN" -test.run '^TestMemorySmoke$' -test.count=1 -test.timeout=10m > /dev/null
+
+echo "memory-smoke: streaming run under GOMEMLIMIT=16MiB"
+GOMEMLIMIT=16MiB \
+HIFIDRAM_MEMORY_SMOKE=stream \
+HIFIDRAM_MEMORY_SMOKE_OUT="$WORK/stream.fp" \
+    "$BIN" -test.run '^TestMemorySmoke$' -test.count=1 -test.timeout=10m > /dev/null
+
+if ! cmp -s "$WORK/barrier.fp" "$WORK/stream.fp"; then
+    echo "memory-smoke: FAIL — streaming output diverged from the barrier reference" >&2
+    echo "  barrier: $(cat "$WORK/barrier.fp")" >&2
+    echo "  stream:  $(cat "$WORK/stream.fp")" >&2
+    exit 1
+fi
+echo "memory-smoke: OK — 384-slice streaming reconstruction under 16MiB, byte-identical ($(cat "$WORK/stream.fp" | cut -c1-16)...)"

@@ -81,7 +81,7 @@ done
 
 echo "metrics-smoke: validating /metrics"
 "$BIN" metricscheck -require \
-    'serve_ready,serve_jobs_submitted_total,serve_jobs_done_total,serve_queue_wait_seconds,serve_run_duration_seconds,serve_job_latency_seconds,serve_stage_wall_seconds,serve_slo_burn_rate,serve_slo_error_budget_remaining' \
+    'serve_ready,serve_jobs_submitted_total,serve_jobs_done_total,serve_queue_wait_seconds,serve_run_duration_seconds,serve_job_latency_seconds,serve_stage_wall_seconds,serve_slo_burn_rate,serve_slo_error_budget_remaining,img_pool_hits,img_pool_misses,img_pool_peak_live' \
     "$BASE/metrics"
 # The per-tenant labels must be on the wire, not just the families.
 curl -fsS "$BASE/metrics" > "$WORK/metrics.txt"
@@ -95,6 +95,7 @@ echo "metrics-smoke: rendering fleet view"
 cat "$WORK/top.txt"
 grep -q 'smoke' "$WORK/top.txt" || { echo "top frame missing tenant row"; exit 1; }
 grep -q 'done 1' "$WORK/top.txt" || { echo "top frame missing completion count"; exit 1; }
+grep -q 'img pool:' "$WORK/top.txt" || { echo "top frame missing image-pool line"; exit 1; }
 
 echo "metrics-smoke: checking access log correlation"
 grep -q "\"req_id\":\"$CORR\"" "$WORK/server.log" || {
